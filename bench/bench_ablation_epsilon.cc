@@ -1,0 +1,25 @@
+// Ablation (DESIGN.md): the epsilon edge-pruning threshold. Lower epsilon
+// keeps more low-probability edges (higher cost, higher recall ceiling);
+// higher epsilon prunes aggressively (cheaper but may drop true matches).
+// The paper fixes epsilon = 0.3.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.2, /*default_reps=*/2);
+  GeneratedDataset paper = MakePaper(args);
+  const std::string cql = PaperQueries()[0].cql;
+
+  std::printf("Ablation: epsilon threshold (2J, dataset paper, CDB)\n");
+  TablePrinter printer({"epsilon", "#tasks", "recall", "F-measure"});
+  for (double epsilon : {0.2, 0.3, 0.4, 0.5}) {
+    RunConfig config = BaseConfig(args, /*worker_quality=*/0.9);
+    config.graph.epsilon = epsilon;
+    RunOutcome out = MustRun(Method::kCdb, paper, cql, config);
+    printer.AddRow({FormatDouble(epsilon, 1), FormatCount(out.tasks),
+                    FormatDouble(out.recall, 3), FormatDouble(out.f1, 3)});
+  }
+  printer.Print();
+  return 0;
+}

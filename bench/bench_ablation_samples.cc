@@ -1,0 +1,29 @@
+// Ablation (DESIGN.md): sample count S of the min-cut greedy (Section
+// 5.1.2). Few samples give a noisy edge order; many samples cost optimizer
+// time — the reason the paper prefers the expectation-based method.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.15, /*default_reps=*/2);
+  GeneratedDataset paper = MakePaper(args);
+  const std::string cql = PaperQueries()[2].cql;
+
+  std::printf("Ablation: MinCut sample count (3J, dataset paper)\n");
+  TablePrinter printer({"samples", "#tasks", "selection ms"});
+  for (int samples : {5, 20, 50, 100, 200}) {
+    RunConfig config = BaseConfig(args, /*worker_quality=*/0.9);
+    config.sampling_samples = samples;
+    RunOutcome out = MustRun(Method::kMinCut, paper, cql, config);
+    printer.AddRow({std::to_string(samples), FormatCount(out.tasks),
+                    FormatDouble(out.selection_ms, 1)});
+  }
+  // Expectation-based reference.
+  RunConfig config = BaseConfig(args, /*worker_quality=*/0.9);
+  RunOutcome cdb = MustRun(Method::kCdb, paper, cql, config);
+  printer.AddRow({"CDB (expectation)", FormatCount(cdb.tasks),
+                  FormatDouble(cdb.selection_ms, 1)});
+  printer.Print();
+  return 0;
+}

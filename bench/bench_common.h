@@ -1,0 +1,97 @@
+// Shared plumbing for the figure/table bench binaries. Each binary
+// regenerates one table or figure of the paper's evaluation (Section 6) and
+// prints the same rows/series. Scales and repetition counts are chosen so the
+// whole suite completes in minutes; pass `--scale=X --reps=N` to override
+// (the paper uses full-size datasets and 1000 repetitions).
+#ifndef CDB_BENCH_BENCH_COMMON_H_
+#define CDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/queries.h"
+#include "bench_util/runner.h"
+#include "bench_util/table_printer.h"
+#include "common/logging.h"
+#include "datagen/award_dataset.h"
+#include "datagen/paper_dataset.h"
+
+namespace cdb {
+namespace bench {
+
+struct BenchArgs {
+  double scale = 0.2;
+  int reps = 2;
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv, double default_scale = 0.2,
+                           int default_reps = 2) {
+  BenchArgs args;
+  args.scale = default_scale;
+  args.reps = default_reps;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) args.scale = std::atof(argv[i] + 8);
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) args.reps = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--seed=", 7) == 0)
+      args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+  }
+  return args;
+}
+
+inline GeneratedDataset MakePaper(const BenchArgs& args) {
+  PaperDatasetOptions options;
+  options.scale = args.scale;
+  return GeneratePaperDataset(options);
+}
+
+inline GeneratedDataset MakeAward(const BenchArgs& args) {
+  AwardDatasetOptions options;
+  options.scale = args.scale;
+  return GenerateAwardDataset(options);
+}
+
+inline RunConfig BaseConfig(const BenchArgs& args, double worker_quality = 0.8) {
+  RunConfig config;
+  config.worker_quality = worker_quality;
+  config.repetitions = args.reps;
+  config.sampling_samples = 50;
+  config.seed = args.seed;
+  return config;
+}
+
+inline RunOutcome MustRun(Method method, const GeneratedDataset& dataset,
+                          const std::string& cql, const RunConfig& config) {
+  Result<RunOutcome> outcome = RunMethod(method, dataset, cql, config);
+  CDB_CHECK_MSG(outcome.ok(), outcome.status().ToString().c_str());
+  return outcome.value();
+}
+
+// Runs the 5 representative queries x all 9 methods on one dataset and
+// prints the chosen metric — the shared engine of Figures 8, 9 and 10.
+inline void PrintMethodQueryMatrix(
+    const char* title, const GeneratedDataset& dataset,
+    const std::vector<BenchmarkQuery>& queries, const RunConfig& config,
+    const std::function<std::string(const RunOutcome&)>& metric) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers = {"method"};
+  for (const BenchmarkQuery& q : queries) headers.push_back(q.label);
+  TablePrinter printer(headers);
+  for (Method method : AllMethods()) {
+    std::vector<std::string> row = {MethodName(method)};
+    for (const BenchmarkQuery& q : queries) {
+      row.push_back(metric(MustRun(method, dataset, q.cql, config)));
+    }
+    printer.AddRow(std::move(row));
+  }
+  printer.Print();
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace cdb
+
+#endif  // CDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,25 @@
+// Figure 10: latency (#rounds) of the 5 representative queries under all
+// nine methods (Section 6.2.1). The graph methods stay within a handful of
+// rounds; the ER methods need many rounds per join.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv);
+  RunConfig config = BaseConfig(args, /*worker_quality=*/0.8);
+
+  GeneratedDataset paper = MakePaper(args);
+  PrintMethodQueryMatrix("Figure 10(a): #rounds, dataset paper", paper,
+                         PaperQueries(), config, [](const RunOutcome& out) {
+                           return FormatDouble(out.rounds, 1);
+                         });
+  GeneratedDataset award = MakeAward(args);
+  PrintMethodQueryMatrix("Figure 10(b): #rounds, dataset award", award,
+                         AwardQueries(), config, [](const RunOutcome& out) {
+                           return FormatDouble(out.rounds, 1);
+                         });
+  std::printf("Expected shape: tree methods = #predicates rounds; graph methods\n"
+              "close to that; Trans/ACD several times more.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figures 11-13: varying simulated worker quality q in {0.7, 0.8, 0.9}
+// (underlying Gaussian N(q, 0.01)); cost, quality and latency per method,
+// averaged over the representative queries (Section 6.2.2).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.15, /*default_reps=*/2);
+  GeneratedDataset paper = MakePaper(args);
+  // Average over three structurally distinct queries to keep runtime sane.
+  std::vector<BenchmarkQuery> queries = {PaperQueries()[0], PaperQueries()[1],
+                                         PaperQueries()[2]};
+
+  for (const char* metric : {"#tasks", "F-measure", "#rounds"}) {
+    std::printf("Varying worker quality: %s (dataset paper)\n", metric);
+    TablePrinter printer({"method", "q=0.7", "q=0.8", "q=0.9"});
+    for (Method method : AllMethods()) {
+      std::vector<std::string> row = {MethodName(method)};
+      for (double q : {0.7, 0.8, 0.9}) {
+        RunConfig config = BaseConfig(args, q);
+        double tasks = 0.0;
+        double f1 = 0.0;
+        double rounds = 0.0;
+        for (const BenchmarkQuery& query : queries) {
+          RunOutcome out = MustRun(method, paper, query.cql, config);
+          tasks += out.tasks;
+          f1 += out.f1;
+          rounds += out.rounds;
+        }
+        double n = static_cast<double>(queries.size());
+        if (metric[0] == '#' && metric[1] == 't') {
+          row.push_back(FormatCount(tasks / n));
+        } else if (metric[0] == 'F') {
+          row.push_back(FormatDouble(f1 / n, 3));
+        } else {
+          row.push_back(FormatDouble(rounds / n, 1));
+        }
+      }
+      printer.AddRow(std::move(row));
+    }
+    printer.Print();
+    std::printf("\n");
+  }
+  std::printf("Expected shape: cost falls as worker quality rises (better answers\n"
+              "let methods infer/prune more); CDB+ quality lead is largest at q=0.7.\n");
+  return 0;
+}

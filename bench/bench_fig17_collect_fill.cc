@@ -1,0 +1,71 @@
+// Figure 17: collection semantics. (a) COLLECT the top-k universities: CDB's
+// autocompletion steers workers away from duplicates, cutting questions
+// several-fold vs the Deco-style baseline; the gap grows with k. (b) FILL
+// the state of 100 universities: CDB stops at 3 agreeing answers, saving
+// ~30% over always asking 5 workers (Section 6.3.2).
+#include <cstdio>
+
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "exec/collect_fill.h"
+
+int main() {
+  using namespace cdb;
+
+  // (a) COLLECT: #questions to reach k distinct universities.
+  CollectUniverse universe;
+  for (int i = 0; i < 150; ++i) {
+    CollectUniverse::Entity entity;
+    entity.canonical = StrPrintf("University %03d", i);
+    entity.variants = {StrPrintf("Univ. %03d", i), StrPrintf("U-%03d", i)};
+    universe.entities.push_back(std::move(entity));
+  }
+  std::printf("Figure 17(a): COLLECT top-k universities, #questions asked\n");
+  TablePrinter collect_printer({"#collected", "CDB (autocomplete)", "Deco-style"});
+  CollectOptions cdb_options;
+  cdb_options.target_distinct = 100;
+  cdb_options.autocomplete = true;
+  CollectOptions deco_options = cdb_options;
+  deco_options.autocomplete = false;
+  CollectResult cdb = RunCollect(universe, cdb_options);
+  CollectResult deco = RunCollect(universe, deco_options);
+  for (int64_t k : {20, 40, 60, 80, 100}) {
+    collect_printer.AddRow(
+        {std::to_string(k),
+         std::to_string(cdb.questions_at_distinct[static_cast<size_t>(k - 1)]),
+         std::to_string(deco.questions_at_distinct[static_cast<size_t>(k - 1)])});
+  }
+  collect_printer.Print();
+
+  // (b) FILL: total fill answers paid for over 100 cells.
+  std::vector<FillTaskSpec> specs;
+  const char* states[] = {"Illinois", "California", "Massachusetts", "Texas",
+                          "Washington", "Michigan", "Wisconsin", "New York"};
+  for (int i = 0; i < 100; ++i) {
+    FillTaskSpec spec;
+    spec.question = StrPrintf("state of university %03d", i);
+    spec.truth = states[i % 8];
+    for (int s = 0; s < 8; ++s) {
+      if (s != i % 8) spec.wrong_pool.push_back(states[s]);
+    }
+    specs.push_back(std::move(spec));
+  }
+  FillOptions fill_cdb;
+  fill_cdb.early_stop = true;
+  FillOptions fill_deco = fill_cdb;
+  fill_deco.early_stop = false;
+  FillResult fill_a = RunFill(specs, fill_cdb);
+  FillResult fill_b = RunFill(specs, fill_deco);
+  std::printf("\nFigure 17(b): FILL the state of 100 universities\n");
+  TablePrinter fill_printer({"method", "answers paid", "cells correct"});
+  fill_printer.AddRow({"CDB (stop at 3-of-5 agreement)",
+                       std::to_string(fill_a.answers_collected),
+                       std::to_string(fill_a.cells_correct)});
+  fill_printer.AddRow({"Deco-style (always 5)",
+                       std::to_string(fill_b.answers_collected),
+                       std::to_string(fill_b.cells_correct)});
+  fill_printer.Print();
+  std::printf("\nExpected shape: CDB collects with several times fewer questions\n"
+              "and fills ~30%% cheaper at equal accuracy.\n");
+  return 0;
+}

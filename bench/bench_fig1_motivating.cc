@@ -1,0 +1,55 @@
+// Figure 1 / Section 1: the motivating example. On a chain where a few RED
+// edges refute every candidate, tuple-level selection asks only those RED
+// edges while any table-level join order asks an order of magnitude more.
+#include <cstdio>
+
+#include "baselines/join_order.h"
+#include "bench_util/table_printer.h"
+#include "cost/known_color.h"
+#include "graph/query_graph.h"
+
+namespace cdb {
+namespace {
+
+// The Figure-1 shape: T1 -9 edges- T2 -3 edges- T3; the pred-1 edges are all
+// RED, so there are no answers and 3 asks suffice.
+QueryGraph MakeFigure1() {
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}, {true, false, 1, 2}};
+  std::vector<QueryGraph::SyntheticEdge> edges;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) edges.push_back({0, a, b, 0.6});
+  }
+  for (int c = 0; c < 3; ++c) edges.push_back({1, 0, c, 0.4});
+  return QueryGraph::MakeSynthetic(3, preds, edges);
+}
+
+}  // namespace
+}  // namespace cdb
+
+int main() {
+  using namespace cdb;
+  QueryGraph graph = MakeFigure1();
+  OracleColors colors(static_cast<size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    colors[static_cast<size_t>(e)] =
+        graph.edge(e).pred == 1 ? EdgeColor::kRed : EdgeColor::kBlue;
+  }
+
+  std::printf("Figure 1 (motivating example): tasks to resolve the chain\n");
+  TablePrinter printer({"plan", "tasks asked"});
+  for (const std::vector<int>& order : AllPredicateOrders(graph)) {
+    std::string label = "tree order (";
+    for (size_t i = 0; i < order.size(); ++i) {
+      label += (i ? "," : "") + std::to_string(order[i]);
+    }
+    label += ")";
+    printer.AddRow({label, std::to_string(TreeModelCost(graph, order, colors))});
+  }
+  printer.AddRow({"graph model (Lemma 1)",
+                  std::to_string(SelectTasksKnownColors(graph, colors).size())});
+  printer.Print();
+  std::printf(
+      "\nPaper: the tree model asks >= 12 tasks for the bad order while the\n"
+      "tuple-level selection asks only the refuting RED edges.\n");
+  return 0;
+}

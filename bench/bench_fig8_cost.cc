@@ -1,0 +1,26 @@
+// Figure 8: monetary cost (#tasks) of the 5 representative queries under all
+// nine methods, on the paper and award datasets, with simulated workers
+// drawn from N(0.8, 0.01) and 5 answers per task (Section 6.2.1).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv);
+  RunConfig config = BaseConfig(args, /*worker_quality=*/0.8);
+
+  GeneratedDataset paper = MakePaper(args);
+  PrintMethodQueryMatrix("Figure 8(a): #tasks, dataset paper", paper,
+                         PaperQueries(), config, [](const RunOutcome& out) {
+                           return FormatCount(out.tasks);
+                         });
+  GeneratedDataset award = MakeAward(args);
+  PrintMethodQueryMatrix("Figure 8(b): #tasks, dataset award", award,
+                         AwardQueries(), config, [](const RunOutcome& out) {
+                           return FormatCount(out.tasks);
+                         });
+  std::printf(
+      "Expected shape (paper): Qurk ~ CrowdDB > Deco > OptTree and\n"
+      "ACD > Trans > MinCut > CDB ~ CDB+ (graph model cheapest).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the optimizer's core primitives:
+// similarity join, graph construction, pruning recomputation, cut-impact
+// simulation, expectation scoring, min-cut selection, and round scheduling.
+#include <benchmark/benchmark.h>
+
+#include "bench_util/metrics.h"
+#include "bench_util/queries.h"
+#include "cost/expectation.h"
+#include "cost/known_color.h"
+#include "cql/parser.h"
+#include "datagen/paper_dataset.h"
+#include "flow/min_cut.h"
+#include "graph/pruning.h"
+#include "graph/structure.h"
+#include "latency/scheduler.h"
+#include "similarity/sim_join.h"
+
+namespace cdb {
+namespace {
+
+const GeneratedDataset& Dataset() {
+  static const GeneratedDataset* ds = [] {
+    PaperDatasetOptions options;
+    options.scale = 0.3;
+    return new GeneratedDataset(GeneratePaperDataset(options));
+  }();
+  return *ds;
+}
+
+ResolvedQuery ThreeJoinQuery() {
+  Statement stmt = ParseStatement(PaperQueries()[2].cql).value();
+  return AnalyzeSelect(std::get<SelectStatement>(stmt), Dataset().catalog).value();
+}
+
+void BM_SimilarityJoin2Gram(benchmark::State& state) {
+  const Table* paper = Dataset().catalog.GetTable("Paper").value();
+  const Table* citation = Dataset().catalog.GetTable("Citation").value();
+  std::vector<std::string> left = paper->StringColumn("title").value();
+  std::vector<std::string> right = citation->StringColumn("title").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SimilarityJoin(left, right, SimilarityFunction::kQGramJaccard, 0.3));
+  }
+}
+BENCHMARK(BM_SimilarityJoin2Gram);
+
+void BM_GraphBuild3J(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryGraph::Build(query, GraphOptions{}).value());
+  }
+}
+BENCHMARK(BM_GraphBuild3J);
+
+void BM_PrunerRecompute(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  Pruner pruner(&graph);
+  for (auto _ : state) {
+    pruner.Recompute();
+    benchmark::DoNotOptimize(pruner.RemainingTasks());
+  }
+}
+BENCHMARK(BM_PrunerRecompute);
+
+void BM_CutSimulation(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  Pruner pruner(&graph);
+  std::vector<std::vector<EdgeId>> cuts;
+  for (VertexId v = 0; v < graph.num_vertices() && cuts.size() < 256; ++v) {
+    for (int p = 0; p < graph.num_predicates(); ++p) {
+      const std::vector<EdgeId>& edges = graph.IncidentEdges(v, p);
+      if (!edges.empty()) cuts.push_back(edges);
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruner.SimulateCutInvalidation(cuts[i % cuts.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CutSimulation);
+
+void BM_ExpectationOrder(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  Pruner pruner(&graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpectationOrder(graph, pruner));
+  }
+}
+BENCHMARK(BM_ExpectationOrder);
+
+void BM_KnownColorSelection(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  EdgeTruthFn truth = MakeEdgeTruth(&Dataset(), &query);
+  std::vector<EdgeColor> colors(static_cast<size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    colors[static_cast<size_t>(e)] =
+        truth(graph, e) ? EdgeColor::kBlue : EdgeColor::kRed;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTasksKnownColors(graph, colors));
+  }
+}
+BENCHMARK(BM_KnownColorSelection);
+
+void BM_SelectParallelRound(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> ordered;
+  for (const ScoredEdge& se : ExpectationOrder(graph, pruner)) {
+    ordered.push_back(se.edge);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectParallelRound(graph, pruner, ordered, LatencyMode::kVertexGreedy));
+  }
+}
+BENCHMARK(BM_SelectParallelRound);
+
+}  // namespace
+}  // namespace cdb
+
+BENCHMARK_MAIN();

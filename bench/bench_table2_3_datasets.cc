@@ -1,0 +1,67 @@
+// Tables 2-3: dataset statistics at the paper's cardinalities, plus the
+// query-graph statistics our generators produce (edges per predicate, true
+// match rates) so the benchmark regime is transparent.
+#include "bench/bench_common.h"
+#include "cql/parser.h"
+#include "graph/query_graph.h"
+
+namespace {
+
+void PrintDataset(const char* title, const cdb::GeneratedDataset& ds) {
+  using namespace cdb;
+  std::printf("%s\n", title);
+  TablePrinter printer({"table", "#records", "attributes"});
+  for (const std::string& name : ds.catalog.TableNames()) {
+    const Table* table = ds.catalog.GetTable(name).value();
+    std::string attrs;
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (c) attrs += ", ";
+      attrs += table->schema().column(c).name;
+    }
+    printer.AddRow({name, std::to_string(table->num_rows()), attrs});
+  }
+  printer.Print();
+  std::printf("\n");
+}
+
+void PrintGraphStats(const char* title, const cdb::GeneratedDataset& ds,
+                     const std::string& cql) {
+  using namespace cdb;
+  Statement stmt = ParseStatement(cql).value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  EdgeTruthFn truth = MakeEdgeTruth(&ds, &query);
+  std::printf("%s: %d vertices, %d edges\n", title, graph.num_vertices(),
+              graph.num_edges());
+  TablePrinter printer({"predicate", "#edges", "#true", "true %"});
+  for (int p = 0; p < graph.num_predicates(); ++p) {
+    int64_t edges = 0;
+    int64_t true_edges = 0;
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (graph.edge(e).pred != p) continue;
+      ++edges;
+      if (truth(graph, e)) ++true_edges;
+    }
+    printer.AddRow({std::to_string(p), std::to_string(edges),
+                    std::to_string(true_edges),
+                    FormatDouble(edges ? 100.0 * true_edges / edges : 0.0, 1)});
+  }
+  printer.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/1.0);
+  GeneratedDataset paper = MakePaper(args);
+  GeneratedDataset award = MakeAward(args);
+  PrintDataset("Table 2: dataset paper", paper);
+  PrintDataset("Table 3: dataset award", award);
+  PrintGraphStats("Query graph, paper 3J", paper, PaperQueries()[2].cql);
+  PrintGraphStats("Query graph, award 3J", award, AwardQueries()[2].cql);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 5: optimizer efficiency — the wall-clock time CDB spends selecting
+// tasks and scheduling rounds (not crowd time), per query and dataset, at
+// the paper's full cardinalities. The paper reports ~2-12 ms; our expectation
+// scorer and vertex-greedy scheduler stay in the same ballpark per round on
+// comparably sized graphs.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cdb;
+  using namespace cdb::bench;
+  BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.5, /*default_reps=*/1);
+
+  std::printf("Table 5: task-selection time per query (milliseconds, scale %.2f)\n",
+              args.scale);
+  TablePrinter printer({"dataset", "2J", "2J1S", "3J", "3J1S", "3J2S"});
+  struct Entry {
+    const char* name;
+    GeneratedDataset dataset;
+    std::vector<BenchmarkQuery> queries;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"paper", MakePaper(args), PaperQueries()});
+  entries.push_back({"award", MakeAward(args), AwardQueries()});
+  for (Entry& entry : entries) {
+    std::vector<std::string> row = {entry.name};
+    for (const BenchmarkQuery& query : entry.queries) {
+      RunConfig config = BaseConfig(args, /*worker_quality=*/0.95);
+      config.repetitions = 1;
+      RunOutcome out = MustRun(Method::kCdb, entry.dataset, query.cql, config);
+      row.push_back(FormatDouble(out.selection_ms, 1));
+    }
+    printer.AddRow(std::move(row));
+  }
+  printer.Print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Scenario: the paper's running use case — find the citation counts of
+// SIGMOD papers together with the authors' universities, across four dirty
+// sources. Compares CDB+ against a cost-based tree optimizer (Deco-style)
+// on cost, latency and quality.
+#include <cstdio>
+
+#include "bench_util/queries.h"
+#include "bench_util/runner.h"
+#include "bench_util/table_printer.h"
+#include "datagen/paper_dataset.h"
+
+using namespace cdb;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  PaperDatasetOptions options;
+  options.scale = scale;
+  GeneratedDataset dataset = GeneratePaperDataset(options);
+
+  const std::string cql = PaperQueries()[3].cql;  // 3J1S.
+  std::printf("scenario query (3J1S):\n%s\n\n", cql.c_str());
+
+  RunConfig config;
+  config.worker_quality = 0.85;
+  config.repetitions = 2;
+
+  TablePrinter printer({"system", "#tasks", "#rounds", "F-measure", "$"});
+  for (Method method : {Method::kDeco, Method::kCdb, Method::kCdbPlus}) {
+    RunOutcome out = RunMethod(method, dataset, cql, config).value();
+    double dollars = out.tasks / 10.0 * 0.1;  // 10 tasks per $0.1 HIT.
+    printer.AddRow({MethodName(method), FormatCount(out.tasks),
+                    FormatDouble(out.rounds, 1), FormatDouble(out.f1, 3),
+                    FormatDouble(dollars, 2)});
+  }
+  printer.Print();
+  std::printf("\nCDB's tuple-level pruning asks fewer crowd questions than the\n"
+              "table-level plan at comparable latency; CDB+ adds quality.\n");
+  return 0;
+}

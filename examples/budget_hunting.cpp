@@ -1,0 +1,49 @@
+// Scenario: a hard monetary budget (the CQL BUDGET keyword, Section 3).
+// The requester caps the number of crowd tasks; CDB's budget-aware selection
+// (Section 5.1.3) spends them on the most promising candidates, so recall
+// climbs steeply with budget instead of linearly.
+#include <cstdio>
+
+#include "common/logging.h"
+#include "bench_util/metrics.h"
+#include "bench_util/queries.h"
+#include "bench_util/table_printer.h"
+#include "cql/parser.h"
+#include "datagen/paper_dataset.h"
+#include "exec/executor.h"
+
+using namespace cdb;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  PaperDatasetOptions dataset_options;
+  dataset_options.scale = scale;
+  GeneratedDataset dataset = GeneratePaperDataset(dataset_options);
+
+  TablePrinter printer({"BUDGET", "#tasks used", "answers", "recall", "precision"});
+  for (int64_t budget : {25, 50, 100, 200, 400}) {
+    // The budget rides in the CQL statement itself.
+    std::string cql = PaperQueries()[0].cql + " BUDGET " + std::to_string(budget);
+    Statement stmt = ParseStatement(cql).value();
+    ResolvedQuery query =
+        AnalyzeSelect(std::get<SelectStatement>(stmt), dataset.catalog).value();
+    CDB_CHECK(query.budget.has_value());
+
+    ExecutorOptions options;
+    options.budget = query.budget;  // Plan generation honors the CQL budget.
+    options.platform.worker_quality_mean = 0.95;
+    EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+    CdbExecutor executor(&query, options, truth);
+    ExecutionResult result = executor.Run().value();
+    PrecisionRecall pr = ComputeF1(result.answers, TrueAnswers(dataset, query));
+    printer.AddRow({std::to_string(budget),
+                    std::to_string(result.stats.tasks_asked),
+                    std::to_string(result.answers.size()),
+                    FormatDouble(pr.recall, 3), FormatDouble(pr.precision, 3)});
+  }
+  printer.Print();
+  std::printf("\nEvery budgeted task is aimed at the highest-probability\n"
+              "candidate chain, so answers accumulate almost linearly until\n"
+              "the answer set is exhausted.\n");
+  return 0;
+}

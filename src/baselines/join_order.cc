@@ -1,0 +1,212 @@
+#include "baselines/join_order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+std::vector<uint8_t> ActiveVertices(const QueryGraph& graph,
+                                    const std::vector<int>& executed,
+                                    const std::function<bool(EdgeId)>& edge_blue) {
+  std::vector<std::vector<int>> preds_of_rel(graph.num_relations());
+  for (int p : executed) {
+    const PredicateInfo& info = graph.predicate(p);
+    preds_of_rel[info.left_rel].push_back(p);
+    preds_of_rel[info.right_rel].push_back(p);
+  }
+  std::vector<uint8_t> active(graph.num_vertices(), 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (!active[v]) continue;
+      for (int p : preds_of_rel[graph.vertex(v).rel]) {
+        bool supported = false;
+        for (EdgeId e : graph.IncidentEdges(v, p)) {
+          if (edge_blue(e) && active[graph.Opposite(e, v)]) {
+            supported = true;
+            break;
+          }
+        }
+        if (!supported) {
+          active[v] = 0;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return active;
+}
+
+namespace {
+
+// Static metric policies (CrowdDB / Qurk): selections first, then joins by
+// the metric ascending.
+std::vector<int> StaticOrder(const QueryGraph& graph,
+                             const std::function<double(int)>& join_metric) {
+  std::vector<int> selections;
+  std::vector<int> joins;
+  for (int p = 0; p < graph.num_predicates(); ++p) {
+    (graph.predicate(p).is_selection ? selections : joins).push_back(p);
+  }
+  std::stable_sort(joins.begin(), joins.end(), [&](int a, int b) {
+    return join_metric(a) < join_metric(b);
+  });
+  selections.insert(selections.end(), joins.begin(), joins.end());
+  return selections;
+}
+
+// Deco's cost-based greedy: pick at each step the predicate whose expected
+// number of asked pairs is smallest, propagating expected survival
+// probabilities through edge weights.
+std::vector<int> DecoOrder(const QueryGraph& graph) {
+  std::vector<double> active_prob(graph.num_vertices(), 1.0);
+  std::vector<bool> done(graph.num_predicates(), false);
+  std::vector<int> order;
+
+  // Pre-index edges per predicate.
+  std::vector<std::vector<EdgeId>> edges_of(graph.num_predicates());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edges_of[graph.edge(e).pred].push_back(e);
+  }
+
+  for (int step = 0; step < graph.num_predicates(); ++step) {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::max();
+    for (int p = 0; p < graph.num_predicates(); ++p) {
+      if (done[p]) continue;
+      double cost = 0.0;
+      for (EdgeId e : edges_of[p]) {
+        const GraphEdge& edge = graph.edge(e);
+        if (!edge.is_crowd) continue;  // Traditional edges are free.
+        cost += active_prob[edge.u] * active_prob[edge.v];
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = p;
+      }
+    }
+    CDB_CHECK(best >= 0);
+    done[best] = true;
+    order.push_back(best);
+    // Update expected survival of the touched vertices.
+    std::vector<double> no_match(graph.num_vertices(), 1.0);
+    for (EdgeId e : edges_of[best]) {
+      const GraphEdge& edge = graph.edge(e);
+      no_match[edge.u] *= 1.0 - edge.weight * active_prob[edge.v];
+      no_match[edge.v] *= 1.0 - edge.weight * active_prob[edge.u];
+    }
+    const PredicateInfo& info = graph.predicate(best);
+    for (int rel : {info.left_rel, info.right_rel}) {
+      for (VertexId v : graph.relation_vertices(rel)) {
+        active_prob[v] *= 1.0 - no_match[v];
+      }
+    }
+  }
+  return order;
+}
+
+void Permute(std::vector<int>& preds, size_t k,
+             std::vector<std::vector<int>>& out) {
+  if (k == preds.size()) {
+    out.push_back(preds);
+    return;
+  }
+  for (size_t i = k; i < preds.size(); ++i) {
+    std::swap(preds[k], preds[i]);
+    Permute(preds, k + 1, out);
+    std::swap(preds[k], preds[i]);
+  }
+}
+
+}  // namespace
+
+const char* TreePolicyName(TreePolicy policy) {
+  switch (policy) {
+    case TreePolicy::kCrowdDb:
+      return "CrowdDB";
+    case TreePolicy::kQurk:
+      return "Qurk";
+    case TreePolicy::kDeco:
+      return "Deco";
+    case TreePolicy::kOptTree:
+      return "OptTree";
+  }
+  return "?";
+}
+
+int64_t TreeModelCost(const QueryGraph& graph, const std::vector<int>& order,
+                      const OracleColors& colors) {
+  CDB_CHECK(colors.size() == static_cast<size_t>(graph.num_edges()));
+  std::vector<uint8_t> asked(graph.num_edges(), 0);
+  std::vector<int> executed;
+  int64_t cost = 0;
+  auto edge_blue = [&](EdgeId e) {
+    if (!graph.edge(e).is_crowd) return graph.edge(e).color == EdgeColor::kBlue;
+    return asked[e] != 0 && colors[e] == EdgeColor::kBlue;
+  };
+  std::vector<uint8_t> active(graph.num_vertices(), 1);
+  for (int p : order) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const GraphEdge& edge = graph.edge(e);
+      if (edge.pred != p || !edge.is_crowd || asked[e]) continue;
+      if (active[edge.u] && active[edge.v]) {
+        asked[e] = 1;
+        ++cost;
+      }
+    }
+    executed.push_back(p);
+    active = ActiveVertices(graph, executed, edge_blue);
+  }
+  return cost;
+}
+
+std::vector<std::vector<int>> AllPredicateOrders(const QueryGraph& graph) {
+  std::vector<int> preds(graph.num_predicates());
+  for (int p = 0; p < graph.num_predicates(); ++p) preds[p] = p;
+  std::vector<std::vector<int>> out;
+  Permute(preds, 0, out);
+  return out;
+}
+
+std::vector<int> ChoosePredicateOrder(const QueryGraph& graph,
+                                      TreePolicy policy,
+                                      const OracleColors* oracle) {
+  switch (policy) {
+    case TreePolicy::kCrowdDb:
+      // Rule-based: push selections down, then joins in the order the query
+      // wrote them (CrowdDB does not cost-order joins).
+      return StaticOrder(graph, [&](int p) { return static_cast<double>(p); });
+    case TreePolicy::kQurk:
+      // Rule-based: predicates exactly in query order (Qurk optimizes the
+      // implementation of a single join, not the join order).
+      {
+        std::vector<int> order(static_cast<size_t>(graph.num_predicates()));
+        for (int p = 0; p < graph.num_predicates(); ++p) {
+          order[static_cast<size_t>(p)] = p;
+        }
+        return order;
+      }
+    case TreePolicy::kDeco:
+      return DecoOrder(graph);
+    case TreePolicy::kOptTree: {
+      CDB_CHECK_MSG(oracle != nullptr, "OptTree needs oracle colors");
+      std::vector<int> best_order;
+      int64_t best_cost = std::numeric_limits<int64_t>::max();
+      for (const std::vector<int>& order : AllPredicateOrders(graph)) {
+        int64_t cost = TreeModelCost(graph, order, *oracle);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_order = order;
+        }
+      }
+      return best_order;
+    }
+  }
+  return {};
+}
+
+}  // namespace cdb

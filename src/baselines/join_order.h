@@ -1,0 +1,54 @@
+// Join-order policies for the tree (table-level) model that the competitor
+// systems use (Section 2.2, Section 6.1):
+//   CrowdDB — rule-based: push selections down, join smaller tables first.
+//   Qurk    — rule-based: selections first, joins by fewest candidate pairs.
+//   Deco    — cost-based: greedy on the estimated number of tasks the next
+//             predicate would ask, propagating expected selectivities.
+//   OptTree — oracle-optimal: enumerate every prefix-connected predicate
+//             order, cost each with the true colors, keep the cheapest.
+#ifndef CDB_BASELINES_JOIN_ORDER_H_
+#define CDB_BASELINES_JOIN_ORDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/query_graph.h"
+
+namespace cdb {
+
+enum class TreePolicy { kCrowdDb, kQurk, kDeco, kOptTree };
+
+const char* TreePolicyName(TreePolicy policy);
+
+// True colors per edge, used only by kOptTree.
+using OracleColors = std::vector<EdgeColor>;
+
+// Returns a predicate execution order (every predicate exactly once; each
+// prefix connected over the touched relations). `oracle` may be null except
+// for kOptTree.
+std::vector<int> ChoosePredicateOrder(const QueryGraph& graph,
+                                      TreePolicy policy,
+                                      const OracleColors* oracle);
+
+// Exact cost of executing `order` under the tree model with known colors:
+// per predicate, every not-yet-colored crowd edge between semi-join-surviving
+// tuples is asked. Exposed for OptTree and tests.
+int64_t TreeModelCost(const QueryGraph& graph, const std::vector<int>& order,
+                      const OracleColors& colors);
+
+// All predicate orders (used by OptTree; factorial in the number of
+// predicates, which is at most 5 in the benchmark).
+std::vector<std::vector<int>> AllPredicateOrders(const QueryGraph& graph);
+
+// Semi-join survival under the tree model: a vertex of a relation touched by
+// the executed predicates survives iff, for every executed predicate incident
+// to its relation, it has an `edge_blue` edge to a surviving vertex.
+// Untouched relations keep all vertices. Shared by the tree-model cost
+// simulation and the live tree/ER executors.
+std::vector<uint8_t> ActiveVertices(const QueryGraph& graph,
+                                    const std::vector<int>& executed,
+                                    const std::function<bool(EdgeId)>& edge_blue);
+
+}  // namespace cdb
+
+#endif  // CDB_BASELINES_JOIN_ORDER_H_

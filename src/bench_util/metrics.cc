@@ -1,0 +1,177 @@
+#include "bench_util/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cdb {
+namespace {
+
+// Entity vector for the column a resolved predicate side references.
+const std::vector<int64_t>* ColumnEntities(const GeneratedDataset& dataset,
+                                           const ResolvedQuery& query, int rel,
+                                           size_t col) {
+  const Table* table = query.tables[rel];
+  return &dataset.Entities(table->name(), table->schema().column(col).name);
+}
+
+}  // namespace
+
+PrecisionRecall ComputeF1(const std::vector<QueryAnswer>& returned,
+                          const std::vector<QueryAnswer>& truth) {
+  PrecisionRecall out;
+  out.returned = static_cast<int64_t>(returned.size());
+  out.truth = static_cast<int64_t>(truth.size());
+  // Both inputs are sorted-unique by construction; intersect.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < returned.size() && j < truth.size()) {
+    if (returned[i] < truth[j]) {
+      ++i;
+    } else if (truth[j] < returned[i]) {
+      ++j;
+    } else {
+      ++out.correct;
+      ++i;
+      ++j;
+    }
+  }
+  out.precision = out.returned > 0
+                      ? static_cast<double>(out.correct) / static_cast<double>(out.returned)
+                      : 0.0;
+  out.recall = out.truth > 0
+                   ? static_cast<double>(out.correct) / static_cast<double>(out.truth)
+                   : 0.0;
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2.0 * out.precision * out.recall / (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+std::vector<QueryAnswer> TrueAnswers(const GeneratedDataset& dataset,
+                                     const ResolvedQuery& query) {
+  const int num_tables = static_cast<int>(query.tables.size());
+
+  // Row candidates per relation after selection predicates.
+  std::vector<std::vector<int64_t>> rows(num_tables);
+  for (int rel = 0; rel < num_tables; ++rel) {
+    size_t n = query.tables[rel]->num_rows();
+    rows[rel].reserve(n);
+    for (size_t r = 0; r < n; ++r) rows[rel].push_back(static_cast<int64_t>(r));
+  }
+  for (const ResolvedSelection& sel : query.selections) {
+    const std::vector<int64_t>* entities =
+        ColumnEntities(dataset, query, sel.rel, sel.col);
+    const Table* table = query.tables[sel.rel];
+    int64_t target =
+        dataset.ConstantEntity(table->name(),
+                               table->schema().column(sel.col).name, sel.value);
+    std::vector<int64_t> filtered;
+    for (int64_t r : rows[sel.rel]) {
+      if (target != kNoEntity && (*entities)[static_cast<size_t>(r)] == target) {
+        filtered.push_back(r);
+      }
+    }
+    rows[sel.rel] = std::move(filtered);
+  }
+
+  // BFS relation order over join predicates.
+  std::vector<int> order = {0};
+  std::vector<bool> placed(num_tables, false);
+  placed[0] = true;
+  std::vector<std::vector<int>> back_joins(num_tables);
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (size_t j = 0; j < query.joins.size(); ++j) {
+      const ResolvedJoin& join = query.joins[j];
+      int a = join.left_rel;
+      int b = join.right_rel;
+      if (placed[a] && !placed[b]) {
+        placed[b] = true;
+        order.push_back(b);
+      } else if (placed[b] && !placed[a]) {
+        placed[a] = true;
+        order.push_back(a);
+      }
+    }
+    if (order.size() == static_cast<size_t>(num_tables)) break;
+  }
+  std::vector<int> position(num_tables, -1);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = static_cast<int>(i);
+  std::vector<std::vector<const ResolvedJoin*>> joins_at(order.size());
+  for (const ResolvedJoin& join : query.joins) {
+    int later = std::max(position[join.left_rel], position[join.right_rel]);
+    joins_at[static_cast<size_t>(later)].push_back(&join);
+  }
+
+  // Backtracking with entity hash indexes per (relation, column).
+  std::vector<QueryAnswer> answers;
+  std::vector<int64_t> assignment(num_tables, -1);
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == order.size()) {
+      QueryAnswer answer;
+      answer.rows.assign(assignment.begin(), assignment.end());
+      answers.push_back(std::move(answer));
+      return;
+    }
+    int rel = order[depth];
+    for (int64_t r : rows[rel]) {
+      bool ok = true;
+      for (const ResolvedJoin* join : joins_at[depth]) {
+        int other = join->left_rel == rel ? join->right_rel : join->left_rel;
+        size_t my_col = join->left_rel == rel ? join->left_col : join->right_col;
+        size_t other_col = join->left_rel == rel ? join->right_col : join->left_col;
+        const std::vector<int64_t>* my_ent =
+            ColumnEntities(dataset, query, rel, my_col);
+        const std::vector<int64_t>* other_ent =
+            ColumnEntities(dataset, query, other, other_col);
+        int64_t mine = (*my_ent)[static_cast<size_t>(r)];
+        int64_t theirs = (*other_ent)[static_cast<size_t>(assignment[other])];
+        if (mine == kNoEntity || mine != theirs) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      assignment[rel] = r;
+      recurse(depth + 1);
+      assignment[rel] = -1;
+    }
+  };
+  recurse(0);
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+EdgeTruthFn MakeEdgeTruth(const GeneratedDataset* dataset,
+                          const ResolvedQuery* query) {
+  return [dataset, query](const QueryGraph& graph, EdgeId e) -> bool {
+    const GraphEdge& edge = graph.edge(e);
+    const int p = edge.pred;
+    if (p < static_cast<int>(query->joins.size())) {
+      const ResolvedJoin& join = query->joins[static_cast<size_t>(p)];
+      const Table* lt = query->tables[join.left_rel];
+      const Table* rt = query->tables[join.right_rel];
+      const std::vector<int64_t>& le = dataset->Entities(
+          lt->name(), lt->schema().column(join.left_col).name);
+      const std::vector<int64_t>& re = dataset->Entities(
+          rt->name(), rt->schema().column(join.right_col).name);
+      int64_t a = le[static_cast<size_t>(graph.vertex(edge.u).row)];
+      int64_t b = re[static_cast<size_t>(graph.vertex(edge.v).row)];
+      return a != kNoEntity && a == b;
+    }
+    const ResolvedSelection& sel =
+        query->selections[static_cast<size_t>(p) - query->joins.size()];
+    const Table* table = query->tables[sel.rel];
+    const std::vector<int64_t>& entities =
+        dataset->Entities(table->name(), table->schema().column(sel.col).name);
+    int64_t target = dataset->ConstantEntity(
+        table->name(), table->schema().column(sel.col).name, sel.value);
+    return target != kNoEntity &&
+           entities[static_cast<size_t>(graph.vertex(edge.u).row)] == target;
+  };
+}
+
+}  // namespace cdb

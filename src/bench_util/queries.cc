@@ -1,0 +1,79 @@
+#include "bench_util/queries.h"
+
+namespace cdb {
+
+std::vector<BenchmarkQuery> PaperQueries() {
+  return {
+      {"2J",
+       "SELECT Paper.title, Researcher.affiliation, Citation.number "
+       "FROM Paper, Citation, Researcher "
+       "WHERE Paper.title CROWDJOIN Citation.title "
+       "AND Paper.author CROWDJOIN Researcher.name"},
+      {"2J1S",
+       "SELECT Paper.title, Researcher.affiliation, Citation.number "
+       "FROM Paper, Citation, Researcher "
+       "WHERE Paper.title CROWDJOIN Citation.title "
+       "AND Paper.author CROWDJOIN Researcher.name "
+       "AND Paper.conference CROWDEQUAL 'sigmod'"},
+      {"3J",
+       "SELECT Paper.title, Citation.number, University.country "
+       "FROM Paper, Citation, Researcher, University "
+       "WHERE Paper.title CROWDJOIN Citation.title "
+       "AND Paper.author CROWDJOIN Researcher.name "
+       "AND University.name CROWDJOIN Researcher.affiliation"},
+      {"3J1S",
+       "SELECT Paper.title, Citation.number "
+       "FROM Paper, Citation, Researcher, University "
+       "WHERE Paper.title CROWDJOIN Citation.title "
+       "AND Paper.author CROWDJOIN Researcher.name "
+       "AND University.name CROWDJOIN Researcher.affiliation "
+       "AND University.country CROWDEQUAL 'USA'"},
+      {"3J2S",
+       "SELECT Paper.title, Citation.number "
+       "FROM Paper, Citation, Researcher, University "
+       "WHERE Paper.title CROWDJOIN Citation.title "
+       "AND Paper.author CROWDJOIN Researcher.name "
+       "AND University.name CROWDJOIN Researcher.affiliation "
+       "AND Paper.conference CROWDEQUAL 'sigmod' "
+       "AND University.country CROWDEQUAL 'USA'"},
+  };
+}
+
+std::vector<BenchmarkQuery> AwardQueries() {
+  return {
+      {"2J",
+       "SELECT Winner.award, City.country "
+       "FROM Winner, City, Celebrity "
+       "WHERE Winner.name CROWDJOIN Celebrity.name "
+       "AND Celebrity.birthplace CROWDJOIN City.birthplace"},
+      {"2J1S",
+       "SELECT Winner.award, City.country "
+       "FROM Winner, City, Celebrity "
+       "WHERE Winner.name CROWDJOIN Celebrity.name "
+       "AND Celebrity.birthplace CROWDJOIN City.birthplace "
+       "AND City.country CROWDEQUAL 'England'"},
+      {"3J",
+       "SELECT Winner.name, Award.place "
+       "FROM Winner, City, Celebrity, Award "
+       "WHERE Winner.name CROWDJOIN Celebrity.name "
+       "AND Celebrity.birthplace CROWDJOIN City.birthplace "
+       "AND Winner.award CROWDJOIN Award.name"},
+      {"3J1S",
+       "SELECT Winner.name, City.country "
+       "FROM Winner, City, Celebrity, Award "
+       "WHERE Winner.name CROWDJOIN Celebrity.name "
+       "AND Celebrity.birthplace CROWDJOIN City.birthplace "
+       "AND Winner.award CROWDJOIN Award.name "
+       "AND Award.place CROWDEQUAL 'Los Angeles'"},
+      {"3J2S",
+       "SELECT Winner.name, City.country "
+       "FROM Winner, City, Celebrity, Award "
+       "WHERE Winner.name CROWDJOIN Celebrity.name "
+       "AND Celebrity.birthplace CROWDJOIN City.birthplace "
+       "AND Winner.award CROWDJOIN Award.name "
+       "AND City.country CROWDEQUAL 'England' "
+       "AND Award.place CROWDEQUAL 'Los Angeles'"},
+  };
+}
+
+}  // namespace cdb

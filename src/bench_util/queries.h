@@ -1,0 +1,22 @@
+// The five representative CQL queries per dataset (Table 4): 2J, 2J1S, 3J,
+// 3J1S, 3J2S — covering chain, star and tree join structures with
+// CROWDJOIN and CROWDEQUAL predicates.
+#ifndef CDB_BENCH_UTIL_QUERIES_H_
+#define CDB_BENCH_UTIL_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace cdb {
+
+struct BenchmarkQuery {
+  std::string label;  // "2J", "2J1S", "3J", "3J1S", "3J2S".
+  std::string cql;
+};
+
+std::vector<BenchmarkQuery> PaperQueries();
+std::vector<BenchmarkQuery> AwardQueries();
+
+}  // namespace cdb
+
+#endif  // CDB_BENCH_UTIL_QUERIES_H_

@@ -1,0 +1,55 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace cdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += '|';
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int decimals) {
+  return StrPrintf("%.*f", decimals, value);
+}
+
+std::string FormatCount(double value) { return StrPrintf("%.0f", value); }
+
+}  // namespace cdb

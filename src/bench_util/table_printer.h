@@ -1,0 +1,32 @@
+// Fixed-width console tables for the bench binaries: each bench prints the
+// same rows/series as the corresponding paper figure or table.
+#ifndef CDB_BENCH_UTIL_TABLE_PRINTER_H_
+#define CDB_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders header, separator, and rows with aligned columns.
+  std::string ToString() const;
+  void Print() const;  // To stdout.
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers for bench output.
+std::string FormatDouble(double value, int decimals = 1);
+std::string FormatCount(double value);
+
+}  // namespace cdb
+
+#endif  // CDB_BENCH_UTIL_TABLE_PRINTER_H_

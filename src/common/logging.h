@@ -1,0 +1,36 @@
+// Minimal check macros used for internal invariants. CDB_CHECK is always on;
+// CDB_DCHECK compiles out in NDEBUG builds. These are for programmer errors,
+// not data errors — data errors flow through Status.
+#ifndef CDB_COMMON_LOGGING_H_
+#define CDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CDB_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define CDB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define CDB_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define CDB_DCHECK(cond) CDB_CHECK(cond)
+#endif
+
+#endif  // CDB_COMMON_LOGGING_H_

@@ -1,0 +1,31 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+double Rng::ClampedGaussian(double mean, double stddev, double lo, double hi) {
+  CDB_DCHECK(lo <= hi);
+  return std::clamp(Gaussian(mean, stddev), lo, hi);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  CDB_CHECK(n > 0);
+  if (s <= 0.0) return UniformInt(0, n - 1);
+  // Inverse-CDF over the (small) support. n is at most a few thousand in our
+  // workloads, so a linear scan is fine and exact.
+  double norm = 0.0;
+  for (int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double u = Uniform() * norm;
+  double acc = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace cdb

@@ -1,0 +1,74 @@
+// Deterministic random-number utilities. Every stochastic component in CDB
+// (sampled possible graphs, simulated workers, dataset perturbation) takes a
+// seed so experiments are reproducible run-to-run.
+#ifndef CDB_COMMON_RANDOM_H_
+#define CDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cdb {
+
+// Seeded pseudo-random generator wrapping the standard engine with the
+// distributions CDB needs. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Uniform() < p;
+  }
+
+  // Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Normal sample clamped into [lo, hi]; used for worker accuracies which the
+  // paper draws from N(q, 0.01) but which must stay a probability.
+  double ClampedGaussian(double mean, double stddev, double lo, double hi);
+
+  // Zipf-distributed index in [0, n) with exponent s (s=0 is uniform). Used
+  // by the COLLECT simulator to model entity popularity.
+  int64_t Zipf(int64_t n, double s);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Splits off an independent child generator; deterministic given the
+  // parent's state.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_RANDOM_H_

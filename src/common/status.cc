@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal_status {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace cdb

@@ -1,0 +1,47 @@
+// Small string helpers shared across CDB. Nothing here is database-specific;
+// the similarity library builds its tokenizers on top of these.
+#ifndef CDB_COMMON_STRING_UTIL_H_
+#define CDB_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdb {
+
+// ASCII-lowercased copy.
+std::string ToLower(std::string_view s);
+
+// ASCII-uppercased copy.
+std::string ToUpper(std::string_view s);
+
+// Copy with leading/trailing whitespace removed.
+std::string Trim(std::string_view s);
+
+// Splits on `sep`; empty fields are kept (like SQL CSV semantics).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Case-insensitive equality for ASCII strings (keyword matching in CQL).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Collapses internal whitespace runs to single spaces and trims; used to
+// normalize crowd-collected strings before comparison.
+std::string NormalizeWhitespace(std::string_view s);
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,24 @@
+#include "cost/budget.h"
+
+#include <algorithm>
+
+#include "graph/candidates.h"
+
+namespace cdb {
+
+std::vector<EdgeId> BudgetNextBatch(const QueryGraph& graph) {
+  std::optional<ScoredCandidate> best =
+      BestCandidate(graph, /*require_unknown=*/true);
+  if (!best) return {};
+  std::vector<EdgeId> batch;
+  for (EdgeId e : AssignmentEdges(graph, best->assignment)) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.is_crowd && edge.color == EdgeColor::kUnknown) batch.push_back(e);
+  }
+  std::stable_sort(batch.begin(), batch.end(), [&](EdgeId a, EdgeId b) {
+    return graph.edge(a).weight > graph.edge(b).weight;
+  });
+  return batch;
+}
+
+}  // namespace cdb

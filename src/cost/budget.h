@@ -1,0 +1,24 @@
+// Budget-aware task selection (Section 5.1.3). With a hard budget of B
+// tasks, CDB maximizes found answers instead of minimizing total cost: it
+// repeatedly picks the surviving candidate with the highest answer
+// expectation Pr(C) = prod of edge weights, asks that candidate's unasked
+// edges (descending weight), updates the graph, and repeats until B tasks
+// are spent.
+#ifndef CDB_COST_BUDGET_H_
+#define CDB_COST_BUDGET_H_
+
+#include <vector>
+
+#include "graph/query_graph.h"
+
+namespace cdb {
+
+// The next batch under budget semantics: the unknown crowd edges of the
+// highest-probability surviving candidate that still has unknown edges,
+// ordered by descending weight. Empty when every surviving candidate is
+// fully colored.
+std::vector<EdgeId> BudgetNextBatch(const QueryGraph& graph);
+
+}  // namespace cdb
+
+#endif  // CDB_COST_BUDGET_H_

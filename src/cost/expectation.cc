@@ -1,0 +1,77 @@
+#include "cost/expectation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cdb {
+namespace {
+
+// The probability that an edge turns out RED: zero once confirmed BLUE.
+double RedProbability(const GraphEdge& edge) {
+  switch (edge.color) {
+    case EdgeColor::kBlue:
+      return 0.0;
+    case EdgeColor::kRed:
+      return 1.0;  // Unused: RED edges are never valid.
+    case EdgeColor::kUnknown:
+      return 1.0 - edge.weight;
+  }
+  return 0.0;
+}
+
+// One Eq.-1 term: the expectation contribution of endpoint `v` for predicate
+// `p` — Prob(all of v's p-edges RED) * (#edges invalidated) / x.
+double EndpointTerm(const QueryGraph& graph, Pruner& pruner, VertexId v, int p,
+                    std::unordered_map<int64_t, double>& cache) {
+  int64_t key = static_cast<int64_t>(v) * graph.num_predicates() + p;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  std::vector<EdgeId> valid_edges;
+  double red_all = 1.0;
+  for (EdgeId e : graph.IncidentEdges(v, p)) {
+    if (!pruner.EdgeValid(e)) continue;
+    valid_edges.push_back(e);
+    red_all *= RedProbability(graph.edge(e));
+  }
+  double term = 0.0;
+  if (!valid_edges.empty() && red_all > 0.0) {
+    int64_t alpha = pruner.SimulateCutInvalidation(valid_edges);
+    term = red_all * static_cast<double>(alpha) /
+           static_cast<double>(valid_edges.size());
+  }
+  cache.emplace(key, term);
+  return term;
+}
+
+}  // namespace
+
+double PruningExpectation(const QueryGraph& graph, Pruner& pruner, EdgeId e) {
+  std::unordered_map<int64_t, double> cache;
+  const GraphEdge& edge = graph.edge(e);
+  return EndpointTerm(graph, pruner, edge.u, edge.pred, cache) +
+         EndpointTerm(graph, pruner, edge.v, edge.pred, cache);
+}
+
+std::vector<ScoredEdge> ExpectationOrder(const QueryGraph& graph,
+                                         Pruner& pruner) {
+  std::unordered_map<int64_t, double> cache;
+  std::vector<ScoredEdge> out;
+  for (EdgeId e : pruner.RemainingTasks()) {
+    const GraphEdge& edge = graph.edge(e);
+    double expectation = EndpointTerm(graph, pruner, edge.u, edge.pred, cache) +
+                         EndpointTerm(graph, pruner, edge.v, edge.pred, cache);
+    out.push_back({e, expectation});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const ScoredEdge& a, const ScoredEdge& b) {
+                     if (a.expectation != b.expectation) {
+                       return a.expectation > b.expectation;
+                     }
+                     // Lower weight first: more likely RED, prunes sooner.
+                     return graph.edge(a.edge).weight < graph.edge(b.edge).weight;
+                   });
+  return out;
+}
+
+}  // namespace cdb

@@ -1,0 +1,37 @@
+// Expectation-based task selection (Section 5.1.2, Equation 1).
+//
+// For an edge e = (t, t'), the pruning expectation combines two terms: the
+// probability that *all* of t's edges for e's predicate are RED (which would
+// invalidate alpha further edges) amortized over those x edges, plus the
+// symmetric term for t'. Edges are asked in descending expectation order so
+// that likely-RED, high-impact edges come first and prune the most work.
+#ifndef CDB_COST_EXPECTATION_H_
+#define CDB_COST_EXPECTATION_H_
+
+#include <vector>
+
+#include "graph/pruning.h"
+#include "graph/query_graph.h"
+
+namespace cdb {
+
+struct ScoredEdge {
+  EdgeId edge = kNoEdge;
+  double expectation = 0.0;
+};
+
+// Scores all remaining (valid, unknown, crowd) edges by Eq. 1 and returns
+// them in descending expectation order (ties broken by ascending weight —
+// smaller weight means more likely RED, hence more likely to prune).
+// `pruner` must be up to date; it is used read-only apart from temporary
+// cut simulations that are rolled back.
+std::vector<ScoredEdge> ExpectationOrder(const QueryGraph& graph,
+                                         Pruner& pruner);
+
+// Eq. 1 for a single edge, exposed for tests (the paper's worked example
+// E(p1, r1) = 1.27 is covered by a unit test).
+double PruningExpectation(const QueryGraph& graph, Pruner& pruner, EdgeId e);
+
+}  // namespace cdb
+
+#endif  // CDB_COST_EXPECTATION_H_

@@ -1,0 +1,29 @@
+// Task selection when every edge color is known (Section 5.1.1). Used
+// directly by the OptTree-style oracle analyses and per-sample by the
+// sampling-based min-cut greedy (Section 5.1.2).
+#ifndef CDB_COST_KNOWN_COLOR_H_
+#define CDB_COST_KNOWN_COLOR_H_
+
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "graph/structure.h"
+
+namespace cdb {
+
+// Returns the set of edges that must be asked to find all answers given the
+// full coloring `colors` (every edge kBlue or kRed). Dispatches on the join
+// structure: the dedicated per-center-tuple rule for stars, and the Lemma-1
+// chain min-cut (after tree/graph -> chain transformation) otherwise.
+std::vector<EdgeId> SelectTasksKnownColors(const QueryGraph& graph,
+                                           const std::vector<EdgeColor>& colors);
+
+// The star-join rule, exposed for testing: for each center tuple, if it has a
+// BLUE edge to every leaf relation all its edges must be asked; otherwise ask
+// only the leaf relation with the fewest (all-RED) edges.
+std::vector<EdgeId> StarSelection(const QueryGraph& graph, int center_rel,
+                                  const std::vector<EdgeColor>& colors);
+
+}  // namespace cdb
+
+#endif  // CDB_COST_KNOWN_COLOR_H_

@@ -1,0 +1,43 @@
+#include "cost/sampling.h"
+
+#include <algorithm>
+
+#include "cost/known_color.h"
+#include "graph/structure.h"
+
+namespace cdb {
+
+std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
+                                      const SamplingOptions& options) {
+  Rng rng(options.seed);
+  std::vector<int64_t> occurrences(graph.num_edges(), 0);
+
+  std::vector<EdgeColor> colors(graph.num_edges());
+  for (int s = 0; s < options.num_samples; ++s) {
+    // Sample a possible graph: each unknown edge is BLUE with probability
+    // omega(e); known colors are kept.
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const GraphEdge& edge = graph.edge(e);
+      colors[e] = edge.color != EdgeColor::kUnknown
+                      ? edge.color
+                      : (rng.Bernoulli(edge.weight) ? EdgeColor::kBlue
+                                                    : EdgeColor::kRed);
+    }
+    for (EdgeId e : SelectTasksKnownColors(graph, colors)) ++occurrences[e];
+  }
+
+  // Unknown crowd edges, by descending occurrence; never-selected edges
+  // trail, ordered by weight (more likely BLUE, thus more likely needed).
+  std::vector<EdgeId> order;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.is_crowd && edge.color == EdgeColor::kUnknown) order.push_back(e);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (occurrences[a] != occurrences[b]) return occurrences[a] > occurrences[b];
+    return graph.edge(a).weight > graph.edge(b).weight;
+  });
+  return order;
+}
+
+}  // namespace cdb

@@ -1,0 +1,118 @@
+#include "cql/analyzer.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cdb {
+namespace {
+
+Result<int> FindRelation(const std::vector<std::string>& names,
+                         const std::string& table) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (EqualsIgnoreCase(names[i], table)) return static_cast<int>(i);
+  }
+  return Status::NotFound("table '" + table + "' is not listed in FROM");
+}
+
+// The graph model requires the query's predicate graph to be connected
+// (otherwise candidates — connected substructures with one edge per
+// predicate — cannot exist; Definition 2).
+bool PredicateGraphConnected(size_t num_tables,
+                             const std::vector<ResolvedJoin>& joins) {
+  if (num_tables <= 1) return true;
+  std::vector<int> parent(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const ResolvedJoin& join : joins) {
+    parent[find(join.left_rel)] = find(join.right_rel);
+  }
+  int root = find(0);
+  for (size_t i = 1; i < num_tables; ++i) {
+    if (find(static_cast<int>(i)) != root) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ResolvedQuery> AnalyzeSelect(const SelectStatement& stmt,
+                                    const Catalog& catalog) {
+  ResolvedQuery query;
+  if (stmt.tables.empty()) return Status::InvalidArgument("FROM list is empty");
+  for (const std::string& name : stmt.tables) {
+    CDB_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    for (const std::string& existing : query.table_names) {
+      if (EqualsIgnoreCase(existing, table->name())) {
+        return Status::InvalidArgument(
+            "table '" + name + "' appears twice in FROM (self-joins are not supported)");
+      }
+    }
+    query.table_names.push_back(table->name());
+    query.tables.push_back(table);
+  }
+
+  auto resolve_column = [&](const ColumnRef& ref,
+                            int* rel, size_t* col) -> Status {
+    CDB_ASSIGN_OR_RETURN(*rel, FindRelation(query.table_names, ref.table));
+    CDB_ASSIGN_OR_RETURN(*col,
+                         query.tables[*rel]->schema().FindColumn(ref.column));
+    return Status::Ok();
+  };
+
+  for (const AstPredicate& pred : stmt.predicates) {
+    switch (pred.kind) {
+      case PredicateKind::kCrowdJoin:
+      case PredicateKind::kEquiJoin: {
+        ResolvedJoin join;
+        join.is_crowd = pred.kind == PredicateKind::kCrowdJoin;
+        CDB_RETURN_IF_ERROR(resolve_column(pred.left, &join.left_rel, &join.left_col));
+        CDB_RETURN_IF_ERROR(resolve_column(pred.right, &join.right_rel, &join.right_col));
+        if (join.left_rel == join.right_rel) {
+          return Status::InvalidArgument("join predicate joins a table with itself");
+        }
+        query.joins.push_back(join);
+        break;
+      }
+      case PredicateKind::kCrowdEqual:
+      case PredicateKind::kEqualConst: {
+        ResolvedSelection sel;
+        sel.is_crowd = pred.kind == PredicateKind::kCrowdEqual;
+        CDB_RETURN_IF_ERROR(resolve_column(pred.left, &sel.rel, &sel.col));
+        sel.value = pred.constant;
+        query.selections.push_back(sel);
+        break;
+      }
+    }
+  }
+
+  if (!PredicateGraphConnected(query.tables.size(), query.joins)) {
+    return Status::InvalidArgument(
+        "query is a cross product: join predicates do not connect all FROM tables");
+  }
+
+  query.select_star = stmt.select_star;
+  for (const ColumnRef& ref : stmt.projections) {
+    ResolvedProjection proj;
+    CDB_RETURN_IF_ERROR(resolve_column(ref, &proj.rel, &proj.col));
+    query.projections.push_back(proj);
+  }
+  query.budget = stmt.budget;
+  return query;
+}
+
+Status ApplyCreateTable(const CreateTableStatement& stmt, Catalog& catalog) {
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    for (size_t j = i + 1; j < stmt.columns.size(); ++j) {
+      if (EqualsIgnoreCase(stmt.columns[i].name, stmt.columns[j].name)) {
+        return Status::InvalidArgument("duplicate column '" + stmt.columns[i].name + "'");
+      }
+    }
+  }
+  return catalog.AddTable(Table(stmt.name, Schema(stmt.columns), stmt.crowd_table));
+}
+
+}  // namespace cdb

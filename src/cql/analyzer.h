@@ -1,0 +1,67 @@
+// Semantic analysis: binds a parsed SELECT statement against the catalog and
+// produces the resolved form consumed by the graph query model (Section 4).
+#ifndef CDB_CQL_ANALYZER_H_
+#define CDB_CQL_ANALYZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/ast.h"
+#include "storage/catalog.h"
+
+namespace cdb {
+
+// A join predicate bound to table/column indexes.
+struct ResolvedJoin {
+  bool is_crowd = true;     // CROWDJOIN vs traditional equi-join.
+  int left_rel = 0;         // Index into ResolvedQuery::tables.
+  size_t left_col = 0;
+  int right_rel = 0;
+  size_t right_col = 0;
+};
+
+// A selection predicate bound to a table/column index plus constant.
+struct ResolvedSelection {
+  bool is_crowd = true;  // CROWDEQUAL vs traditional '='.
+  int rel = 0;
+  size_t col = 0;
+  std::string value;
+};
+
+// A projection item bound to a table/column index.
+struct ResolvedProjection {
+  int rel = 0;
+  size_t col = 0;
+};
+
+// The output of analysis: everything the optimizer needs, with all names
+// resolved. Table pointers are borrowed from the catalog and must outlive
+// query execution.
+struct ResolvedQuery {
+  std::vector<std::string> table_names;
+  std::vector<const Table*> tables;
+  std::vector<ResolvedJoin> joins;
+  std::vector<ResolvedSelection> selections;
+  bool select_star = false;
+  std::vector<ResolvedProjection> projections;  // Empty iff select_star.
+  std::optional<int64_t> budget;
+
+  // Total number of predicates (N in Definition 2): joins + selections.
+  size_t num_predicates() const { return joins.size() + selections.size(); }
+};
+
+// Resolves a SELECT statement. Fails on unknown tables/columns, predicates
+// referencing tables not in FROM, queries whose predicate graph is
+// disconnected, or self-joins (a table may appear once in FROM).
+Result<ResolvedQuery> AnalyzeSelect(const SelectStatement& stmt,
+                                    const Catalog& catalog);
+
+// Applies a CREATE TABLE statement to the catalog.
+Status ApplyCreateTable(const CreateTableStatement& stmt, Catalog& catalog);
+
+}  // namespace cdb
+
+#endif  // CDB_CQL_ANALYZER_H_

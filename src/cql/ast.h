@@ -1,0 +1,81 @@
+// Abstract syntax for CQL statements (Section 3 / Appendix A):
+//
+//   CREATE [CROWD] TABLE name (col type [CROWD], ...);
+//   SELECT cols|* FROM t1, t2 ... WHERE pred AND pred ... [BUDGET n];
+//   FILL Table.Column [WHERE pred ...] [BUDGET n];
+//   COLLECT Table.C1, Table.C2 [WHERE pred ...] [BUDGET n];
+//
+// Predicates:
+//   T.C CROWDJOIN  T'.C'     crowd-powered join
+//   T.C =          T'.C'     traditional equi-join
+//   T.C CROWDEQUAL 'value'   crowd-powered selection
+//   T.C =          'value'   traditional selection
+#ifndef CDB_CQL_AST_H_
+#define CDB_CQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace cdb {
+
+// "Table.Column". `table` may be empty only where context allows (it never is
+// after parsing, since CQL requires qualified references in multi-table
+// statements; the parser enforces qualification everywhere for simplicity).
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  std::string ToString() const { return table + "." + column; }
+};
+
+enum class PredicateKind : uint8_t {
+  kCrowdJoin,   // T.C CROWDJOIN T'.C'
+  kEquiJoin,    // T.C = T'.C'
+  kCrowdEqual,  // T.C CROWDEQUAL 'v'
+  kEqualConst,  // T.C = 'v'
+};
+
+struct AstPredicate {
+  PredicateKind kind = PredicateKind::kCrowdJoin;
+  ColumnRef left;
+  ColumnRef right;      // Join kinds only.
+  std::string constant;  // Selection kinds only.
+};
+
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<ColumnRef> projections;  // Empty iff select_star.
+  std::vector<std::string> tables;
+  std::vector<AstPredicate> predicates;
+  std::optional<int64_t> budget;
+};
+
+struct CreateTableStatement {
+  std::string name;
+  bool crowd_table = false;
+  std::vector<Column> columns;
+};
+
+struct FillStatement {
+  ColumnRef target;
+  std::vector<AstPredicate> predicates;  // Selection kinds only.
+  std::optional<int64_t> budget;
+};
+
+struct CollectStatement {
+  std::vector<ColumnRef> targets;  // All must name the same table.
+  std::vector<AstPredicate> predicates;
+  std::optional<int64_t> budget;
+};
+
+using Statement = std::variant<SelectStatement, CreateTableStatement,
+                               FillStatement, CollectStatement>;
+
+}  // namespace cdb
+
+#endif  // CDB_CQL_AST_H_

@@ -1,0 +1,94 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cdb {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      // SQL line comment.
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenType::kIdentifier, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (!seen_dot && input[i] == '.'))) {
+        if (input[i] == '.') {
+          // A dot not followed by a digit is the qualifier symbol, not a
+          // decimal point (e.g. "3.title" cannot occur, but be strict).
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(input[i + 1]))) break;
+          seen_dot = true;
+        }
+        ++i;
+      }
+      tokens.push_back({TokenType::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == quote) {
+          if (i + 1 < n && input[i + 1] == quote) {  // Doubled quote escape.
+            text.push_back(quote);
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrPrintf("unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case ';':
+      case '.':
+      case '*':
+      case '=':
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return Status::ParseError(
+            StrPrintf("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace cdb

@@ -1,0 +1,36 @@
+// CQL lexer. CQL is SQL extended with CROWD / CROWDJOIN / CROWDEQUAL / FILL /
+// COLLECT / BUDGET (Section 3, Appendix A). Keywords are case-insensitive and
+// recognized by the parser; the lexer only distinguishes token shapes.
+#ifndef CDB_CQL_LEXER_H_
+#define CDB_CQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdb {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   // table, column, or keyword
+  kString,       // 'quoted' or "quoted" literal
+  kNumber,       // integer or decimal literal
+  kSymbol,       // one of ( ) , ; . * =
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Identifier/keyword text, literal contents, or symbol.
+  size_t position = 0;  // Byte offset in the input, for error messages.
+};
+
+// Tokenizes an entire CQL statement (or script). Returns a vector ending with
+// a kEnd token, or a ParseError status for malformed input (e.g. an
+// unterminated string literal).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cdb
+
+#endif  // CDB_CQL_LEXER_H_

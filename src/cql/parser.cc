@@ -1,0 +1,271 @@
+#include "cql/parser.h"
+
+#include "common/string_util.h"
+#include "cql/lexer.h"
+
+namespace cdb {
+namespace {
+
+// Token-stream cursor with keyword helpers. Keywords are case-insensitive
+// identifiers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdentifier && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (ConsumeKeyword(kw)) return Status::Ok();
+    return Error(std::string("expected keyword ") + kw);
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (ConsumeSymbol(sym)) return Status::Ok();
+    return Error(std::string("expected '") + sym + "'");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrPrintf("%s at offset %zu (near '%s')",
+                                        message.c_str(), Peek().position,
+                                        Peek().text.c_str()));
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ColumnRef> ParseColumnRef(Cursor& cur) {
+  CDB_ASSIGN_OR_RETURN(std::string table, cur.ExpectIdentifier("table name"));
+  CDB_RETURN_IF_ERROR(cur.ExpectSymbol("."));
+  CDB_ASSIGN_OR_RETURN(std::string column, cur.ExpectIdentifier("column name"));
+  return ColumnRef{std::move(table), std::move(column)};
+}
+
+Result<int64_t> ParseIntLiteral(Cursor& cur, const char* what) {
+  if (cur.Peek().type != TokenType::kNumber) {
+    return cur.Error(std::string("expected ") + what);
+  }
+  const std::string text = cur.Advance().text;
+  if (text.find('.') != std::string::npos) {
+    return Status::ParseError(what + std::string(" must be an integer"));
+  }
+  return static_cast<int64_t>(std::stoll(text));
+}
+
+Result<AstPredicate> ParsePredicate(Cursor& cur) {
+  AstPredicate pred;
+  CDB_ASSIGN_OR_RETURN(pred.left, ParseColumnRef(cur));
+  bool crowd;
+  bool join;
+  if (cur.ConsumeKeyword("CROWDJOIN")) {
+    crowd = true;
+    join = true;
+  } else if (cur.ConsumeKeyword("CROWDEQUAL")) {
+    crowd = true;
+    join = false;
+  } else if (cur.ConsumeSymbol("=")) {
+    crowd = false;
+    // '=' is a join if the right side is Table.Column, a selection if it is a
+    // literal.
+    join = cur.Peek().type == TokenType::kIdentifier;
+  } else {
+    return cur.Error("expected CROWDJOIN, CROWDEQUAL or '='");
+  }
+  if (join) {
+    pred.kind = crowd ? PredicateKind::kCrowdJoin : PredicateKind::kEquiJoin;
+    CDB_ASSIGN_OR_RETURN(pred.right, ParseColumnRef(cur));
+  } else {
+    pred.kind = crowd ? PredicateKind::kCrowdEqual : PredicateKind::kEqualConst;
+    if (cur.Peek().type == TokenType::kString ||
+        cur.Peek().type == TokenType::kNumber) {
+      pred.constant = cur.Advance().text;
+    } else {
+      return cur.Error("expected literal on the right-hand side");
+    }
+  }
+  return pred;
+}
+
+Result<std::vector<AstPredicate>> ParseWhere(Cursor& cur) {
+  std::vector<AstPredicate> predicates;
+  if (!cur.ConsumeKeyword("WHERE")) return predicates;
+  while (true) {
+    CDB_ASSIGN_OR_RETURN(AstPredicate pred, ParsePredicate(cur));
+    predicates.push_back(std::move(pred));
+    if (!cur.ConsumeKeyword("AND")) break;
+  }
+  return predicates;
+}
+
+Result<std::optional<int64_t>> ParseOptionalBudget(Cursor& cur) {
+  if (!cur.ConsumeKeyword("BUDGET")) return std::optional<int64_t>();
+  CDB_ASSIGN_OR_RETURN(int64_t budget, ParseIntLiteral(cur, "budget"));
+  if (budget <= 0) return Status::ParseError("BUDGET must be positive");
+  return std::optional<int64_t>(budget);
+}
+
+Result<Statement> ParseSelect(Cursor& cur) {
+  SelectStatement stmt;
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("SELECT"));
+  if (cur.ConsumeSymbol("*")) {
+    stmt.select_star = true;
+  } else {
+    while (true) {
+      CDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef(cur));
+      stmt.projections.push_back(std::move(ref));
+      if (!cur.ConsumeSymbol(",")) break;
+    }
+  }
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("FROM"));
+  while (true) {
+    CDB_ASSIGN_OR_RETURN(std::string table, cur.ExpectIdentifier("table name"));
+    stmt.tables.push_back(std::move(table));
+    if (!cur.ConsumeSymbol(",")) break;
+  }
+  CDB_ASSIGN_OR_RETURN(stmt.predicates, ParseWhere(cur));
+  CDB_ASSIGN_OR_RETURN(stmt.budget, ParseOptionalBudget(cur));
+  return Statement(std::move(stmt));
+}
+
+Result<ValueType> ParseColumnType(Cursor& cur) {
+  CDB_ASSIGN_OR_RETURN(std::string type_name, cur.ExpectIdentifier("column type"));
+  if (EqualsIgnoreCase(type_name, "varchar") || EqualsIgnoreCase(type_name, "text") ||
+      EqualsIgnoreCase(type_name, "string")) {
+    // Optional length parameter: varchar(64).
+    if (cur.ConsumeSymbol("(")) {
+      CDB_RETURN_IF_ERROR(ParseIntLiteral(cur, "varchar length").status());
+      CDB_RETURN_IF_ERROR(cur.ExpectSymbol(")"));
+    }
+    return ValueType::kString;
+  }
+  if (EqualsIgnoreCase(type_name, "int") || EqualsIgnoreCase(type_name, "integer") ||
+      EqualsIgnoreCase(type_name, "bigint")) {
+    return ValueType::kInt64;
+  }
+  if (EqualsIgnoreCase(type_name, "double") || EqualsIgnoreCase(type_name, "float") ||
+      EqualsIgnoreCase(type_name, "real")) {
+    return ValueType::kDouble;
+  }
+  return Status::ParseError("unknown column type '" + type_name + "'");
+}
+
+Result<Statement> ParseCreateTable(Cursor& cur) {
+  CreateTableStatement stmt;
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("CREATE"));
+  stmt.crowd_table = cur.ConsumeKeyword("CROWD");
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("TABLE"));
+  CDB_ASSIGN_OR_RETURN(stmt.name, cur.ExpectIdentifier("table name"));
+  CDB_RETURN_IF_ERROR(cur.ExpectSymbol("("));
+  while (true) {
+    Column column;
+    CDB_ASSIGN_OR_RETURN(column.name, cur.ExpectIdentifier("column name"));
+    // CROWD may appear before or after the type: `gender CROWD varchar(16)`
+    // (as in the paper's example) or `gender varchar(16) CROWD`.
+    column.is_crowd = cur.ConsumeKeyword("CROWD");
+    CDB_ASSIGN_OR_RETURN(column.type, ParseColumnType(cur));
+    if (cur.ConsumeKeyword("CROWD")) column.is_crowd = true;
+    stmt.columns.push_back(std::move(column));
+    if (cur.ConsumeSymbol(",")) continue;
+    CDB_RETURN_IF_ERROR(cur.ExpectSymbol(")"));
+    break;
+  }
+  if (stmt.columns.empty()) return Status::ParseError("table needs columns");
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParseFill(Cursor& cur) {
+  FillStatement stmt;
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("FILL"));
+  CDB_ASSIGN_OR_RETURN(stmt.target, ParseColumnRef(cur));
+  CDB_ASSIGN_OR_RETURN(stmt.predicates, ParseWhere(cur));
+  for (const AstPredicate& pred : stmt.predicates) {
+    if (pred.kind == PredicateKind::kCrowdJoin || pred.kind == PredicateKind::kEquiJoin) {
+      return Status::ParseError("FILL supports only selection predicates");
+    }
+  }
+  CDB_ASSIGN_OR_RETURN(stmt.budget, ParseOptionalBudget(cur));
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParseCollect(Cursor& cur) {
+  CollectStatement stmt;
+  CDB_RETURN_IF_ERROR(cur.ExpectKeyword("COLLECT"));
+  while (true) {
+    CDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef(cur));
+    stmt.targets.push_back(std::move(ref));
+    if (!cur.ConsumeSymbol(",")) break;
+  }
+  for (const ColumnRef& ref : stmt.targets) {
+    if (!EqualsIgnoreCase(ref.table, stmt.targets[0].table)) {
+      return Status::ParseError("COLLECT targets must name a single table");
+    }
+  }
+  CDB_ASSIGN_OR_RETURN(stmt.predicates, ParseWhere(cur));
+  for (const AstPredicate& pred : stmt.predicates) {
+    if (pred.kind == PredicateKind::kCrowdJoin || pred.kind == PredicateKind::kEquiJoin) {
+      return Status::ParseError("COLLECT supports only selection predicates");
+    }
+  }
+  CDB_ASSIGN_OR_RETURN(stmt.budget, ParseOptionalBudget(cur));
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> ParseOne(Cursor& cur) {
+  if (cur.PeekKeyword("SELECT")) return ParseSelect(cur);
+  if (cur.PeekKeyword("CREATE")) return ParseCreateTable(cur);
+  if (cur.PeekKeyword("FILL")) return ParseFill(cur);
+  if (cur.PeekKeyword("COLLECT")) return ParseCollect(cur);
+  return cur.Error("expected SELECT, CREATE, FILL or COLLECT");
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& cql) {
+  CDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(cql));
+  Cursor cur(std::move(tokens));
+  CDB_ASSIGN_OR_RETURN(Statement stmt, ParseOne(cur));
+  cur.ConsumeSymbol(";");
+  if (!cur.AtEnd()) return cur.Error("trailing tokens after statement");
+  return stmt;
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& cql) {
+  CDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(cql));
+  Cursor cur(std::move(tokens));
+  std::vector<Statement> statements;
+  while (!cur.AtEnd()) {
+    CDB_ASSIGN_OR_RETURN(Statement stmt, ParseOne(cur));
+    statements.push_back(std::move(stmt));
+    if (!cur.ConsumeSymbol(";")) break;
+  }
+  if (!cur.AtEnd()) return cur.Error("trailing tokens after script");
+  return statements;
+}
+
+}  // namespace cdb

@@ -1,0 +1,21 @@
+// Recursive-descent parser for CQL.
+#ifndef CDB_CQL_PARSER_H_
+#define CDB_CQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/ast.h"
+
+namespace cdb {
+
+// Parses a single CQL statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& cql);
+
+// Parses a ';'-separated script into statements.
+Result<std::vector<Statement>> ParseScript(const std::string& cql);
+
+}  // namespace cdb
+
+#endif  // CDB_CQL_PARSER_H_

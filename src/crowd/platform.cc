@@ -1,0 +1,151 @@
+#include "crowd/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+CrowdPlatform::CrowdPlatform(const PlatformOptions& options, TruthProvider truth)
+    : options_(options), truth_(std::move(truth)), rng_(options.seed) {
+  CDB_CHECK(options_.num_workers > 0);
+  CDB_CHECK(options_.redundancy > 0);
+  workers_ = MakeWorkerPool(options_.num_workers, options_.worker_quality_mean,
+                            options_.worker_quality_stddev, rng_);
+}
+
+std::vector<Answer> CrowdPlatform::ExecuteRound(const std::vector<Task>& tasks,
+                                                const AssignmentPolicy* policy,
+                                                const AnswerObserver* observer) {
+  std::vector<Answer> answers;
+  if (tasks.empty()) return answers;
+
+  stats_.tasks_published += static_cast<int64_t>(tasks.size());
+  int64_t hits = (static_cast<int64_t>(tasks.size()) + options_.tasks_per_hit - 1) /
+                 options_.tasks_per_hit;
+  stats_.hits_published += hits;
+  stats_.dollars_spent += static_cast<double>(hits) * options_.price_per_hit;
+
+  const int redundancy =
+      std::min(options_.redundancy, static_cast<int>(workers_.size()));
+  std::vector<int> need(tasks.size(), redundancy);
+  std::vector<std::vector<int>> answered_by(tasks.size());
+  int64_t remaining = static_cast<int64_t>(tasks.size()) * redundancy;
+
+  const bool use_policy =
+      policy != nullptr && options_.requester_controls_assignment;
+  size_t cursor = 0;  // Rotating cursor for the default round-robin mode.
+  int64_t idle_arrivals = 0;
+
+  while (remaining > 0) {
+    const SimulatedWorker& worker = workers_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(workers_.size()) - 1))];
+    auto worker_did = [&](size_t ti) {
+      return std::find(answered_by[ti].begin(), answered_by[ti].end(),
+                       worker.id()) != answered_by[ti].end();
+    };
+
+    std::vector<size_t> chosen;
+    if (use_policy) {
+      // Offer the full list of tasks this worker can still answer.
+      std::vector<TaskId> available_ids;
+      std::vector<size_t> available_idx;
+      for (size_t ti = 0; ti < tasks.size(); ++ti) {
+        if (need[ti] > 0 && !worker_did(ti)) {
+          available_ids.push_back(tasks[ti].id);
+          available_idx.push_back(ti);
+        }
+      }
+      if (!available_ids.empty()) {
+        std::vector<size_t> picks =
+            (*policy)(worker, available_ids, options_.tasks_per_request);
+        for (size_t p : picks) {
+          CDB_CHECK(p < available_idx.size());
+          chosen.push_back(available_idx[p]);
+        }
+      }
+    } else {
+      // Round-robin over needy tasks starting at the cursor.
+      for (size_t step = 0;
+           step < tasks.size() &&
+           chosen.size() < static_cast<size_t>(options_.tasks_per_request);
+           ++step) {
+        size_t ti = (cursor + step) % tasks.size();
+        if (need[ti] > 0 && !worker_did(ti)) chosen.push_back(ti);
+      }
+      cursor = (cursor + options_.tasks_per_request) % tasks.size();
+    }
+
+    if (chosen.empty()) {
+      // This worker has nothing left; guard against livelock when every
+      // remaining task was already answered by every worker.
+      if (++idle_arrivals > static_cast<int64_t>(workers_.size()) * 4) break;
+      continue;
+    }
+    idle_arrivals = 0;
+
+    for (size_t ti : chosen) {
+      if (need[ti] <= 0 || worker_did(ti)) continue;
+      Answer answer = worker.AnswerTask(tasks[ti], truth_(tasks[ti]), rng_);
+      answered_by[ti].push_back(worker.id());
+      --need[ti];
+      --remaining;
+      ++stats_.answers_collected;
+      if (observer != nullptr) (*observer)(answer);
+      answers.push_back(std::move(answer));
+    }
+  }
+  return answers;
+}
+
+MultiMarket::MultiMarket(std::vector<PlatformOptions> markets,
+                         TruthProvider truth) {
+  CDB_CHECK(!markets.empty());
+  platforms_.reserve(markets.size());
+  for (auto& options : markets) {
+    platforms_.emplace_back(options, truth);
+  }
+}
+
+std::vector<Answer> MultiMarket::ExecuteRound(const std::vector<Task>& tasks,
+                                              const AssignmentPolicy* policy,
+                                              const AnswerObserver* observer) {
+  // Partition tasks round-robin across markets and merge the answers with
+  // per-market worker-id offsets.
+  std::vector<std::vector<Task>> partitions(platforms_.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    partitions[i % platforms_.size()].push_back(tasks[i]);
+  }
+  std::vector<Answer> merged;
+  for (size_t m = 0; m < platforms_.size(); ++m) {
+    const int offset = worker_id_offset(m);
+    AnswerObserver offset_observer = [&](const Answer& a) {
+      if (observer != nullptr) {
+        Answer shifted = a;
+        shifted.worker += offset;
+        (*observer)(shifted);
+      }
+    };
+    std::vector<Answer> part = platforms_[m].ExecuteRound(
+        partitions[m], policy, observer != nullptr ? &offset_observer : nullptr);
+    for (Answer& a : part) {
+      a.worker += offset;
+      merged.push_back(std::move(a));
+    }
+  }
+  return merged;
+}
+
+PlatformStats MultiMarket::CombinedStats() const {
+  PlatformStats total;
+  for (const CrowdPlatform& platform : platforms_) {
+    total.tasks_published += platform.stats().tasks_published;
+    total.answers_collected += platform.stats().answers_collected;
+    total.hits_published += platform.stats().hits_published;
+    total.dollars_spent += platform.stats().dollars_spent;
+  }
+  return total;
+}
+
+}  // namespace cdb

@@ -1,0 +1,107 @@
+// The crowd-platform simulator replacing AMT / CrowdFlower / ChinaCrowd.
+//
+// The platform owns a worker pool, packs tasks into HITs for pricing, and
+// simulates worker arrivals until every published task has `redundancy`
+// answers from distinct workers. Two assignment modes mirror the real
+// platforms (Section 2.1): in requester-controlled mode (AMT's development
+// model) an AssignmentPolicy picks which tasks each arriving worker gets —
+// this is where CDB+'s online task assignment plugs in; in
+// platform-controlled mode (CrowdFlower) tasks are handed out round-robin.
+#ifndef CDB_CROWD_PLATFORM_H_
+#define CDB_CROWD_PLATFORM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/task.h"
+#include "crowd/worker.h"
+
+namespace cdb {
+
+struct PlatformOptions {
+  std::string market_name = "SimAMT";
+  int num_workers = 50;
+  double worker_quality_mean = 0.8;   // q of N(q, 0.01) in the paper.
+  double worker_quality_stddev = 0.1;  // sqrt(0.01).
+  int redundancy = 5;                  // Answers per task (5 in the paper).
+  int tasks_per_hit = 10;              // Pricing: 10 tasks per $0.1 HIT.
+  double price_per_hit = 0.1;
+  int tasks_per_request = 5;           // Tasks a worker takes per arrival.
+  bool requester_controls_assignment = true;
+  uint64_t seed = 42;
+};
+
+// Chooses up to `count` tasks (indexes into `available`) for the arriving
+// worker. `available` holds tasks still needing answers that this worker has
+// not answered yet.
+using AssignmentPolicy = std::function<std::vector<size_t>(
+    const SimulatedWorker& worker, const std::vector<TaskId>& available,
+    int count)>;
+
+// Invoked after each individual answer; lets quality control update its
+// posteriors between assignments within a round.
+using AnswerObserver = std::function<void(const Answer&)>;
+
+// Supplies ground truth for a task when a worker answers it.
+using TruthProvider = std::function<TaskTruth(const Task&)>;
+
+// Accumulated accounting across rounds.
+struct PlatformStats {
+  int64_t tasks_published = 0;
+  int64_t answers_collected = 0;
+  int64_t hits_published = 0;
+  double dollars_spent = 0.0;
+};
+
+class CrowdPlatform {
+ public:
+  CrowdPlatform(const PlatformOptions& options, TruthProvider truth);
+
+  // Publishes `tasks` and simulates worker arrivals until each task has
+  // `redundancy` answers (capped by the number of distinct workers). The
+  // policy is consulted only in requester-controlled mode; pass nullptr for
+  // the default (round-robin by need). Returns all answers of this round.
+  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
+                                   const AssignmentPolicy* policy = nullptr,
+                                   const AnswerObserver* observer = nullptr);
+
+  const std::vector<SimulatedWorker>& workers() const { return workers_; }
+  const PlatformStats& stats() const { return stats_; }
+  const PlatformOptions& options() const { return options_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  PlatformOptions options_;
+  TruthProvider truth_;
+  Rng rng_;
+  std::vector<SimulatedWorker> workers_;
+  PlatformStats stats_;
+};
+
+// Cross-market deployment (Section 2.2 "task deployment"): a set of
+// simulated markets; tasks are partitioned across them round-robin and the
+// answers merged. Worker ids are offset per market so they stay unique.
+class MultiMarket {
+ public:
+  explicit MultiMarket(std::vector<PlatformOptions> markets, TruthProvider truth);
+
+  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
+                                   const AssignmentPolicy* policy = nullptr,
+                                   const AnswerObserver* observer = nullptr);
+
+  const std::vector<CrowdPlatform>& platforms() const { return platforms_; }
+  PlatformStats CombinedStats() const;
+  // Worker-id offset applied to market `m`.
+  int worker_id_offset(size_t m) const { return static_cast<int>(m) * kWorkerIdStride; }
+
+  static constexpr int kWorkerIdStride = 1000000;
+
+ private:
+  std::vector<CrowdPlatform> platforms_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_CROWD_PLATFORM_H_

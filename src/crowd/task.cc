@@ -1,0 +1,31 @@
+#include "crowd/task.h"
+
+namespace cdb {
+
+const char* TaskTypeName(TaskType type) {
+  switch (type) {
+    case TaskType::kSingleChoice:
+      return "single-choice";
+    case TaskType::kMultiChoice:
+      return "multi-choice";
+    case TaskType::kFillInBlank:
+      return "fill-in-blank";
+    case TaskType::kCollection:
+      return "collection";
+  }
+  return "?";
+}
+
+Task MakeEdgeTask(TaskId id, int64_t edge, const std::string& left_value,
+                  const std::string& right_value) {
+  Task task;
+  task.id = id;
+  task.type = TaskType::kSingleChoice;
+  task.question =
+      "Do \"" + left_value + "\" and \"" + right_value + "\" refer to the same thing?";
+  task.choices = {"yes", "no"};
+  task.payload = edge;
+  return task;
+}
+
+}  // namespace cdb

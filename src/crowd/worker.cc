@@ -1,0 +1,66 @@
+#include "crowd/worker.h"
+
+#include "common/logging.h"
+
+namespace cdb {
+
+Answer SimulatedWorker::AnswerTask(const Task& task, const TaskTruth& truth,
+                                   Rng& rng) const {
+  Answer answer;
+  answer.task = task.id;
+  answer.worker = id_;
+  switch (task.type) {
+    case TaskType::kSingleChoice: {
+      CDB_CHECK(task.choices.size() >= 2);
+      CDB_CHECK(truth.correct_choice >= 0 &&
+                truth.correct_choice < static_cast<int>(task.choices.size()));
+      if (rng.Bernoulli(accuracy_)) {
+        answer.choice = truth.correct_choice;
+      } else {
+        // Uniform over the wrong choices.
+        int wrong = static_cast<int>(
+            rng.UniformInt(0, static_cast<int64_t>(task.choices.size()) - 2));
+        if (wrong >= truth.correct_choice) ++wrong;
+        answer.choice = wrong;
+      }
+      break;
+    }
+    case TaskType::kMultiChoice: {
+      // Each choice judged independently with the worker's accuracy.
+      for (size_t i = 0; i < task.choices.size(); ++i) {
+        bool truly_in = false;
+        for (int c : truth.correct_choice_set) {
+          if (c == static_cast<int>(i)) truly_in = true;
+        }
+        bool says_in = rng.Bernoulli(accuracy_) ? truly_in : !truly_in;
+        if (says_in) answer.choice_set.push_back(static_cast<int>(i));
+      }
+      break;
+    }
+    case TaskType::kFillInBlank:
+    case TaskType::kCollection: {
+      if (rng.Bernoulli(accuracy_) || truth.wrong_text_pool.empty()) {
+        answer.text = truth.correct_text;
+      } else {
+        answer.text = truth.wrong_text_pool[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(truth.wrong_text_pool.size()) - 1))];
+      }
+      break;
+    }
+  }
+  return answer;
+}
+
+std::vector<SimulatedWorker> MakeWorkerPool(int count, double mean_quality,
+                                            double stddev, Rng& rng) {
+  std::vector<SimulatedWorker> workers;
+  workers.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Clamp away from 0/1: a perfectly (in)accurate worker makes EM's
+    // likelihood degenerate.
+    workers.emplace_back(i, rng.ClampedGaussian(mean_quality, stddev, 0.05, 0.99));
+  }
+  return workers;
+}
+
+}  // namespace cdb

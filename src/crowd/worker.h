@@ -1,0 +1,36 @@
+// Simulated crowd workers. Each worker has a latent accuracy drawn from
+// N(q, sigma^2) — the paper's simulated-experiment protocol draws from
+// N(q, 0.01) (Section 6.2) — and answers a task correctly with that
+// probability, otherwise picking a uniformly random wrong answer.
+#ifndef CDB_CROWD_WORKER_H_
+#define CDB_CROWD_WORKER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "crowd/task.h"
+
+namespace cdb {
+
+class SimulatedWorker {
+ public:
+  SimulatedWorker(int id, double accuracy) : id_(id), accuracy_(accuracy) {}
+
+  int id() const { return id_; }
+  double accuracy() const { return accuracy_; }
+
+  // Produces this worker's answer given the task's ground truth.
+  Answer AnswerTask(const Task& task, const TaskTruth& truth, Rng& rng) const;
+
+ private:
+  int id_;
+  double accuracy_;  // Latent; inference must estimate it from answers.
+};
+
+// Draws `count` workers with accuracies from the clamped Gaussian.
+std::vector<SimulatedWorker> MakeWorkerPool(int count, double mean_quality,
+                                            double stddev, Rng& rng);
+
+}  // namespace cdb
+
+#endif  // CDB_CROWD_WORKER_H_

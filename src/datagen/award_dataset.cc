@@ -1,0 +1,312 @@
+#include "datagen/award_dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/perturb.h"
+
+namespace cdb {
+namespace {
+
+constexpr int64_t kExternalBase = 1'000'000;
+
+const char* const kFirstNames[] = {
+    "Meryl",   "Daniel", "Leonardo", "Katharine", "Audrey", "Marlon",
+    "Ingrid",  "Humphrey", "Cate",   "Anthony",  "Julia",  "Denzel",
+    "Sophia",  "Robert", "Emma",     "Jack",     "Grace",  "Sidney",
+    "Vivien",  "Gregory", "Elizabeth", "James",  "Natalie", "Morgan",
+    "Halle",   "Russell", "Nicole",  "Sean",     "Judi",   "Philip",
+};
+
+const char* const kLastNames[] = {
+    "Streep",   "Day-Lewis", "DiCaprio", "Hepburn", "Brando",  "Bergman",
+    "Bogart",   "Blanchett", "Hopkins",  "Roberts", "Washington", "Loren",
+    "De Niro",  "Thompson",  "Nicholson", "Kelly",  "Poitier", "Leigh",
+    "Peck",     "Taylor",    "Stewart",  "Portman", "Freeman", "Berry",
+    "Crowe",    "Kidman",    "Penn",     "Dench",   "Hoffman", "McQueen",
+};
+
+const char* const kAwardKind[] = {
+    "Academy Award", "Golden Globe", "BAFTA Award",  "Emmy Award",
+    "Guild Award",   "Critics Prize", "Tony Award",
+    "Grammy Award",  "Cannes Prize",  "Venice Cup",   "Berlin Bear",
+    "Saturn Award",
+};
+
+// Compound categories (genre x craft) keep distinct awards below the
+// similarity threshold while same-category pairs form near-miss edges.
+const char* const kAwardGenre[] = {
+    "Drama",   "Comedy",    "Musical",  "Thriller", "Documentary",
+    "Animation", "Western", "Mystery",  "Romance",  "Adventure",
+};
+
+const char* const kAwardCraft[] = {
+    "Actor",       "Actress",       "Director",  "Screenplay",
+    "Score",       "Ensemble",      "Cinematography", "Editing",
+    "Newcomer",    "Production",    "Costume",   "Choreography",
+};
+
+const char* const kCitySyllables[] = {
+    "spring", "green", "river", "lake", "hill", "stone", "clear", "fair",
+    "grand",  "maple", "cedar", "pine", "oak",  "elm",   "ash",   "birch",
+    "north",  "south", "east",  "west", "new",  "old",   "san",   "santa",
+    "port",   "fort",  "mount", "glen", "brook", "dale",  "ville", "burg",
+};
+
+struct Country {
+  const char* canonical;
+  std::vector<const char*> variants;
+};
+
+const Country kCountries[] = {
+    {"USA", {"USA", "US", "United States"}},
+    {"England", {"England", "UK", "United Kingdom"}},
+    {"France", {"France"}},
+    {"Italy", {"Italy", "Italia"}},
+    {"Spain", {"Spain", "Espana"}},
+    {"Sweden", {"Sweden"}},
+    {"Australia", {"Australia"}},
+    {"India", {"India"}},
+};
+
+template <typename T, size_t N>
+const T& Pick(const T (&pool)[N], Rng& rng) {
+  return pool[static_cast<size_t>(rng.UniformInt(0, N - 1))];
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  return s;
+}
+
+std::string MakeCity(Rng& rng, std::unordered_set<std::string>& used) {
+  // 3-4 syllables: long enough that unrelated cities stay below epsilon.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    std::string city = Capitalize(std::string(Pick(kCitySyllables, rng)));
+    city += Pick(kCitySyllables, rng);
+    city += Pick(kCitySyllables, rng);
+    if (rng.Bernoulli(0.5)) city += Pick(kCitySyllables, rng);
+    if (used.insert(city).second) return city;
+  }
+  CDB_CHECK_MSG(false, "city-name pool exhausted");
+  return "";
+}
+
+std::string MakePersonName(Rng& rng) {
+  std::string name = Pick(kFirstNames, rng);
+  if (rng.Bernoulli(0.3)) {
+    name += " ";
+    name += static_cast<char>('A' + rng.UniformInt(0, 25));
+    name += ".";
+  }
+  name += " ";
+  name += Pick(kLastNames, rng);
+  return name;
+}
+
+// Distinct celebrities carry distinct names; see paper_dataset.cc for why.
+std::string MakeUniquePersonName(Rng& rng,
+                                 std::unordered_set<std::string>& used) {
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    std::string name = MakePersonName(rng);
+    if (attempt > 2) {
+      size_t space = name.find(' ');
+      name.insert(space + 1, std::string(1, static_cast<char>(
+                                                'A' + rng.UniformInt(0, 25))) +
+                                 ". ");
+    }
+    if (used.insert(name).second) return name;
+  }
+  CDB_CHECK_MSG(false, "person-name pool exhausted");
+  return "";
+}
+
+std::string MakeAwardName(Rng& rng) {
+  std::string name = Pick(kAwardKind, rng);
+  name += " for Best ";
+  name += Pick(kAwardGenre, rng);
+  name += " ";
+  name += Pick(kAwardCraft, rng);
+  if (rng.Bernoulli(0.5)) {
+    name += " ";
+    name += std::to_string(1950 + rng.UniformInt(0, 70));
+  }
+  return name;
+}
+
+int64_t Scaled(int64_t n, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(n * scale));
+}
+
+}  // namespace
+
+GeneratedDataset GenerateAwardDataset(const AwardDatasetOptions& options) {
+  Rng rng(options.seed);
+  GeneratedDataset ds;
+
+  const int64_t num_celebrities = Scaled(options.num_celebrities, options.scale);
+  const int64_t num_cities = Scaled(options.num_cities, options.scale);
+  const int64_t num_winners = Scaled(options.num_winners, options.scale);
+  const int64_t num_awards = Scaled(options.num_awards, options.scale);
+
+  // --- Entities ---
+  struct CityEntity {
+    std::string name;
+    int country;
+  };
+  std::unordered_set<std::string> used_cities;
+  std::vector<CityEntity> cities;
+  cities.reserve(num_cities);
+  for (int64_t i = 0; i < num_cities; ++i) {
+    int country = rng.Bernoulli(0.5)
+                      ? 0
+                      : static_cast<int>(rng.UniformInt(
+                            1, static_cast<int64_t>(std::size(kCountries)) - 1));
+    cities.push_back({MakeCity(rng, used_cities), country});
+  }
+
+  struct CelebrityEntity {
+    std::string name;
+    int64_t city;
+    std::string birthday;
+  };
+  std::vector<CelebrityEntity> celebrities;
+  celebrities.reserve(num_celebrities);
+  std::unordered_set<std::string> used_names;
+  for (int64_t i = 0; i < num_celebrities; ++i) {
+    int64_t city = rng.Bernoulli(options.celebrity_city_known)
+                       ? rng.UniformInt(0, num_cities - 1)
+                       : kExternalBase + i;
+    std::string birthday = StrPrintf(
+        "%04lld-%02lld-%02lld", static_cast<long long>(1930 + rng.UniformInt(0, 70)),
+        static_cast<long long>(rng.UniformInt(1, 12)),
+        static_cast<long long>(rng.UniformInt(1, 28)));
+    celebrities.push_back({MakeUniquePersonName(rng, used_names), city, birthday});
+  }
+
+  std::vector<std::string> award_names;
+  award_names.reserve(num_awards);
+  std::unordered_set<std::string> used_awards;
+  for (int64_t i = 0; i < num_awards; ++i) {
+    std::string name;
+    for (int attempt = 0; attempt < 400; ++attempt) {
+      name = MakeAwardName(rng);
+      if (used_awards.insert(name).second) break;
+      name.clear();
+    }
+    CDB_CHECK(!name.empty());
+    award_names.push_back(std::move(name));
+  }
+
+  auto add = [&](Table table) { CDB_CHECK(ds.catalog.AddTable(std::move(table)).ok()); };
+
+  // Celebrity(name, birthplace, birthday).
+  {
+    Table table("Celebrity", Schema({{"name", ValueType::kString, false},
+                                     {"birthplace", ValueType::kString, false},
+                                     {"birthday", ValueType::kString, false}}));
+    auto& name_ent = ds.entity_of[GeneratedDataset::ColumnKey("Celebrity", "name")];
+    auto& place_ent = ds.entity_of[GeneratedDataset::ColumnKey("Celebrity", "birthplace")];
+    for (int64_t i = 0; i < num_celebrities; ++i) {
+      const CelebrityEntity& c = celebrities[static_cast<size_t>(i)];
+      std::string birthplace =
+          c.city < num_cities
+              ? (rng.Bernoulli(0.5)
+                     ? cities[static_cast<size_t>(c.city)].name
+                     : IntroduceTypo(cities[static_cast<size_t>(c.city)].name, rng))
+              : "Smallville " + std::to_string(i);
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(c.name), Value::Str(birthplace),
+                                Value::Str(c.birthday)})
+                    .ok());
+      name_ent.push_back(i);
+      place_ent.push_back(c.city);
+    }
+    add(std::move(table));
+  }
+
+  // City(birthplace, country).
+  {
+    Table table("City", Schema({{"birthplace", ValueType::kString, false},
+                                {"country", ValueType::kString, false}}));
+    auto& place_ent = ds.entity_of[GeneratedDataset::ColumnKey("City", "birthplace")];
+    auto& country_ent = ds.entity_of[GeneratedDataset::ColumnKey("City", "country")];
+    for (int64_t i = 0; i < num_cities; ++i) {
+      const CityEntity& c = cities[static_cast<size_t>(i)];
+      const Country& country = kCountries[c.country];
+      std::string country_str = country.variants[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(country.variants.size()) - 1))];
+      CDB_CHECK(table.AppendRow({Value::Str(c.name), Value::Str(country_str)}).ok());
+      place_ent.push_back(i);
+      country_ent.push_back(c.country);
+    }
+    add(std::move(table));
+    for (const Country& c : kCountries) {
+      for (const char* variant : c.variants) {
+        ds.constant_entity[GeneratedDataset::ConstantKey("City", "country", variant)] =
+            static_cast<int64_t>(&c - kCountries);
+      }
+    }
+  }
+
+  // Winner(name, award).
+  {
+    Table table("Winner", Schema({{"name", ValueType::kString, false},
+                                  {"award", ValueType::kString, false}}));
+    auto& name_ent = ds.entity_of[GeneratedDataset::ColumnKey("Winner", "name")];
+    auto& award_ent = ds.entity_of[GeneratedDataset::ColumnKey("Winner", "award")];
+    for (int64_t i = 0; i < num_winners; ++i) {
+      int64_t celeb = rng.Bernoulli(options.winner_known)
+                          ? rng.UniformInt(0, num_celebrities - 1)
+                          : kExternalBase + i;
+      std::string name = celeb < num_celebrities
+                             ? PerturbPersonName(
+                                   celebrities[static_cast<size_t>(celeb)].name, rng)
+                             : MakeUniquePersonName(rng, used_names);
+      int64_t award = rng.Bernoulli(options.winner_award_known)
+                          ? rng.UniformInt(0, num_awards - 1)
+                          : kExternalBase + i;
+      std::string award_str =
+          award < num_awards
+              ? PerturbTitle(award_names[static_cast<size_t>(award)], rng)
+              : MakeAwardName(rng);
+      CDB_CHECK(table.AppendRow({Value::Str(name), Value::Str(award_str)}).ok());
+      name_ent.push_back(celeb);
+      award_ent.push_back(award);
+    }
+    add(std::move(table));
+  }
+
+  // Award(name, place).
+  {
+    Table table("Award", Schema({{"name", ValueType::kString, false},
+                                 {"place", ValueType::kString, false}}));
+    auto& name_ent = ds.entity_of[GeneratedDataset::ColumnKey("Award", "name")];
+    auto& place_ent = ds.entity_of[GeneratedDataset::ColumnKey("Award", "place")];
+    std::vector<std::pair<const char*, int64_t>> places = {
+        {"Los Angeles", 0}, {"Hollywood", 1}, {"London", 2},
+        {"New York", 3},    {"Cannes", 4},    {"Venice", 5},
+    };
+    for (int64_t i = 0; i < num_awards; ++i) {
+      auto [place, place_id] = places[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(places.size()) - 1))];
+      CDB_CHECK(table.AppendRow({Value::Str(award_names[static_cast<size_t>(i)]),
+                                 Value::Str(place)})
+                    .ok());
+      name_ent.push_back(i);
+      place_ent.push_back(place_id);
+    }
+    add(std::move(table));
+    for (const auto& [place, place_id] : places) {
+      ds.constant_entity[GeneratedDataset::ConstantKey("Award", "place", place)] = place_id;
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace cdb

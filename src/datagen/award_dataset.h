@@ -1,0 +1,31 @@
+// Synthetic stand-in for the paper's `award` benchmark dataset (Table 3):
+// Celebrity(name, birthplace, birthday), City(birthplace, country),
+// Winner(name, award), Award(name, place) — the paper crawled DBpedia/Yago;
+// we generate the same cardinalities with ground-truth entity links.
+#ifndef CDB_DATAGEN_AWARD_DATASET_H_
+#define CDB_DATAGEN_AWARD_DATASET_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace cdb {
+
+struct AwardDatasetOptions {
+  // Table-3 cardinalities.
+  int64_t num_celebrities = 1498;
+  int64_t num_cities = 3220;
+  int64_t num_winners = 2669;
+  int64_t num_awards = 1192;
+  double scale = 1.0;
+  double winner_known = 0.8;       // Winner appears in Celebrity.
+  double winner_award_known = 0.85;  // Winner's award appears in Award.
+  double celebrity_city_known = 0.9;
+  uint64_t seed = 131;
+};
+
+GeneratedDataset GenerateAwardDataset(const AwardDatasetOptions& options);
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_AWARD_DATASET_H_

@@ -1,0 +1,47 @@
+// Common shape of a generated benchmark dataset: the relational tables plus
+// the ground truth the crowd simulator and the metrics need.
+//
+// Ground truth is kept as entity ids: two cells match (a crowd edge is truly
+// BLUE) iff their columns' entity vectors agree. Selection constants also map
+// to entity ids (e.g. "USA" to the USA country entity), so CROWDEQUAL truth
+// is entity equality as well.
+#ifndef CDB_DATAGEN_DATASET_H_
+#define CDB_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace cdb {
+
+inline constexpr int64_t kNoEntity = -1;
+
+struct GeneratedDataset {
+  Catalog catalog;
+
+  // Key: lowercase "table.column". Value: entity id per row (kNoEntity when
+  // the cell refers to nothing in the shared entity space).
+  std::map<std::string, std::vector<int64_t>> entity_of;
+
+  // Key: lowercase "table.column|constant". Value: the entity a selection
+  // constant denotes.
+  std::map<std::string, int64_t> constant_entity;
+
+  // Convenience accessors (abort on unknown keys — generator bugs).
+  const std::vector<int64_t>& Entities(const std::string& table,
+                                       const std::string& column) const;
+  int64_t ConstantEntity(const std::string& table, const std::string& column,
+                         const std::string& constant) const;
+  static std::string ColumnKey(const std::string& table,
+                               const std::string& column);
+  static std::string ConstantKey(const std::string& table,
+                                 const std::string& column,
+                                 const std::string& constant);
+};
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_DATASET_H_

@@ -1,0 +1,62 @@
+#include "datagen/entity_oracle.h"
+
+#include "common/string_util.h"
+
+namespace cdb {
+
+const int64_t* EntityOracle::EntityOrNull(const std::string& table,
+                                          const std::string& column,
+                                          int64_t row) const {
+  auto it = dataset_->entity_of.find(GeneratedDataset::ColumnKey(table, column));
+  if (it == dataset_->entity_of.end()) return nullptr;
+  if (row < 0 || static_cast<size_t>(row) >= it->second.size()) return nullptr;
+  return &it->second[static_cast<size_t>(row)];
+}
+
+bool EntityOracle::JoinMatches(const std::string& left_table,
+                               const std::string& left_column, int64_t left_row,
+                               const std::string& right_table,
+                               const std::string& right_column,
+                               int64_t right_row) const {
+  const int64_t* a = EntityOrNull(left_table, left_column, left_row);
+  const int64_t* b = EntityOrNull(right_table, right_column, right_row);
+  return a != nullptr && b != nullptr && *a != kNoEntity && *a == *b;
+}
+
+bool EntityOracle::SelectionMatches(const std::string& table,
+                                    const std::string& column, int64_t row,
+                                    const std::string& constant) const {
+  const int64_t* entity = EntityOrNull(table, column, row);
+  if (entity == nullptr) return false;
+  int64_t target = dataset_->ConstantEntity(table, column, constant);
+  return target != kNoEntity && *entity == target;
+}
+
+FillTaskSpec EntityOracle::FillTruth(const std::string& table,
+                                     const std::string& column,
+                                     int64_t row) const {
+  FillTaskSpec spec;
+  spec.question = "value of " + table + "." + column + " in row " +
+                  std::to_string(row);
+  const int64_t* entity = EntityOrNull(table, column, row);
+  spec.truth = entity != nullptr && *entity != kNoEntity
+                   ? StrPrintf("entity-%lld", static_cast<long long>(*entity))
+                   : StrPrintf("%s-%s-%lld", ToLower(table).c_str(),
+                               ToLower(column).c_str(),
+                               static_cast<long long>(row));
+  spec.wrong_pool = {spec.truth + "-mistaken", "unknown " + column};
+  return spec;
+}
+
+CollectUniverse EntityOracle::CollectWorld(const std::string& table) const {
+  CollectUniverse universe;
+  for (int i = 0; i < 100; ++i) {
+    CollectUniverse::Entity entity;
+    entity.canonical = StrPrintf("%s item %03d", table.c_str(), i);
+    entity.variants = {StrPrintf("%.3s. item %03d", table.c_str(), i)};
+    universe.entities.push_back(std::move(entity));
+  }
+  return universe;
+}
+
+}  // namespace cdb

@@ -1,0 +1,44 @@
+// CrowdOracle implementation backed by a GeneratedDataset's entity links —
+// the simulation ground truth used by the Database front-end for the
+// benchmark datasets and the Table-1 miniature.
+#ifndef CDB_DATAGEN_ENTITY_ORACLE_H_
+#define CDB_DATAGEN_ENTITY_ORACLE_H_
+
+#include "datagen/dataset.h"
+#include "exec/database.h"
+
+namespace cdb {
+
+class EntityOracle : public CrowdOracle {
+ public:
+  // `dataset` is borrowed and must outlive the oracle.
+  explicit EntityOracle(const GeneratedDataset* dataset) : dataset_(dataset) {}
+
+  bool JoinMatches(const std::string& left_table, const std::string& left_column,
+                   int64_t left_row, const std::string& right_table,
+                   const std::string& right_column,
+                   int64_t right_row) const override;
+
+  bool SelectionMatches(const std::string& table, const std::string& column,
+                        int64_t row, const std::string& constant) const override;
+
+  // Fill truth: the entity id rendered as a stable string when the column
+  // has entity links, else a deterministic per-cell value; the wrong pool
+  // holds two perturbations.
+  FillTaskSpec FillTruth(const std::string& table, const std::string& column,
+                         int64_t row) const override;
+
+  // Collect world: an open world of 100 synthetic entities named after the
+  // table (each with one abbreviated variant).
+  CollectUniverse CollectWorld(const std::string& table) const override;
+
+ private:
+  const int64_t* EntityOrNull(const std::string& table,
+                              const std::string& column, int64_t row) const;
+
+  const GeneratedDataset* dataset_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_ENTITY_ORACLE_H_

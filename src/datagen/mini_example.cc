@@ -1,0 +1,181 @@
+#include "datagen/mini_example.h"
+
+#include "common/logging.h"
+
+namespace cdb {
+namespace {
+
+// Entity id spaces for the miniature example. Researcher entities are the
+// researcher indexes 0..11; universities 0..11; papers 0..7; countries
+// 100=USA, 101=UK; conferences 200=sigmod, 201=sigir, 202=acm-generic.
+// kNone marks cells matching nothing.
+constexpr int64_t kNone = kNoEntity;
+
+struct PaperRow {
+  const char* author;
+  const char* title;
+  const char* conference;
+  int64_t author_entity;
+  int64_t conf_entity;
+};
+
+constexpr PaperRow kPapers[] = {
+    {"Michael J. Franklin", "APrivateClean: Data Cleaning and Differential Privacy.", "sigmod16", 2, 200},
+    {"Samuel Madden", "Querying continuous functions in a database system.", "sigmod08", kNone, 200},
+    {"David J. DeWitt", "Query processing on smart SSDs: opportunities and challenges.", "acm sigmod", 5, 200},
+    {"W. Bruce Croft", "Optimization strategies for complex queries", "sigir", 7, 201},
+    {"H. V. Jagadish", "CrowdMatcher: crowd-assisted schema matching", "sigmod14", 8, 200},
+    {"Hector Garcia-Molina", "Exploiting Correlations for Expensive Predicate Evaluation.", "sigmod15", 9, 200},
+    {"Aditya G. Parameswaran", "DataSift: a crowd-powered search toolkit", "sigmod14", kNone, 200},
+    {"Surajit Chaudhuri", "Dynamically generating portals for entity-oriented web queries.", "sigmod10", 11, 200},
+};
+
+struct ResearcherRow {
+  const char* affiliation;
+  const char* name;
+  int64_t univ_entity;
+};
+
+constexpr ResearcherRow kResearchers[] = {
+    {"University of California", "Michael I. Jordan", 0},
+    {"University of California Berkery", "Michael Dahlin", 1},
+    {"University of Chicago", "Michael Franklin", 2},
+    {"Duke Uni.", "David J. Madden", 3},
+    {"University of Minnesota", "David D. Thomas", 4},
+    {"University of Wisconsin", "David DeWitt", 5},
+    {"Department of Nutrition", "David J. Hunter", 6},
+    {"University of Massachusetts", "Bruce W Croft", 7},
+    {"University of Michigan", "H. Jagadish", 8},
+    {"University of Stanford", "Molina Hector", 9},
+    {"University of Cambridge", "Nandan Parameswaran", 10},
+    {"Microsoft Cambridge", "S. Chaudhuri", 11},
+};
+
+struct CitationRow {
+  const char* title;
+  int64_t number;
+  int64_t paper_entity;  // Which paper it truly cites.
+};
+
+constexpr CitationRow kCitations[] = {
+    {"Towards a Unified Framework for Data Cleaning and Data Privacy.", 0, kNone},
+    {"Query continuous functions in database system", 56, 1},
+    {"ConQuer: A System for Efficient Querying Over Inconsistent Database.", 13, kNone},
+    {"Webfind: An Architecture and System for Querying Web Database.", 17, kNone},
+    {"Adaptive Query Processing and the Grid: Opportunities and Challenges.", 27, kNone},
+    {"Optimal strategy for complex queries", 94, 3},
+    {"CrowdMatcher: crowd-assisted schema match", 9, 4},
+    {"Exploit Correlations for Expensive Predicate Evaluation", 0, 5},
+    {"DataSift: An Expressive and Accurate Crowd-Powered Search Toolkit.", 16, 6},
+    {"A crowd powered search toolkit", 4, kNone},
+    {"A Crowd Powered System for Similarity Search", 0, kNone},
+    {"Query portals: dynamically generating portals for entity-oriented web queries.", 1, 7},
+};
+
+struct UniversityRow {
+  const char* name;
+  const char* country;
+  int64_t country_entity;
+};
+
+constexpr UniversityRow kUniversities[] = {
+    {"Univ. of California", "USA", 100},
+    {"Univ. of California Berkery", "USA", 100},
+    {"Univ. of Chicago", "USA", 100},
+    {"Duke Univ.", "USA", 100},
+    {"Univ. of Minnesota", "US", 100},
+    {"Univ. of Wisconsin", "US", 100},
+    {"Depart of Nutrition", "US", 100},
+    {"Univ. of Massachusetts", "US", 100},
+    {"Univ. of Michigan", "US", 100},
+    {"Univ. of Stanford", "USA", 100},
+    {"Univ. of Cambridge", "UK", 101},
+    {"Microsoft", "US", 100},
+};
+
+}  // namespace
+
+const char kMiniExampleQuery[] =
+    "SELECT * FROM Paper, Researcher, Citation, University "
+    "WHERE Paper.Author CROWDJOIN Researcher.Name "
+    "AND Paper.Title CROWDJOIN Citation.Title "
+    "AND Researcher.Affiliation CROWDJOIN University.Name";
+
+GeneratedDataset MakeMiniPaperExample() {
+  GeneratedDataset ds;
+  auto add = [&](Table table) { CDB_CHECK(ds.catalog.AddTable(std::move(table)).ok()); };
+
+  {
+    Table table("Paper", Schema({{"author", ValueType::kString, false},
+                                 {"title", ValueType::kString, false},
+                                 {"conference", ValueType::kString, false}}));
+    auto& author = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "author")];
+    auto& title = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "title")];
+    auto& conf = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "conference")];
+    int64_t i = 0;
+    for (const PaperRow& row : kPapers) {
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(row.author), Value::Str(row.title),
+                                Value::Str(row.conference)})
+                    .ok());
+      author.push_back(row.author_entity);
+      title.push_back(i++);
+      conf.push_back(row.conf_entity);
+    }
+    add(std::move(table));
+    ds.constant_entity[GeneratedDataset::ConstantKey("Paper", "conference", "sigmod")] = 200;
+    ds.constant_entity[GeneratedDataset::ConstantKey("Paper", "conference", "SIGMOD")] = 200;
+  }
+  {
+    Table table("Researcher",
+                Schema({{"affiliation", ValueType::kString, false},
+                        {"name", ValueType::kString, false},
+                        {"gender", ValueType::kString, true}}));
+    auto& aff = ds.entity_of[GeneratedDataset::ColumnKey("Researcher", "affiliation")];
+    auto& name = ds.entity_of[GeneratedDataset::ColumnKey("Researcher", "name")];
+    int64_t i = 0;
+    for (const ResearcherRow& row : kResearchers) {
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(row.affiliation), Value::Str(row.name),
+                                Value::CNull()})
+                    .ok());
+      aff.push_back(row.univ_entity);
+      name.push_back(i++);
+    }
+    add(std::move(table));
+  }
+  {
+    Table table("Citation", Schema({{"title", ValueType::kString, false},
+                                    {"number", ValueType::kInt64, false}}));
+    auto& title = ds.entity_of[GeneratedDataset::ColumnKey("Citation", "title")];
+    int64_t i = 500;  // Unmatched citations get unique entities.
+    for (const CitationRow& row : kCitations) {
+      CDB_CHECK(table.AppendRow({Value::Str(row.title), Value::Int(row.number)}).ok());
+      title.push_back(row.paper_entity == kNone ? i++ : row.paper_entity);
+    }
+    add(std::move(table));
+  }
+  {
+    Table table("University", Schema({{"name", ValueType::kString, false},
+                                      {"city", ValueType::kString, true},
+                                      {"country", ValueType::kString, false}}));
+    auto& name = ds.entity_of[GeneratedDataset::ColumnKey("University", "name")];
+    auto& country = ds.entity_of[GeneratedDataset::ColumnKey("University", "country")];
+    int64_t i = 0;
+    for (const UniversityRow& row : kUniversities) {
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(row.name), Value::CNull(),
+                                Value::Str(row.country)})
+                    .ok());
+      name.push_back(i++);
+      country.push_back(row.country_entity);
+    }
+    add(std::move(table));
+    ds.constant_entity[GeneratedDataset::ConstantKey("University", "country", "USA")] = 100;
+    ds.constant_entity[GeneratedDataset::ConstantKey("University", "country", "US")] = 100;
+    ds.constant_entity[GeneratedDataset::ConstantKey("University", "country", "UK")] = 101;
+  }
+  return ds;
+}
+
+}  // namespace cdb

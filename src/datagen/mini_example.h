@@ -1,0 +1,25 @@
+// The paper's running example: the four miniature tables of Table 1 /
+// Figure 4 (8 papers, 12 researchers, 12 citations, 12 universities), with
+// ground-truth entity links chosen so the real-world matches hold (e.g.
+// "Surajit Chaudhuri" == "S. Chaudhuri", "Microsoft Cambridge" ==
+// "Microsoft"). Used by tests, the quickstart example, and the Figure-1
+// motivating bench.
+#ifndef CDB_DATAGEN_MINI_EXAMPLE_H_
+#define CDB_DATAGEN_MINI_EXAMPLE_H_
+
+#include "datagen/dataset.h"
+
+namespace cdb {
+
+GeneratedDataset MakeMiniPaperExample();
+
+// The paper's 3-join example query over the miniature tables (Figure 4):
+//   SELECT * FROM Paper, Researcher, Citation, University
+//   WHERE Paper.Author CROWDJOIN Researcher.Name
+//     AND Paper.Title CROWDJOIN Citation.Title
+//     AND Researcher.Affiliation CROWDJOIN University.Name
+extern const char kMiniExampleQuery[];
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_MINI_EXAMPLE_H_

@@ -1,0 +1,474 @@
+#include "datagen/paper_dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/perturb.h"
+
+namespace cdb {
+namespace {
+
+// External (off-table) entity ids live far above the in-table id spaces so
+// they never collide.
+constexpr int64_t kExternalBase = 1'000'000;
+
+// A wide first-name pool keeps shared-first-name author pairs (the classic
+// 0.4-similarity RED edges of the paper's Figure 4) present but not so dense
+// that the graph degenerates into a clique.
+// The "common" name pools; most names are synthesized (see SynthNamePart).
+const char* const kFirstNames[] = {
+    "Michael",  "David",    "Samuel",   "Hector",   "Surajit",  "Aditya",
+    "Bruce",    "Jennifer", "Rakesh",   "Joseph",   "Peter",    "Laura",
+    "Daniel",   "Anhai",    "Magdalena", "Jiannan",  "Volker",   "Stefan",
+    "Divesh",   "Jeffrey",
+};
+
+const char* const kLastNames[] = {
+    "Franklin",  "DeWitt",    "Madden",   "Croft",    "Jagadish", "Chaudhuri",
+    "Garcia-Molina", "Parameswaran", "Dahlin", "Jordan", "Hunter", "Thomas",
+    "Stonebraker", "Gray",     "Codd",     "Widom",    "Ullman",   "Halevy",
+    "Abiteboul", "Vardi",
+};
+
+const char* const kTitleLead[] = {
+    "", "Towards", "On", "Revisiting", "Rethinking", "A Study of",
+};
+
+const char* const kTitleAdjective[] = {
+    "Efficient", "Scalable",  "Adaptive",   "Distributed", "Optimal",
+    "Parallel",  "Incremental", "Crowdsourced", "Robust",  "Approximate",
+    "Interactive", "Declarative", "Cost-Effective", "Online", "Secure",
+};
+
+// Title cores are compound (topic x task) so that two distinct works rarely
+// share the whole core phrase; sharing only one word stays below epsilon.
+const char* const kTitleTopic[] = {
+    "Query",       "Entity",     "Data",      "Graph",      "Stream",
+    "Index",       "Schema",     "Transaction", "View",     "Record",
+    "Keyword",     "Crowd",      "Knowledge", "Cache",      "Storage",
+    "Log",         "Cluster",    "Sample",    "Feature",    "Model",
+    "Tensor",      "Workload",   "Cardinality", "Provenance", "Cube",
+    "Sketch",      "Bitmap",     "Histogram", "Partition",  "Replica",
+};
+
+// Short task words: sharing just one word must stay below epsilon.
+const char* const kTitleTask[] = {
+    "Search",  "Cleaning", "Matching", "Tuning",  "Pruning", "Scaling",
+    "Mining",  "Ranking",  "Probing",  "Caching", "Hashing", "Sorting",
+    "Joins",   "Repair",   "Lookup",   "Sync",
+};
+
+// Suffixes are short: a shared tail phrase alone must stay well below the
+// epsilon threshold (long shared suffixes were measured to put ~10% of all
+// title pairs above 0.3 two-gram Jaccard).
+const char* const kTitleSuffix[] = {
+    "at Scale",   "in Practice", "Revisited",  "by Example", "in Parallel",
+    "on GPUs",    "for Streams", "under Skew", "in Theory",  "Done Right",
+};
+
+const char* const kPlaceSyllables[] = {
+    "ka",   "ver",  "ton",  "ridge", "field", "ham",  "ber",  "lin",
+    "mont", "clair", "wes", "ox",    "brad",  "ches", "dor",  "fair",
+    "glen", "hart", "iron", "jas",   "kel",   "lun",  "mar",  "nor",
+    "park", "quin", "ros",  "stan",  "tren",  "ul",   "vin",  "wood",
+    "yor",  "zan",  "ash",  "bel",   "cor",   "dun",  "ell",  "fen",
+    "gor",  "hol",  "ing",  "jor",   "kil",   "lor",  "mun",  "nev",
+    "ost",  "pel",  "rud",  "sel",   "tor",   "urb",  "val",  "wyn",
+    "xan",  "yel",  "zor",  "alb",   "bru",   "cre",  "dra",  "fro",
+};
+
+struct Country {
+  const char* canonical;
+  std::vector<const char*> variants;
+};
+
+const Country kCountries[] = {
+    {"USA", {"USA", "US", "United States"}},
+    {"UK", {"UK", "United Kingdom", "U.K."}},
+    {"China", {"China", "P.R. China", "PR China"}},
+    {"Germany", {"Germany", "Deutschland"}},
+    {"Canada", {"Canada"}},
+    {"France", {"France"}},
+    {"Japan", {"Japan"}},
+    {"Australia", {"Australia"}},
+};
+
+struct Conference {
+  const char* canonical;
+  std::vector<const char*> variants;
+};
+
+const Conference kConferences[] = {
+    {"sigmod", {"sigmod16", "sigmod14", "sigmod 2015", "acm sigmod", "sigmod10"}},
+    {"vldb", {"vldb14", "vldb 2016", "pvldb"}},
+    {"icde", {"icde15", "icde 2013"}},
+    {"sigir", {"sigir", "sigir12"}},
+    {"kdd", {"kdd16", "acm kdd"}},
+    {"www", {"www13", "www 2015"}},
+};
+
+template <typename T, size_t N>
+const T& Pick(const T (&pool)[N], Rng& rng) {
+  return pool[static_cast<size_t>(rng.UniformInt(0, N - 1))];
+}
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  return s;
+}
+
+std::string MakePlace(Rng& rng, std::unordered_set<std::string>& used) {
+  // Bimodal, like real institution names: a minority of short place names
+  // collide with each other (above the epsilon threshold when the type word
+  // is also shared); long 4-5 syllable names stay distinctive.
+  bool ambiguous = rng.Bernoulli(0.25);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string place = Pick(kPlaceSyllables, rng);
+    place += Pick(kPlaceSyllables, rng);
+    if (!ambiguous) {
+      place += Pick(kPlaceSyllables, rng);
+      place += Pick(kPlaceSyllables, rng);
+      if (rng.Bernoulli(0.5)) place += Pick(kPlaceSyllables, rng);
+    }
+    place = Capitalize(place);
+    if (used.insert(place).second) return place;
+  }
+  CDB_CHECK_MSG(false, "place-name pool exhausted");
+  return "";
+}
+
+// Synthetic distinctive name parts: effectively collision-free.
+std::string SynthNamePart(Rng& rng) {
+  static constexpr const char* kEndings[] = {"a", "o", "i", "us", "en", "ez"};
+  std::string part = Capitalize(std::string(Pick(kPlaceSyllables, rng)));
+  part += Pick(kPlaceSyllables, rng);
+  part += Pick(kEndings, rng);
+  return part;
+}
+
+// Real-world name ambiguity is bimodal: most people have distinctive names
+// (1-2 candidate matches above epsilon); a minority carry common first/last
+// names and collide widely. That heterogeneity is what gives tuple-level
+// optimization its leverage — different chains have their "narrow spot" at
+// different predicates (Figure 1).
+std::string MakePersonName(Rng& rng) {
+  bool common_first = rng.Bernoulli(0.25);
+  bool common_last = rng.Bernoulli(0.25);
+  std::string name =
+      common_first ? Pick(kFirstNames, rng) : SynthNamePart(rng);
+  if (rng.Bernoulli(0.4)) {
+    name += " ";
+    name += static_cast<char>('A' + rng.UniformInt(0, 25));
+    name += ".";
+  }
+  name += " ";
+  name += common_last ? Pick(kLastNames, rng) : SynthNamePart(rng);
+  return name;
+}
+
+// Distinct entities must carry distinct names: the crowd cannot tell two
+// people called exactly "Michael Franklin" apart, so duplicate entity names
+// would inject irreducible truth noise (and densify the graph with
+// similarity-1 non-matches). Retry with middle initials until unique.
+std::string MakeUniquePersonName(Rng& rng,
+                                 std::unordered_set<std::string>& used) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string name = MakePersonName(rng);
+    if (attempt > 2 && name.find('.') == std::string::npos) {
+      // Force a distinguishing middle initial once plain names collide.
+      size_t space = name.find(' ');
+      name.insert(space + 1, std::string(1, static_cast<char>(
+                                                'A' + rng.UniformInt(0, 25))) +
+                                 ". ");
+    }
+    if (used.insert(name).second) return name;
+  }
+  CDB_CHECK_MSG(false, "person-name pool exhausted");
+  return "";
+}
+
+// Titles mix a distinctive system name ("Kaverlin: ...") with formulaic
+// tails, like real database papers: distinct works usually fall below the
+// epsilon threshold while same-core-and-suffix pairs form moderate-weight
+// near-miss edges.
+std::string MakeSystemName(Rng& rng) {
+  std::string name = Capitalize(std::string(Pick(kPlaceSyllables, rng)));
+  name += Pick(kPlaceSyllables, rng);
+  name += Pick(kPlaceSyllables, rng);
+  name += rng.Bernoulli(0.25) ? "DB" : "";
+  return name;
+}
+
+// A unique "flavor" word (e.g. "Kaverlin-aware") lengthens every title with
+// content no other work shares, so pairs that coincide on one or two
+// formulaic pieces still fall below the epsilon threshold.
+std::string MakeFlavorWord(Rng& rng) {
+  // Raw unique syllables: no shared "-aware"-style suffix mass.
+  std::string word = Capitalize(std::string(Pick(kPlaceSyllables, rng)));
+  word += Pick(kPlaceSyllables, rng);
+  if (rng.Bernoulli(0.5)) word += Pick(kPlaceSyllables, rng);
+  return word;
+}
+
+std::string MakeTitle(Rng& rng) {
+  std::string title;
+  if (rng.Bernoulli(0.12)) {
+    // A "generic" title assembled mostly from the formulaic pools: these
+    // collide with other generic works (the ambiguous-title minority). Half
+    // of them still carry a flavor word, which moderates the collision
+    // degree to a realistic handful of candidates.
+    const char* lead = Pick(kTitleLead, rng);
+    if (*lead != '\0') {
+      title += lead;
+      title += ' ';
+    }
+    title += Pick(kTitleAdjective, rng);
+    title += ' ';
+    if (rng.Bernoulli(0.5)) {
+      title += MakeFlavorWord(rng);
+      title += ' ';
+    }
+    title += Pick(kTitleTopic, rng);
+    title += ' ';
+    title += Pick(kTitleTask, rng);
+    title += ' ';
+    title += Pick(kTitleSuffix, rng);
+    return title;
+  }
+  // A distinctive title: unique system and flavor words keep it below the
+  // epsilon threshold against everything but its own citations.
+  title += MakeSystemName(rng);
+  title += ": ";
+  if (rng.Bernoulli(0.5)) {
+    title += Pick(kTitleAdjective, rng);
+    title += ' ';
+  }
+  title += MakeFlavorWord(rng);
+  title += ' ';
+  title += Pick(kTitleTopic, rng);
+  title += ' ';
+  title += Pick(kTitleTask, rng);
+  return title;
+}
+
+std::string MakeUniqueTitle(Rng& rng, std::unordered_set<std::string>& used) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    std::string title = MakeTitle(rng);
+    if (used.insert(title).second) return title;
+  }
+  CDB_CHECK_MSG(false, "title pool exhausted");
+  return "";
+}
+
+int64_t Scaled(int64_t n, double scale) {
+  return std::max<int64_t>(1, static_cast<int64_t>(n * scale));
+}
+
+}  // namespace
+
+GeneratedDataset GeneratePaperDataset(const PaperDatasetOptions& options) {
+  Rng rng(options.seed);
+  GeneratedDataset ds;
+
+  const int64_t num_papers = Scaled(options.num_papers, options.scale);
+  const int64_t num_citations = Scaled(options.num_citations, options.scale);
+  const int64_t num_researchers = Scaled(options.num_researchers, options.scale);
+  const int64_t num_universities = Scaled(options.num_universities, options.scale);
+
+  // --- Entities ---
+  struct UnivEntity {
+    std::string name;
+    std::string city;
+    int country;
+  };
+  std::unordered_set<std::string> used_places;
+  std::vector<UnivEntity> universities;
+  universities.reserve(num_universities);
+  for (int64_t i = 0; i < num_universities; ++i) {
+    std::string place = MakePlace(rng, used_places);
+    // Single-word institution types: the shared type word alone stays below
+    // the epsilon threshold against long place names.
+    // Many short type words: sharing one contributes too few 2-grams to
+    // cross the epsilon threshold against long place names.
+    static constexpr const char* kInstitutionTypes[] = {
+        "University", "College", "Institute", "Polytech", "Academy",
+        "Seminary",   "School",  "Faculty",   "Campus",   "Center",
+        "Lyceum",     "Atheneum",
+    };
+    std::string type = Pick(kInstitutionTypes, rng);
+    std::string name = rng.Bernoulli(0.3) ? type + " of " + place
+                                          : place + " " + type;
+    int country = rng.Bernoulli(0.6)
+                      ? 0  // USA
+                      : static_cast<int>(rng.UniformInt(
+                            1, static_cast<int64_t>(std::size(kCountries)) - 1));
+    universities.push_back({name, place, country});
+  }
+
+  struct ResearcherEntity {
+    std::string name;
+    int64_t univ;  // Entity id, or external.
+  };
+  std::vector<ResearcherEntity> researchers;
+  researchers.reserve(num_researchers);
+  std::unordered_set<std::string> used_names;
+  for (int64_t i = 0; i < num_researchers; ++i) {
+    int64_t univ = rng.Bernoulli(options.researcher_univ_known)
+                       ? rng.UniformInt(0, num_universities - 1)
+                       : kExternalBase + i;
+    researchers.push_back({MakeUniquePersonName(rng, used_names), univ});
+  }
+
+  struct PaperEntity {
+    std::string title;
+    int64_t author;  // Researcher entity id, or external.
+    int conference;
+  };
+  std::vector<PaperEntity> papers;
+  papers.reserve(num_papers);
+  std::unordered_set<std::string> used_titles;
+  for (int64_t i = 0; i < num_papers; ++i) {
+    int64_t author = rng.Bernoulli(options.paper_author_known)
+                         ? rng.UniformInt(0, num_researchers - 1)
+                         : kExternalBase + i;
+    int conference = static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(std::size(kConferences)) - 1));
+    papers.push_back({MakeUniqueTitle(rng, used_titles), author, conference});
+  }
+
+  // --- Tables ---
+  auto add = [&](Table table) { CDB_CHECK(ds.catalog.AddTable(std::move(table)).ok()); };
+
+  // University(name, city, country).
+  {
+    Table table("University",
+                Schema({{"name", ValueType::kString, false},
+                        {"city", ValueType::kString, false},
+                        {"country", ValueType::kString, false}}));
+    std::vector<int64_t>& name_ent = ds.entity_of[GeneratedDataset::ColumnKey("University", "name")];
+    std::vector<int64_t>& country_ent = ds.entity_of[GeneratedDataset::ColumnKey("University", "country")];
+    for (int64_t i = 0; i < num_universities; ++i) {
+      const UnivEntity& u = universities[static_cast<size_t>(i)];
+      const Country& c = kCountries[u.country];
+      std::string country = c.variants[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(c.variants.size()) - 1))];
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(u.name), Value::Str(u.city),
+                                Value::Str(country)})
+                    .ok());
+      name_ent.push_back(i);
+      country_ent.push_back(u.country);
+    }
+    add(std::move(table));
+    for (const Country& c : kCountries) {
+      for (const char* variant : c.variants) {
+        ds.constant_entity[GeneratedDataset::ConstantKey("University", "country", variant)] =
+            static_cast<int64_t>(&c - kCountries);
+      }
+    }
+  }
+
+  // Researcher(affiliation, name, gender).
+  {
+    Table table("Researcher",
+                Schema({{"affiliation", ValueType::kString, false},
+                        {"name", ValueType::kString, false},
+                        {"gender", ValueType::kString, true}}));
+    std::vector<int64_t>& aff_ent = ds.entity_of[GeneratedDataset::ColumnKey("Researcher", "affiliation")];
+    std::vector<int64_t>& name_ent = ds.entity_of[GeneratedDataset::ColumnKey("Researcher", "name")];
+    for (int64_t i = 0; i < num_researchers; ++i) {
+      const ResearcherEntity& r = researchers[static_cast<size_t>(i)];
+      std::string affiliation =
+          r.univ < num_universities
+              ? PerturbOrgName(universities[static_cast<size_t>(r.univ)].name, rng)
+              : "Unknown Laboratory " + std::to_string(i);
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(affiliation), Value::Str(r.name),
+                                rng.Bernoulli(0.5) ? Value::Str("male")
+                                                   : Value::Str("female")})
+                    .ok());
+      aff_ent.push_back(r.univ);
+      name_ent.push_back(i);
+    }
+    add(std::move(table));
+  }
+
+  // Paper(author, title, conference).
+  {
+    Table table("Paper", Schema({{"author", ValueType::kString, false},
+                                 {"title", ValueType::kString, false},
+                                 {"conference", ValueType::kString, false}}));
+    std::vector<int64_t>& author_ent = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "author")];
+    std::vector<int64_t>& title_ent = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "title")];
+    std::vector<int64_t>& conf_ent = ds.entity_of[GeneratedDataset::ColumnKey("Paper", "conference")];
+    for (int64_t i = 0; i < num_papers; ++i) {
+      const PaperEntity& p = papers[static_cast<size_t>(i)];
+      std::string author =
+          p.author < num_researchers
+              ? PerturbPersonName(researchers[static_cast<size_t>(p.author)].name, rng)
+              : MakeUniquePersonName(rng, used_names);
+      const Conference& conf = kConferences[p.conference];
+      std::string conference = conf.variants[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(conf.variants.size()) - 1))];
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(author), Value::Str(p.title),
+                                Value::Str(conference)})
+                    .ok());
+      author_ent.push_back(p.author);
+      title_ent.push_back(i);
+      conf_ent.push_back(p.conference);
+    }
+    add(std::move(table));
+    for (const Conference& conf : kConferences) {
+      for (const char* variant : conf.variants) {
+        ds.constant_entity[GeneratedDataset::ConstantKey("Paper", "conference", variant)] =
+            static_cast<int64_t>(&conf - kConferences);
+      }
+      ds.constant_entity[GeneratedDataset::ConstantKey("Paper", "conference", conf.canonical)] =
+          static_cast<int64_t>(&conf - kConferences);
+    }
+  }
+
+  // Citation(title, number).
+  {
+    Table table("Citation", Schema({{"title", ValueType::kString, false},
+                                    {"number", ValueType::kInt64, false}}));
+    std::vector<int64_t>& title_ent = ds.entity_of[GeneratedDataset::ColumnKey("Citation", "title")];
+    for (int64_t i = 0; i < num_citations; ++i) {
+      double roll = rng.Uniform();
+      std::string title;
+      int64_t entity;
+      if (roll < options.citation_real) {
+        // A real citation: light perturbation, same entity.
+        int64_t paper = rng.UniformInt(0, num_papers - 1);
+        title = PerturbTitle(papers[static_cast<size_t>(paper)].title, rng);
+        entity = paper;
+      } else if (roll < options.citation_real + options.citation_near_miss) {
+        // A near miss: shares words with a real paper but is another work.
+        int64_t paper = rng.UniformInt(0, num_papers - 1);
+        title = papers[static_cast<size_t>(paper)].title;
+        title = DropRandomWord(title, rng);
+        title += ' ';
+        title += Pick(kTitleSuffix, rng);
+        entity = kExternalBase + i;
+      } else {
+        title = MakeUniqueTitle(rng, used_titles);
+        entity = kExternalBase + i;
+      }
+      CDB_CHECK(table
+                    .AppendRow({Value::Str(title),
+                                Value::Int(rng.UniformInt(0, 120))})
+                    .ok());
+      title_ent.push_back(entity);
+    }
+    add(std::move(table));
+  }
+
+  return ds;
+}
+
+}  // namespace cdb

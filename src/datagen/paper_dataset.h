@@ -1,0 +1,36 @@
+// Synthetic stand-in for the paper's `paper` benchmark dataset (Table 2):
+// four tables — Paper(author, title, conference), Citation(title, number),
+// Researcher(affiliation, name, gender), University(name, city, country) —
+// generated at the same cardinalities with ground-truth entity links and
+// realistic string variety (the paper crawled ACM/DBLP; see DESIGN.md for
+// why the substitution preserves the evaluation's shape).
+#ifndef CDB_DATAGEN_PAPER_DATASET_H_
+#define CDB_DATAGEN_PAPER_DATASET_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace cdb {
+
+struct PaperDatasetOptions {
+  // Table-2 cardinalities.
+  int64_t num_papers = 676;
+  int64_t num_citations = 1239;
+  int64_t num_researchers = 911;
+  int64_t num_universities = 830;
+  // Scales every cardinality (e.g. 0.2 for fast unit tests).
+  double scale = 1.0;
+  // Fractions controlling ground-truth density.
+  double paper_author_known = 0.6;   // Paper author appears in Researcher.
+  double citation_real = 0.4;        // Citation refers to a real paper.
+  double citation_near_miss = 0.15;  // Citation similar to a paper, no match.
+  double researcher_univ_known = 0.65;
+  uint64_t seed = 97;
+};
+
+GeneratedDataset GeneratePaperDataset(const PaperDatasetOptions& options);
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_PAPER_DATASET_H_

@@ -1,0 +1,148 @@
+#include "datagen/perturb.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/dataset.h"
+
+namespace cdb {
+
+const std::vector<int64_t>& GeneratedDataset::Entities(
+    const std::string& table, const std::string& column) const {
+  auto it = entity_of.find(ColumnKey(table, column));
+  CDB_CHECK_MSG(it != entity_of.end(), "unknown entity column");
+  return it->second;
+}
+
+int64_t GeneratedDataset::ConstantEntity(const std::string& table,
+                                         const std::string& column,
+                                         const std::string& constant) const {
+  auto it = constant_entity.find(ConstantKey(table, column, constant));
+  return it == constant_entity.end() ? kNoEntity : it->second;
+}
+
+std::string GeneratedDataset::ColumnKey(const std::string& table,
+                                        const std::string& column) {
+  return ToLower(table) + "." + ToLower(column);
+}
+
+std::string GeneratedDataset::ConstantKey(const std::string& table,
+                                          const std::string& column,
+                                          const std::string& constant) {
+  return ColumnKey(table, column) + "|" + ToLower(constant);
+}
+
+std::string IntroduceTypo(const std::string& s, Rng& rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+  char letter = static_cast<char>('a' + rng.UniformInt(0, 25));
+  switch (rng.UniformInt(0, 2)) {
+    case 0:  // Substitute.
+      out[pos] = letter;
+      break;
+    case 1:  // Insert.
+      out.insert(out.begin() + static_cast<int64_t>(pos), letter);
+      break;
+    default:  // Delete.
+      out.erase(out.begin() + static_cast<int64_t>(pos));
+      break;
+  }
+  return out;
+}
+
+std::string AbbreviateOrgWords(const std::string& s, Rng& rng) {
+  static constexpr struct {
+    const char* full;
+    const char* abbrev;
+  } kAbbreviations[] = {
+      {"university", "univ."}, {"university", "uni."},
+      {"department", "dept."}, {"department", "depart"},
+      {"institute", "inst."},  {"technology", "tech."},
+      {"international", "intl."},
+  };
+  std::vector<std::string> words = SplitWhitespace(s);
+  std::vector<std::string> out;
+  for (std::string& word : words) {
+    std::string lower = ToLower(word);
+    bool replaced = false;
+    for (const auto& entry : kAbbreviations) {
+      if (lower == entry.full && rng.Bernoulli(0.7)) {
+        std::string abbrev = entry.abbrev;
+        // Preserve leading capitalization.
+        if (!word.empty() && std::isupper(static_cast<unsigned char>(word[0]))) {
+          abbrev[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(abbrev[0])));
+        }
+        out.push_back(abbrev);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      if ((lower == "of" || lower == "the") && rng.Bernoulli(0.25)) continue;
+      out.push_back(word);
+    }
+  }
+  return Join(out, " ");
+}
+
+std::string DropRandomWord(const std::string& s, Rng& rng) {
+  std::vector<std::string> words = SplitWhitespace(s);
+  if (words.size() <= 1) return s;
+  size_t drop = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(words.size()) - 1));
+  words.erase(words.begin() + static_cast<int64_t>(drop));
+  return Join(words, " ");
+}
+
+std::string PerturbPersonName(const std::string& name, Rng& rng) {
+  std::vector<std::string> words = SplitWhitespace(name);
+  if (words.empty()) return name;
+  switch (rng.UniformInt(0, 4)) {
+    case 0: {  // First name to initial: "Michael Franklin" -> "M. Franklin".
+      if (words[0].size() > 1) words[0] = words[0].substr(0, 1) + ".";
+      break;
+    }
+    case 1: {  // Drop the middle token(s).
+      if (words.size() > 2) words.erase(words.begin() + 1, words.end() - 1);
+      break;
+    }
+    case 2: {  // Swap to "Last First".
+      if (words.size() >= 2) std::swap(words.front(), words.back());
+      break;
+    }
+    case 3: {  // Typo in one token.
+      size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(words.size()) - 1));
+      words[i] = IntroduceTypo(words[i], rng);
+      break;
+    }
+    default:  // Keep as-is (exact duplicates happen too).
+      break;
+  }
+  return Join(words, " ");
+}
+
+std::string PerturbTitle(const std::string& title, Rng& rng) {
+  std::string out = title;
+  if (rng.Bernoulli(0.4)) out = DropRandomWord(out, rng);
+  if (rng.Bernoulli(0.3)) out = IntroduceTypo(out, rng);
+  if (rng.Bernoulli(0.3)) {
+    // Singular/plural jitter on the last word.
+    if (!out.empty() && out.back() == 's') {
+      out.pop_back();
+    } else {
+      out.push_back('s');
+    }
+  }
+  return out;
+}
+
+std::string PerturbOrgName(const std::string& name, Rng& rng) {
+  std::string out = AbbreviateOrgWords(name, rng);
+  if (rng.Bernoulli(0.15)) out = IntroduceTypo(out, rng);
+  return out;
+}
+
+}  // namespace cdb

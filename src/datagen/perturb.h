@@ -1,0 +1,39 @@
+// String perturbations producing the surface variety crowdsourced joins must
+// resolve: abbreviations ("University" -> "Univ."), initialisms ("W. Bruce
+// Croft" -> "Bruce W Croft"), typos, dropped words, and synonym variants
+// ("USA" / "US" / "United States"). The generators use these to create
+// true-match pairs at varying similarity plus near-miss pairs that form RED
+// edges above the epsilon threshold.
+#ifndef CDB_DATAGEN_PERTURB_H_
+#define CDB_DATAGEN_PERTURB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cdb {
+
+// One random single-character typo (substitute, insert, or delete).
+std::string IntroduceTypo(const std::string& s, Rng& rng);
+
+// Abbreviates known long words ("University" -> "Univ.", "Department" ->
+// "Dept.", "Institute" -> "Inst.") and may drop "of"/"the".
+std::string AbbreviateOrgWords(const std::string& s, Rng& rng);
+
+// Drops a uniformly chosen word (no-op for single-word strings).
+std::string DropRandomWord(const std::string& s, Rng& rng);
+
+// Person-name variant: may reduce first/middle names to initials, drop the
+// middle name, or swap token order — the classic author-name mess.
+std::string PerturbPersonName(const std::string& name, Rng& rng);
+
+// Title variant: drops or typos words, may singularize/pluralize endings.
+std::string PerturbTitle(const std::string& title, Rng& rng);
+
+// Organization-name variant: abbreviations plus occasional typo.
+std::string PerturbOrgName(const std::string& name, Rng& rng);
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_PERTURB_H_

@@ -1,0 +1,119 @@
+#include "exec/collect_fill.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "crowd/worker.h"
+#include "quality/truth_inference.h"
+
+namespace cdb {
+
+CollectResult RunCollect(const CollectUniverse& universe,
+                         const CollectOptions& options) {
+  CDB_CHECK(!universe.entities.empty());
+  Rng rng(options.seed);
+  CollectResult result;
+  const int64_t n = static_cast<int64_t>(universe.entities.size());
+  const int64_t target = std::min(options.target_distinct, n);
+  std::vector<bool> seen(universe.entities.size(), false);
+
+  while (result.distinct_collected < target &&
+         result.questions_asked < options.max_questions) {
+    ++result.questions_asked;
+    // The worker thinks of an entity, popularity-skewed.
+    int64_t entity = rng.Zipf(n, universe.zipf_exponent);
+    if (options.autocomplete && seen[entity] &&
+        rng.Bernoulli(options.avoid_duplicate_prob)) {
+      // Autocompletion shows the value is already collected; the worker
+      // contributes something else if they can think of one.
+      std::vector<int64_t> unseen;
+      for (int64_t i = 0; i < n; ++i) {
+        if (!seen[i]) unseen.push_back(i);
+      }
+      if (!unseen.empty()) {
+        entity = unseen[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(unseen.size()) - 1))];
+      }
+    }
+    const CollectUniverse::Entity& ent = universe.entities[entity];
+    if (seen[entity]) {
+      ++result.duplicates;
+      continue;  // Post-hoc entity resolution discards it; budget is gone.
+    }
+    seen[entity] = true;
+    ++result.distinct_collected;
+    result.questions_at_distinct.push_back(result.questions_asked);
+    if (options.autocomplete || ent.variants.empty()) {
+      // Autocompletion canonicalizes the surface form.
+      result.collected.push_back(ent.canonical);
+    } else {
+      // Baseline: the worker types whatever variant they know.
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ent.variants.size())));
+      result.collected.push_back(pick == ent.variants.size()
+                                     ? ent.canonical
+                                     : ent.variants[pick]);
+    }
+  }
+  return result;
+}
+
+FillResult RunFill(const std::vector<FillTaskSpec>& specs,
+                   const FillOptions& options) {
+  Rng rng(options.seed);
+  std::vector<SimulatedWorker> workers =
+      MakeWorkerPool(options.num_workers, options.worker_quality_mean,
+                     options.worker_quality_stddev, rng);
+  FillResult result;
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const FillTaskSpec& spec = specs[i];
+    Task task;
+    task.id = static_cast<TaskId>(i);
+    task.type = TaskType::kFillInBlank;
+    task.question = spec.question;
+    TaskTruth truth;
+    truth.correct_text = spec.truth;
+    truth.wrong_text_pool = spec.wrong_pool;
+
+    std::vector<Answer> answers;
+    // Distinct workers for this cell, random order.
+    std::vector<size_t> order(workers.size());
+    for (size_t w = 0; w < order.size(); ++w) order[w] = w;
+    rng.Shuffle(order);
+    int redundancy = std::min<int>(options.redundancy,
+                                   static_cast<int>(workers.size()));
+    for (int k = 0; k < redundancy; ++k) {
+      answers.push_back(workers[order[static_cast<size_t>(k)]].AnswerTask(
+          task, truth, rng));
+      ++result.answers_collected;
+      if (options.early_stop &&
+          static_cast<int>(answers.size()) >= options.agree_needed) {
+        // Stop early when agree_needed answers are mutually similar.
+        int agree = 0;
+        for (size_t a = 0; a < answers.size() && agree < options.agree_needed;
+             ++a) {
+          int similar = 0;
+          for (size_t b = 0; b < answers.size(); ++b) {
+            if (a == b) continue;
+            if (ComputeSimilarity(options.sim_fn, answers[a].text,
+                                  answers[b].text) >= options.agree_similarity) {
+              ++similar;
+            }
+          }
+          if (similar + 1 >= options.agree_needed) agree = options.agree_needed;
+        }
+        if (agree >= options.agree_needed) break;
+      }
+    }
+
+    std::string value = InferFillInBlank(answers, options.sim_fn);
+    ++result.cells_filled;
+    if (value == spec.truth) ++result.cells_correct;
+    result.values.push_back(std::move(value));
+  }
+  return result;
+}
+
+}  // namespace cdb

@@ -1,0 +1,282 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+#include "cost/budget.h"
+#include "cost/expectation.h"
+#include "cost/sampling.h"
+#include "graph/pruning.h"
+#include "latency/scheduler.h"
+#include "quality/task_assignment.h"
+#include "quality/truth_inference.h"
+
+namespace cdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Uniform front for a single simulated platform or a cross-market deployment
+// (Section 2.2): the executor only sees ExecuteRound + stats.
+class MarketFront {
+ public:
+  MarketFront(const ExecutorOptions& options, TruthProvider truth) {
+    if (options.markets.empty()) {
+      single_ = std::make_unique<CrowdPlatform>(options.platform, std::move(truth));
+    } else {
+      multi_ = std::make_unique<MultiMarket>(options.markets, std::move(truth));
+    }
+  }
+
+  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
+                                   const AssignmentPolicy* policy,
+                                   const AnswerObserver* observer) {
+    return single_ ? single_->ExecuteRound(tasks, policy, observer)
+                   : multi_->ExecuteRound(tasks, policy, observer);
+  }
+
+  PlatformStats stats() const {
+    return single_ ? single_->stats() : multi_->CombinedStats();
+  }
+
+ private:
+  std::unique_ptr<CrowdPlatform> single_;
+  std::unique_ptr<MultiMarket> multi_;
+};
+
+// Marker payload for golden warm-up tasks: strictly negative; the known
+// truth is parity of the id.
+int GoldenTruthChoice(int64_t payload) {
+  return static_cast<int>((-payload) % 2);
+}
+
+}  // namespace
+
+CdbExecutor::CdbExecutor(const ResolvedQuery* query,
+                         const ExecutorOptions& options, EdgeTruthFn truth)
+    : query_(query), options_(options), truth_(std::move(truth)) {}
+
+std::string CdbExecutor::EdgeValueString(VertexId v, int pred) const {
+  const Vertex& vertex = graph_.vertex(v);
+  if (vertex.rel < graph_.num_base_relations()) {
+    const Table* table = query_->tables[vertex.rel];
+    const PredicateInfo& info = graph_.predicate(pred);
+    size_t col;
+    if (pred < static_cast<int>(query_->joins.size())) {
+      const ResolvedJoin& join = query_->joins[pred];
+      col = info.left_rel == vertex.rel ? join.left_col : join.right_col;
+    } else {
+      col = query_->selections[pred - query_->joins.size()].col;
+    }
+    const Value& cell =
+        table->row(static_cast<size_t>(vertex.row))[col];
+    return cell.is_missing() ? std::string() : cell.ToString();
+  }
+  // Selection pseudo-vertex: the constant.
+  size_t sel = static_cast<size_t>(vertex.rel - graph_.num_base_relations());
+  return query_->selections[sel].value;
+}
+
+std::vector<Task> CdbExecutor::MakeTasks(const std::vector<EdgeId>& edges) const {
+  std::vector<Task> tasks;
+  tasks.reserve(edges.size());
+  for (EdgeId e : edges) {
+    const GraphEdge& edge = graph_.edge(e);
+    tasks.push_back(MakeEdgeTask(/*id=*/e, /*edge=*/e,
+                                 EdgeValueString(edge.u, edge.pred),
+                                 EdgeValueString(edge.v, edge.pred)));
+  }
+  return tasks;
+}
+
+Result<ExecutionResult> CdbExecutor::Run() {
+  CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, options_.graph));
+  Pruner pruner(&graph_);
+
+  ExecutionResult result;
+  ExecutionStats& stats = result.stats;
+
+  // The simulated crowd (single market or cross-market). TaskId == EdgeId by
+  // construction; negative payloads mark golden warm-up tasks.
+  MarketFront platform(options_, [this](const Task& task) {
+    TaskTruth truth;
+    if (task.payload < 0) {
+      truth.correct_choice = GoldenTruthChoice(task.payload);
+    } else {
+      truth.correct_choice =
+          truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
+    }
+    return truth;
+  });
+
+  // Quality-control state (CDB+): accumulated observations, EM worker
+  // qualities carried across rounds, and live posteriors for the assigner.
+  std::vector<ChoiceObservation> all_observations;
+  std::map<int, double> worker_quality;
+  std::map<TaskId, std::vector<double>> posteriors;
+  EntropyAssigner assigner(&posteriors, &worker_quality, /*num_choices=*/2);
+  AssignmentPolicy policy = assigner.AsPolicy();
+  AnswerObserver observer = [&](const Answer& answer) {
+    auto it = posteriors.find(answer.task);
+    if (it == posteriors.end()) return;
+    double q = 0.7;
+    auto wq = worker_quality.find(answer.worker);
+    if (wq != worker_quality.end()) q = wq->second;
+    it->second = PosteriorAfterAnswer(it->second, q, answer.choice);
+  };
+
+  // Golden warm-up (Appendix E): estimate worker qualities from known-truth
+  // tasks before any query task is assigned.
+  if (options_.quality_control && options_.golden_tasks > 0) {
+    std::vector<Task> golden;
+    std::map<TaskId, int> golden_truths;
+    for (int k = 0; k < options_.golden_tasks; ++k) {
+      Task task;
+      task.id = -(k + 1);
+      task.payload = -(k + 1);
+      task.type = TaskType::kSingleChoice;
+      task.question = "golden warm-up";
+      task.choices = {"yes", "no"};
+      golden_truths[task.id] = GoldenTruthChoice(task.payload);
+      golden.push_back(std::move(task));
+    }
+    std::vector<ChoiceObservation> golden_observations;
+    for (const Answer& answer : platform.ExecuteRound(golden, nullptr, nullptr)) {
+      golden_observations.push_back(
+          ChoiceObservation{answer.task, answer.worker, answer.choice});
+    }
+    worker_quality = QualityFromGoldenTasks(golden_observations, golden_truths);
+  }
+
+  // Sampling order is computed once (the paper fixes the sample-derived order
+  // and consumes it with pruning).
+  std::vector<EdgeId> sampling_order;
+  if (!options_.budget && options_.cost_method == CostMethod::kSampling) {
+    Clock::time_point start = Clock::now();
+    sampling_order = SampleMinCutOrder(
+        graph_, SamplingOptions{options_.sampling_samples,
+                                options_.platform.seed ^ 0x5eedULL});
+    stats.selection_ms += MsSince(start);
+  }
+
+  int64_t budget_left = options_.budget.value_or(0);
+  while (true) {
+    // --- Cost control: pick the tasks of this round. ---
+    Clock::time_point start = Clock::now();
+    std::vector<EdgeId> round_edges;
+    if (options_.budget) {
+      round_edges = BudgetNextBatch(graph_);
+      if (static_cast<int64_t>(round_edges.size()) > budget_left) {
+        round_edges.resize(static_cast<size_t>(budget_left));
+      }
+    } else {
+      std::vector<EdgeId> ordered;
+      if (options_.cost_method == CostMethod::kExpectation) {
+        for (const ScoredEdge& se : ExpectationOrder(graph_, pruner)) {
+          ordered.push_back(se.edge);
+        }
+      } else {
+        for (EdgeId e : sampling_order) {
+          if (graph_.edge(e).color == EdgeColor::kUnknown && pruner.EdgeValid(e)) {
+            ordered.push_back(e);
+          }
+        }
+      }
+      if (ordered.empty()) {
+        stats.selection_ms += MsSince(start);
+        break;
+      }
+      if (options_.round_limit &&
+          stats.rounds >= static_cast<int64_t>(*options_.round_limit) - 1) {
+        // Last permitted round: flush everything that is left.
+        round_edges = ordered;
+      } else {
+        round_edges =
+            SelectParallelRound(graph_, pruner, ordered, options_.latency_mode,
+                                options_.greedy_round_fraction);
+      }
+    }
+    stats.selection_ms += MsSince(start);
+    if (round_edges.empty()) break;
+
+    // --- Publish to the crowd. ---
+    std::vector<Task> tasks = MakeTasks(round_edges);
+    if (options_.quality_control) {
+      for (const Task& task : tasks) {
+        double w = graph_.edge(static_cast<EdgeId>(task.payload)).weight;
+        posteriors[task.id] = {w, 1.0 - w};  // Similarity as the prior.
+      }
+    }
+    std::vector<Answer> answers = platform.ExecuteRound(
+        tasks, options_.quality_control ? &policy : nullptr,
+        options_.quality_control ? &observer : nullptr);
+
+    for (const Answer& answer : answers) {
+      all_observations.push_back(
+          ChoiceObservation{answer.task, answer.worker, answer.choice});
+    }
+
+    // --- Quality control: infer the truth of this round's tasks. ---
+    InferenceResult inference;
+    if (options_.quality_control) {
+      EmOptions em;
+      em.num_choices = 2;
+      em.quality_priors = worker_quality;
+      inference = InferSingleChoiceEm(all_observations, em);
+      worker_quality = inference.worker_quality;
+    } else {
+      inference = InferSingleChoiceMajority(all_observations, 2);
+    }
+    for (EdgeId e : round_edges) {
+      int truth_choice = inference.Truth(e);
+      CDB_CHECK(truth_choice >= 0);
+      graph_.SetColor(e, truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed);
+    }
+
+    pruner.Recompute();
+    stats.tasks_asked += static_cast<int64_t>(round_edges.size());
+    stats.round_sizes.push_back(static_cast<int64_t>(round_edges.size()));
+    ++stats.rounds;
+
+    if (options_.budget) {
+      budget_left -= static_cast<int64_t>(round_edges.size());
+      if (budget_left <= 0) break;
+    }
+    if (options_.round_limit &&
+        stats.rounds >= static_cast<int64_t>(*options_.round_limit)) {
+      break;
+    }
+  }
+
+  stats.worker_answers = platform.stats().answers_collected;
+  stats.hits_published = platform.stats().hits_published;
+  stats.dollars_spent = platform.stats().dollars_spent;
+  result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
+  return result;
+}
+
+std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
+                                              const std::vector<Assignment>& as) {
+  std::vector<QueryAnswer> answers;
+  answers.reserve(as.size());
+  for (const Assignment& assignment : as) {
+    QueryAnswer answer;
+    answer.rows.reserve(graph.num_base_relations());
+    for (int rel = 0; rel < graph.num_base_relations(); ++rel) {
+      answer.rows.push_back(graph.vertex(assignment[rel]).row);
+    }
+    answers.push_back(std::move(answer));
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace cdb

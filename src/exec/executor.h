@@ -1,0 +1,112 @@
+// The CDB query executor (Algorithm 1, Appendix B): build the graph, select
+// tasks (cost control), batch the non-conflicting ones per round (latency
+// control), publish them to the crowd platform, infer truths and color the
+// graph (quality control), and repeat until every valid edge is colored.
+//
+// Method matrix (the paper's names):
+//   CDB     = kExpectation cost method, majority-vote inference.
+//   CDB+    = kExpectation + quality_control (EM inference + entropy-based
+//             online task assignment).
+//   MinCut  = kSampling cost method (per-sample Lemma-1 min-cuts).
+// A task budget switches to the Section-5.1.3 budget-aware mode; round_limit
+// reproduces the Figure-22 latency-constraint protocol (optimize the first
+// r-1 rounds, flush everything in round r).
+#ifndef CDB_EXEC_EXECUTOR_H_
+#define CDB_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/analyzer.h"
+#include "crowd/platform.h"
+#include "graph/candidates.h"
+#include "graph/query_graph.h"
+#include "latency/scheduler.h"
+
+namespace cdb {
+
+// Simulation oracle: the true answer of an edge's yes/no task.
+using EdgeTruthFn = std::function<bool(const QueryGraph&, EdgeId)>;
+
+enum class CostMethod {
+  kExpectation,  // Eq. 1 scores (the CDB default).
+  kSampling,     // Sample-based min-cut greedy (the MinCut method).
+};
+
+struct ExecutorOptions {
+  CostMethod cost_method = CostMethod::kExpectation;
+  bool quality_control = false;  // CDB+: EM inference + entropy assignment.
+  LatencyMode latency_mode = LatencyMode::kVertexGreedy;
+  double greedy_round_fraction = 0.34;  // See SelectParallelRound.
+  GraphOptions graph;
+  PlatformOptions platform;
+  // Cross-market deployment (Section 2.2): when non-empty, tasks are
+  // partitioned across these simulated markets instead of `platform`.
+  std::vector<PlatformOptions> markets;
+  // Golden tasks (Appendix E): with quality_control on, publish this many
+  // known-truth warm-up tasks first and initialize worker qualities from the
+  // answers (instead of the flat 0.7 prior).
+  int golden_tasks = 0;
+  int sampling_samples = 100;
+  std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
+  std::optional<int> round_limit;    // Figure-22 latency constraint.
+};
+
+struct ExecutionStats {
+  int64_t tasks_asked = 0;
+  int64_t rounds = 0;
+  int64_t worker_answers = 0;
+  int64_t hits_published = 0;
+  double dollars_spent = 0.0;
+  double selection_ms = 0.0;  // Time in task selection + round scheduling.
+  std::vector<int64_t> round_sizes;
+};
+
+// One result tuple: the row index per base relation.
+struct QueryAnswer {
+  std::vector<int64_t> rows;
+
+  friend bool operator==(const QueryAnswer& a, const QueryAnswer& b) {
+    return a.rows == b.rows;
+  }
+  friend bool operator<(const QueryAnswer& a, const QueryAnswer& b) {
+    return a.rows < b.rows;
+  }
+};
+
+struct ExecutionResult {
+  std::vector<QueryAnswer> answers;
+  ExecutionStats stats;
+};
+
+class CdbExecutor {
+ public:
+  // `query` (and the tables it borrows) must outlive the executor.
+  CdbExecutor(const ResolvedQuery* query, const ExecutorOptions& options,
+              EdgeTruthFn truth);
+
+  // Runs the crowdsourcing loop to completion.
+  Result<ExecutionResult> Run();
+
+  // The graph after Run() — e.g. for inspecting colors in tests.
+  const QueryGraph& graph() const { return graph_; }
+
+ private:
+  std::vector<Task> MakeTasks(const std::vector<EdgeId>& edges) const;
+  std::string EdgeValueString(VertexId v, int col_side_pred) const;
+
+  const ResolvedQuery* query_;
+  ExecutorOptions options_;
+  EdgeTruthFn truth_;
+  QueryGraph graph_;
+};
+
+// Converts graph assignments to base-relation row answers (sorted, unique).
+std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
+                                              const std::vector<Assignment>& as);
+
+}  // namespace cdb
+
+#endif  // CDB_EXEC_EXECUTOR_H_

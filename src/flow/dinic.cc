@@ -1,0 +1,83 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+int MaxFlow::AddArc(int from, int to, int64_t capacity) {
+  CDB_DCHECK(from >= 0 && from < num_nodes());
+  CDB_DCHECK(to >= 0 && to < num_nodes());
+  CDB_DCHECK(capacity >= 0);
+  int id = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, head_[from], capacity, capacity});
+  head_[from] = id;
+  arcs_.push_back(Arc{from, head_[to], 0, 0});
+  head_[to] = id + 1;
+  return id;
+}
+
+bool MaxFlow::Bfs(int s, int t) {
+  level_.assign(num_nodes(), -1);
+  std::vector<int> queue = {s};
+  level_[s] = 0;
+  for (size_t headi = 0; headi < queue.size(); ++headi) {
+    int v = queue[headi];
+    for (int a = head_[v]; a != -1; a = arcs_[a].next) {
+      if (arcs_[a].capacity > 0 && level_[arcs_[a].to] == -1) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] != -1;
+}
+
+int64_t MaxFlow::Dfs(int v, int t, int64_t limit) {
+  if (v == t) return limit;
+  for (int& a = iter_[v]; a != -1; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.capacity <= 0 || level_[arc.to] != level_[v] + 1) continue;
+    int64_t pushed = Dfs(arc.to, t, std::min(limit, arc.capacity));
+    if (pushed > 0) {
+      arc.capacity -= pushed;
+      arcs_[a ^ 1].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::Compute(int s, int t) {
+  CDB_CHECK(s != t);
+  int64_t flow = 0;
+  while (Bfs(s, t)) {
+    iter_ = head_;
+    while (true) {
+      int64_t pushed = Dfs(s, t, std::numeric_limits<int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::SourceSide(int s) const {
+  std::vector<bool> reachable(num_nodes(), false);
+  std::vector<int> queue = {s};
+  reachable[s] = true;
+  for (size_t headi = 0; headi < queue.size(); ++headi) {
+    int v = queue[headi];
+    for (int a = head_[v]; a != -1; a = arcs_[a].next) {
+      if (arcs_[a].capacity > 0 && !reachable[arcs_[a].to]) {
+        reachable[arcs_[a].to] = true;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace cdb

@@ -1,0 +1,62 @@
+// Dinic's max-flow algorithm. Used to compute the min cut of the Lemma-1
+// flow network (Section 5.1.1): blue edges get infinite capacity, red edges
+// capacity 1, so the min cut is the smallest set of RED edges refuting every
+// alternative chain.
+#ifndef CDB_FLOW_DINIC_H_
+#define CDB_FLOW_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cdb {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes) : head_(num_nodes, -1) {}
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  // Adds a node and returns its id.
+  int AddNode() {
+    head_.push_back(-1);
+    return num_nodes() - 1;
+  }
+
+  // Adds a directed arc with the given capacity; returns the arc id. The
+  // reverse (residual) arc is id ^ 1.
+  int AddArc(int from, int to, int64_t capacity);
+
+  // Runs Dinic from s to t; returns the max-flow value. May be called once.
+  int64_t Compute(int s, int t);
+
+  // After Compute: nodes reachable from s in the residual network (the
+  // source side of a min cut).
+  std::vector<bool> SourceSide(int s) const;
+
+  int arc_from(int id) const { return arcs_[id ^ 1].to; }
+  int arc_to(int id) const { return arcs_[id].to; }
+  int64_t arc_capacity(int id) const { return arcs_[id].original_capacity; }
+  int64_t arc_flow(int id) const {
+    return arcs_[id].original_capacity - arcs_[id].capacity;
+  }
+
+ private:
+  struct Arc {
+    int to = 0;
+    int next = -1;  // Next arc out of the same node (intrusive list).
+    int64_t capacity = 0;
+    int64_t original_capacity = 0;
+  };
+
+  bool Bfs(int s, int t);
+  int64_t Dfs(int v, int t, int64_t limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_FLOW_DINIC_H_

@@ -1,0 +1,40 @@
+// The Lemma-1 flow construction (Section 5.1.1): with every edge color known,
+// the edges worth asking are (a) the edges on all-BLUE chains — they are in
+// answers and cannot be inferred — and (b) the RED edges of a minimum cut of
+// a layered flow network in which BLUE edges have infinite capacity. Every
+// other edge can be pruned.
+//
+// The network is built over a ChainPlan, so trees and cyclic queries reuse
+// the construction after the Section-5.1.1 chain transformation (at the cost
+// of duplicated relation occurrences, exactly as in the paper).
+#ifndef CDB_FLOW_MIN_CUT_H_
+#define CDB_FLOW_MIN_CUT_H_
+
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "graph/structure.h"
+
+namespace cdb {
+
+// Output of the known-color chain selection.
+struct ChainSelection {
+  std::vector<EdgeId> blue_chain_edges;  // Must ask: they form the answers.
+  std::vector<EdgeId> cut_edges;         // Must ask: RED edges of the min cut.
+
+  std::vector<EdgeId> AllEdges() const {
+    std::vector<EdgeId> all = blue_chain_edges;
+    all.insert(all.end(), cut_edges.begin(), cut_edges.end());
+    return all;
+  }
+};
+
+// Runs the Lemma-1 selection. `colors[e]` supplies the (known or sampled)
+// color of every edge and must be kBlue or kRed for each edge of the graph.
+ChainSelection ChainMinCutSelection(const QueryGraph& graph,
+                                    const ChainPlan& plan,
+                                    const std::vector<EdgeColor>& colors);
+
+}  // namespace cdb
+
+#endif  // CDB_FLOW_MIN_CUT_H_

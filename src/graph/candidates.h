@@ -1,0 +1,68 @@
+// Candidate and answer machinery (Definitions 2 and 4).
+//
+// A candidate is a connected substructure with one edge per query predicate;
+// equivalently, an assignment of one tuple-vertex per relation such that for
+// every predicate an edge exists between the assigned endpoints. An answer is
+// a candidate whose edges are all BLUE.
+#ifndef CDB_GRAPH_CANDIDATES_H_
+#define CDB_GRAPH_CANDIDATES_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/query_graph.h"
+
+namespace cdb {
+
+// An assignment of one vertex per relation (base + selection pseudo
+// relations, in relation order).
+using Assignment = std::vector<VertexId>;
+
+// The edge between u and v for predicate p, or kNoEdge.
+EdgeId FindEdgeBetween(const QueryGraph& graph, VertexId u, VertexId v, int p);
+
+// The edge ids a full assignment uses, one per predicate.
+std::vector<EdgeId> AssignmentEdges(const QueryGraph& graph,
+                                    const Assignment& assignment);
+
+// True iff a candidate exists all of whose edges satisfy `edge_ok`,
+// respecting `fixed` (kNoVertex entries are free; others are pinned).
+// Exact for any predicate-graph shape (backtracking search).
+bool ExistsCandidate(const QueryGraph& graph,
+                     const std::vector<VertexId>& fixed,
+                     const std::function<bool(const GraphEdge&)>& edge_ok);
+
+// True iff edge `e` lies on at least one candidate whose edges are all
+// non-RED. This is the exact form of Definition 3 (Pruner::EdgeValid is the
+// fast arc-consistency form, identical on acyclic group graphs).
+bool EdgeValidExact(const QueryGraph& graph, EdgeId e);
+
+// True iff e1 and e2 can appear in the same surviving (non-RED) candidate —
+// the "conflict" test of Section 5.2. Edges touching two different tuples of
+// the same relation are never in conflict.
+bool EdgesConflict(const QueryGraph& graph, EdgeId e1, EdgeId e2);
+
+// All answers: assignments whose every predicate edge is BLUE.
+std::vector<Assignment> FindAnswers(const QueryGraph& graph);
+
+// Enumerates candidates whose edges are all non-RED, invoking `visit` for
+// each; stops early (returning false from visit aborts enumeration).
+void EnumerateCandidates(const QueryGraph& graph,
+                         const std::function<bool(const Assignment&)>& visit);
+
+// The surviving candidate maximizing the product of edge weights, where
+// already-BLUE edges count as weight 1 (Section 5.1.3). Candidates whose
+// edges are all BLUE (answers already found) are skipped when
+// `require_unknown` is true. Returns nullopt if none exists.
+struct ScoredCandidate {
+  Assignment assignment;
+  double probability = 0.0;
+};
+std::optional<ScoredCandidate> BestCandidate(const QueryGraph& graph,
+                                             bool require_unknown);
+
+}  // namespace cdb
+
+#endif  // CDB_GRAPH_CANDIDATES_H_

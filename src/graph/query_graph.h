@@ -1,0 +1,161 @@
+// The graph query model (Section 4, Definitions 1-4).
+//
+// Given a resolved CQL query and the database, the graph has one vertex per
+// tuple of each FROM table plus one pseudo-vertex per selection predicate
+// (Section 4.2). For each crowd predicate there is an edge between two
+// vertices whenever the matching probability (string similarity) is at least
+// epsilon; traditional predicates contribute weight-1 edges that are colored
+// BLUE without crowdsourcing. Crowd edges start Unknown and are colored BLUE
+// (values match) or RED (they do not) from crowd answers.
+#ifndef CDB_GRAPH_QUERY_GRAPH_H_
+#define CDB_GRAPH_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/analyzer.h"
+#include "similarity/similarity.h"
+
+namespace cdb {
+
+enum class EdgeColor : uint8_t {
+  kUnknown,  // Not yet asked.
+  kBlue,     // Values satisfy the predicate (solid edge in the paper).
+  kRed,      // Values do not satisfy it (dotted edge).
+};
+
+using VertexId = int32_t;
+using EdgeId = int32_t;
+inline constexpr VertexId kNoVertex = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+// One tuple (or selection constant) in the graph.
+struct Vertex {
+  int rel = 0;      // Relation index: base tables first, then one
+                    // pseudo-relation per selection predicate.
+  int64_t row = 0;  // Row index in the base table; 0 for selection vertices.
+};
+
+struct GraphEdge {
+  VertexId u = kNoVertex;  // Endpoint in the predicate's left relation.
+  VertexId v = kNoVertex;  // Endpoint in the predicate's right relation.
+  int pred = 0;            // Predicate index.
+  double weight = 0.0;     // Matching probability omega(e) in [epsilon, 1].
+  EdgeColor color = EdgeColor::kUnknown;
+  bool is_crowd = true;    // Traditional-predicate edges are BLUE from birth.
+};
+
+// Relation-level description of one predicate.
+struct PredicateInfo {
+  bool is_crowd = true;
+  bool is_selection = false;
+  int left_rel = 0;
+  int right_rel = 0;  // For selections: the pseudo-relation of the constant.
+};
+
+struct GraphOptions {
+  SimilarityFunction sim_fn = SimilarityFunction::kQGramJaccard;
+  double epsilon = 0.3;  // Edges below this matching probability are dropped.
+};
+
+// The materialized tuple-level graph. Vertices exist only for tuples with at
+// least one edge (isolated tuples cannot participate in any candidate).
+class QueryGraph {
+ public:
+  // An empty graph; populate with Build().
+  QueryGraph() = default;
+
+  // Builds the graph for `query`, running similarity joins per crowd
+  // predicate and exact matching per traditional predicate.
+  static Result<QueryGraph> Build(const ResolvedQuery& query,
+                                  const GraphOptions& options);
+
+  // One edge of a hand-built graph (tests, tools, worked paper examples):
+  // connects row `left_row` of the predicate's left relation with row
+  // `right_row` of its right relation.
+  struct SyntheticEdge {
+    int pred = 0;
+    int64_t left_row = 0;
+    int64_t right_row = 0;
+    double weight = 0.5;
+    bool is_crowd = true;
+    EdgeColor color = EdgeColor::kUnknown;
+  };
+
+  // Builds a graph directly from predicates and explicit weighted edges,
+  // bypassing tables and similarity joins. Relation count is derived from
+  // the predicate endpoints; `num_base_relations` counts those that are not
+  // selection pseudo-relations.
+  static QueryGraph MakeSynthetic(int num_base_relations,
+                                  std::vector<PredicateInfo> predicates,
+                                  const std::vector<SyntheticEdge>& edges);
+
+  // --- Relation-level structure ---
+  int num_relations() const { return static_cast<int>(relation_sizes_.size()); }
+  int num_base_relations() const { return num_base_relations_; }
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  const PredicateInfo& predicate(int p) const { return predicates_[p]; }
+  // Predicates incident to relation `rel`.
+  const std::vector<int>& relation_predicates(int rel) const {
+    return relation_predicates_[rel];
+  }
+  // Number of distinct tuples of `rel` present in the graph.
+  int64_t relation_size(int rel) const { return relation_sizes_[rel]; }
+
+  // --- Vertices and edges ---
+  int32_t num_vertices() const { return static_cast<int32_t>(vertices_.size()); }
+  int32_t num_edges() const { return static_cast<int32_t>(edges_.size()); }
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+  const GraphEdge& edge(EdgeId e) const { return edges_[e]; }
+
+  // Vertex lookup; kNoVertex if the tuple has no edges.
+  VertexId FindVertex(int rel, int64_t row) const;
+  // All vertices belonging to relation `rel`.
+  const std::vector<VertexId>& relation_vertices(int rel) const {
+    return relation_vertices_[rel];
+  }
+
+  // Edges incident to `v` for predicate `p` (empty if none).
+  const std::vector<EdgeId>& IncidentEdges(VertexId v, int p) const;
+  // All edges incident to `v` (concatenation over predicates).
+  std::vector<EdgeId> AllIncidentEdges(VertexId v) const;
+  // The endpoint of `e` opposite to `v`.
+  VertexId Opposite(EdgeId e, VertexId v) const;
+
+  // Colors an edge from a crowd answer (or inference). Coloring an already
+  // colored edge with a different color is a programmer error.
+  void SetColor(EdgeId e, EdgeColor color);
+
+  // Convenience counters.
+  int64_t CountEdges(EdgeColor color) const;
+
+  // Renders a small graph for debugging: one line per edge.
+  std::string DebugString() const;
+
+ private:
+  VertexId InternVertex(int rel, int64_t row);
+  void AddEdge(VertexId u, VertexId v, int p, double weight, bool is_crowd,
+               EdgeColor color);
+
+  int num_base_relations_ = 0;
+  std::vector<PredicateInfo> predicates_;
+  std::vector<std::vector<int>> relation_predicates_;
+  std::vector<int64_t> relation_sizes_;
+
+  std::vector<Vertex> vertices_;
+  std::vector<GraphEdge> edges_;
+  // vertex_index_[rel] maps row -> VertexId.
+  std::vector<std::unordered_map<int64_t, VertexId>> vertex_index_;
+  std::vector<std::vector<VertexId>> relation_vertices_;
+  // incident_[v][p] lists edge ids of predicate p at vertex v.
+  std::vector<std::vector<std::vector<EdgeId>>> incident_;
+
+  static const std::vector<EdgeId> kEmptyEdgeList;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_GRAPH_QUERY_GRAPH_H_

@@ -1,0 +1,216 @@
+#include "graph/structure.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace cdb {
+namespace {
+
+// Spanning-tree node: a relation occurrence. Non-tree groups of cyclic
+// queries re-attach through duplicated occurrences, per Section 5.1.1.
+struct TreeNode {
+  int rel = 0;
+  std::vector<std::pair<int, int>> children;  // (child node, connecting group).
+  int parent = -1;
+  int parent_group = -1;
+};
+
+struct SpanningTree {
+  std::vector<TreeNode> nodes;  // nodes[0] is the root.
+};
+
+SpanningTree BuildSpanningTree(const RelGraph& rel_graph, int num_relations) {
+  SpanningTree tree;
+  std::vector<int> node_of_rel(num_relations, -1);
+  std::vector<bool> group_used(rel_graph.groups.size(), false);
+
+  tree.nodes.push_back(TreeNode{0, {}, -1, -1});
+  node_of_rel[0] = 0;
+  // BFS over relations.
+  std::vector<int> queue = {0};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int rel = queue[head];
+    for (int g : rel_graph.adjacent_groups[rel]) {
+      const RelGraph::Group& group = rel_graph.groups[g];
+      int other = group.rel_a == rel ? group.rel_b : group.rel_a;
+      if (node_of_rel[other] != -1) continue;
+      group_used[g] = true;
+      int child = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back(TreeNode{other, {}, node_of_rel[rel], g});
+      tree.nodes[node_of_rel[rel]].children.push_back({child, g});
+      node_of_rel[other] = child;
+      queue.push_back(other);
+    }
+  }
+  // Re-attach non-tree groups through duplicated occurrences.
+  for (size_t g = 0; g < rel_graph.groups.size(); ++g) {
+    if (group_used[g]) continue;
+    const RelGraph::Group& group = rel_graph.groups[g];
+    int anchor = node_of_rel[group.rel_a];
+    int dup_rel = group.rel_b;
+    CDB_CHECK(anchor != -1);
+    int child = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back(TreeNode{dup_rel, {}, anchor, static_cast<int>(g)});
+    tree.nodes[anchor].children.push_back({child, static_cast<int>(g)});
+  }
+  return tree;
+}
+
+// Longest path in the tree (two-pass BFS on node indexes). Returns the node
+// sequence from one end to the other.
+std::vector<int> LongestPath(const SpanningTree& tree) {
+  auto farthest = [&](int start) {
+    std::vector<int> dist(tree.nodes.size(), -1);
+    std::vector<int> prev(tree.nodes.size(), -1);
+    std::vector<int> queue = {start};
+    dist[start] = 0;
+    int best = start;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      int n = queue[head];
+      std::vector<int> neighbors;
+      for (auto [c, g] : tree.nodes[n].children) neighbors.push_back(c);
+      if (tree.nodes[n].parent != -1) neighbors.push_back(tree.nodes[n].parent);
+      for (int m : neighbors) {
+        if (dist[m] != -1) continue;
+        dist[m] = dist[n] + 1;
+        prev[m] = n;
+        if (dist[m] > dist[best]) best = m;
+        queue.push_back(m);
+      }
+    }
+    return std::make_pair(best, prev);
+  };
+  auto [end_a, prev_a] = farthest(0);
+  auto [end_b, prev_b] = farthest(end_a);
+  std::vector<int> path;
+  for (int n = end_b; n != -1; n = prev_b[n]) path.push_back(n);
+  // path runs end_b -> end_a; orientation does not matter.
+  return path;
+}
+
+int GroupBetween(const SpanningTree& tree, int a, int b) {
+  for (auto [c, g] : tree.nodes[a].children) {
+    if (c == b) return g;
+  }
+  if (tree.nodes[a].parent == b) return tree.nodes[a].parent_group;
+  CDB_CHECK_MSG(false, "nodes are not adjacent in the spanning tree");
+  return -1;
+}
+
+// Appends an Euler down-and-back walk of the subtree rooted at `node`,
+// entered from `from` (excluded from recursion). The walk starts and ends at
+// `node`; the caller has already emitted `node`.
+void EulerDetour(const SpanningTree& tree, int node, int from,
+                 ChainPlan& plan) {
+  std::vector<int> neighbors;
+  for (auto [c, g] : tree.nodes[node].children) neighbors.push_back(c);
+  if (tree.nodes[node].parent != -1) neighbors.push_back(tree.nodes[node].parent);
+  for (int next : neighbors) {
+    if (next == from) continue;
+    int group = GroupBetween(tree, node, next);
+    plan.occ_group.push_back(group);
+    plan.occ_rel.push_back(tree.nodes[next].rel);
+    EulerDetour(tree, next, node, plan);
+    plan.occ_group.push_back(group);
+    plan.occ_rel.push_back(tree.nodes[node].rel);
+  }
+}
+
+}  // namespace
+
+const char* JoinStructureName(JoinStructure s) {
+  switch (s) {
+    case JoinStructure::kChain:
+      return "chain";
+    case JoinStructure::kStar:
+      return "star";
+    case JoinStructure::kTree:
+      return "tree";
+    case JoinStructure::kCyclic:
+      return "cyclic";
+  }
+  return "?";
+}
+
+RelGraph BuildRelGraph(const QueryGraph& graph) {
+  RelGraph out;
+  std::map<std::pair<int, int>, int> index;
+  for (int p = 0; p < graph.num_predicates(); ++p) {
+    const PredicateInfo& info = graph.predicate(p);
+    auto key = info.left_rel < info.right_rel
+                   ? std::make_pair(info.left_rel, info.right_rel)
+                   : std::make_pair(info.right_rel, info.left_rel);
+    auto [it, inserted] = index.try_emplace(key, static_cast<int>(out.groups.size()));
+    if (inserted) out.groups.push_back({key.first, key.second, {}});
+    out.groups[it->second].preds.push_back(p);
+  }
+  out.adjacent_groups.assign(graph.num_relations(), {});
+  for (size_t g = 0; g < out.groups.size(); ++g) {
+    out.adjacent_groups[out.groups[g].rel_a].push_back(static_cast<int>(g));
+    out.adjacent_groups[out.groups[g].rel_b].push_back(static_cast<int>(g));
+  }
+  return out;
+}
+
+JoinStructure Classify(const RelGraph& rel_graph) {
+  const size_t n = rel_graph.adjacent_groups.size();
+  // Connected (guaranteed by the analyzer), so a cycle exists iff
+  // #groups >= #relations.
+  if (rel_graph.groups.size() >= n) return JoinStructure::kCyclic;
+  size_t max_degree = 0;
+  for (const auto& adj : rel_graph.adjacent_groups) {
+    max_degree = std::max(max_degree, adj.size());
+  }
+  if (max_degree <= 2) return JoinStructure::kChain;
+  if (StarCenter(rel_graph) >= 0) return JoinStructure::kStar;
+  return JoinStructure::kTree;
+}
+
+int StarCenter(const RelGraph& rel_graph) {
+  const size_t n = rel_graph.adjacent_groups.size();
+  if (n < 3 || rel_graph.groups.size() != n - 1) return -1;
+  for (size_t rel = 0; rel < n; ++rel) {
+    if (rel_graph.adjacent_groups[rel].size() == n - 1) {
+      return static_cast<int>(rel);
+    }
+  }
+  return -1;
+}
+
+ChainPlan BuildChainPlan(const QueryGraph& graph) {
+  RelGraph rel_graph = BuildRelGraph(graph);
+  SpanningTree tree = BuildSpanningTree(rel_graph, graph.num_relations());
+  std::vector<int> path = LongestPath(tree);
+  std::vector<bool> on_path(tree.nodes.size(), false);
+  for (int n : path) on_path[n] = true;
+
+  ChainPlan plan;
+  plan.occ_rel.push_back(tree.nodes[path[0]].rel);
+  for (size_t i = 0; i < path.size(); ++i) {
+    int node = path[i];
+    // Detour into every off-path subtree hanging off this node.
+    std::vector<int> neighbors;
+    for (auto [c, g] : tree.nodes[node].children) neighbors.push_back(c);
+    if (tree.nodes[node].parent != -1) neighbors.push_back(tree.nodes[node].parent);
+    for (int next : neighbors) {
+      if (on_path[next]) continue;
+      int group = GroupBetween(tree, node, next);
+      plan.occ_group.push_back(group);
+      plan.occ_rel.push_back(tree.nodes[next].rel);
+      EulerDetour(tree, next, node, plan);
+      plan.occ_group.push_back(group);
+      plan.occ_rel.push_back(tree.nodes[node].rel);
+    }
+    // Advance along the path spine.
+    if (i + 1 < path.size()) {
+      int group = GroupBetween(tree, node, path[i + 1]);
+      plan.occ_group.push_back(group);
+      plan.occ_rel.push_back(tree.nodes[path[i + 1]].rel);
+    }
+  }
+  return plan;
+}
+
+}  // namespace cdb

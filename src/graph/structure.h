@@ -1,0 +1,51 @@
+// Join-structure analysis (Section 5.1.1): classify the relation-level join
+// shape (chain / star / tree / cyclic) and transform trees and cyclic graphs
+// into chains so the chain min-cut machinery applies.
+#ifndef CDB_GRAPH_STRUCTURE_H_
+#define CDB_GRAPH_STRUCTURE_H_
+
+#include <vector>
+
+#include "graph/query_graph.h"
+
+namespace cdb {
+
+enum class JoinStructure { kChain, kStar, kTree, kCyclic };
+
+const char* JoinStructureName(JoinStructure s);
+
+// The relation-level multigraph with parallel predicates collapsed into
+// groups (a candidate realizes all predicates of a group on one tuple pair).
+struct RelGraph {
+  struct Group {
+    int rel_a = 0;
+    int rel_b = 0;
+    std::vector<int> preds;
+  };
+  std::vector<Group> groups;
+  std::vector<std::vector<int>> adjacent_groups;  // rel -> group ids.
+};
+
+RelGraph BuildRelGraph(const QueryGraph& graph);
+
+JoinStructure Classify(const RelGraph& rel_graph);
+
+// The star's center relation (every group touches it); only meaningful when
+// Classify returns kStar. Returns -1 otherwise.
+int StarCenter(const RelGraph& rel_graph);
+
+// A chain of relation occurrences. Adjacent occurrences are connected by one
+// group. Trees become chains by walking the longest path and detouring
+// down-and-back into off-path subtrees (Section 5.1.1); cyclic graphs first
+// drop to a spanning tree with each non-tree group re-attached through a
+// duplicated relation occurrence.
+struct ChainPlan {
+  std::vector<int> occ_rel;    // Relation of each occurrence (size m >= 1).
+  std::vector<int> occ_group;  // Connecting group per step (size m - 1).
+};
+
+ChainPlan BuildChainPlan(const QueryGraph& graph);
+
+}  // namespace cdb
+
+#endif  // CDB_GRAPH_STRUCTURE_H_

@@ -1,0 +1,108 @@
+#include "quality/task_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+std::vector<double> PosteriorAfterAnswer(const std::vector<double>& prior,
+                                         double worker_quality, int answer) {
+  const int num_choices = static_cast<int>(prior.size());
+  CDB_CHECK(num_choices >= 2);
+  CDB_CHECK(answer >= 0 && answer < num_choices);
+  double q = std::clamp(worker_quality, 1e-3, 1.0 - 1e-3);
+  double wrong = (1.0 - q) / static_cast<double>(num_choices - 1);
+  std::vector<double> post(prior.size());
+  double norm = 0.0;
+  for (int i = 0; i < num_choices; ++i) {
+    post[i] = prior[i] * (i == answer ? q : wrong);
+    norm += post[i];
+  }
+  if (norm <= 0.0) return prior;
+  for (double& v : post) v /= norm;
+  return post;
+}
+
+double ExpectedQualityImprovement(const std::vector<double>& prior,
+                                  double worker_quality) {
+  const int num_choices = static_cast<int>(prior.size());
+  double q = std::clamp(worker_quality, 1e-3, 1.0 - 1e-3);
+  double wrong = (1.0 - q) / static_cast<double>(num_choices - 1);
+  double expected_entropy = 0.0;
+  for (int i = 0; i < num_choices; ++i) {
+    // Probability the worker answers choice i (Eq. 3's mixture term).
+    double p_answer = prior[i] * q + (1.0 - prior[i]) * wrong;
+    if (p_answer <= 0.0) continue;
+    expected_entropy +=
+        p_answer * Entropy(PosteriorAfterAnswer(prior, q, i));
+  }
+  return Entropy(prior) - expected_entropy;
+}
+
+double FillConsistency(const std::vector<Answer>& answers,
+                       SimilarityFunction sim_fn) {
+  if (answers.size() < 2) return 1.0;
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    for (size_t j = i + 1; j < answers.size(); ++j) {
+      total += ComputeSimilarity(sim_fn, answers[i].text, answers[j].text);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double CompletenessScore(int64_t distinct_collected, int64_t estimated_total) {
+  if (estimated_total <= 0) return 0.0;
+  double score = static_cast<double>(estimated_total - distinct_collected) /
+                 static_cast<double>(estimated_total);
+  return std::clamp(score, 0.0, 1.0);
+}
+
+std::vector<size_t> EntropyAssigner::operator()(
+    const SimulatedWorker& worker, const std::vector<TaskId>& available,
+    int count) const {
+  double q = default_quality_;
+  auto wq = worker_quality_->find(worker.id());
+  if (wq != worker_quality_->end()) q = wq->second;
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(available.size());
+  std::vector<double> uniform(num_choices_, 1.0 / num_choices_);
+  for (size_t i = 0; i < available.size(); ++i) {
+    auto it = posteriors_->find(available[i]);
+    const std::vector<double>& prior =
+        it != posteriors_->end() && !it->second.empty() ? it->second : uniform;
+    scored.emplace_back(ExpectedQualityImprovement(prior, q), i);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(count), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<int64_t>(k),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<size_t> picks;
+  picks.reserve(k);
+  for (size_t i = 0; i < k; ++i) picks.push_back(scored[i].second);
+  return picks;
+}
+
+AssignmentPolicy EntropyAssigner::AsPolicy() const {
+  EntropyAssigner copy = *this;
+  return [copy](const SimulatedWorker& worker,
+                const std::vector<TaskId>& available,
+                int count) { return copy(worker, available, count); };
+}
+
+}  // namespace cdb

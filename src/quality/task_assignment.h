@@ -1,0 +1,72 @@
+// Online task assignment (Section 5.3.2).
+//
+// When a worker requests tasks, CDB+ assigns the k tasks whose answers are
+// expected to improve quality the most: for single-choice tasks the expected
+// entropy decrease of the task's truth distribution (Equation 3); for
+// fill-in-blank tasks the least-consistent tasks (Equation 4); for collection
+// tasks the lowest completeness score.
+#ifndef CDB_QUALITY_TASK_ASSIGNMENT_H_
+#define CDB_QUALITY_TASK_ASSIGNMENT_H_
+
+#include <map>
+#include <vector>
+
+#include "crowd/platform.h"
+#include "crowd/task.h"
+#include "similarity/similarity.h"
+
+namespace cdb {
+
+// Shannon entropy of a distribution (natural log); 0 for degenerate input.
+double Entropy(const std::vector<double>& p);
+
+// The posterior after worker (quality q) answers choice i (Bayes update used
+// inside Eq. 3). Exposed for tests.
+std::vector<double> PosteriorAfterAnswer(const std::vector<double>& prior,
+                                         double worker_quality, int answer);
+
+// Eq. 3: expected decrease in entropy if a worker of quality q answers a
+// task whose current truth distribution is `prior`.
+double ExpectedQualityImprovement(const std::vector<double>& prior,
+                                  double worker_quality);
+
+// Eq. 4: consistency of a fill-in-blank task's answers — mean pairwise
+// similarity (1.0 when fewer than two answers).
+double FillConsistency(const std::vector<Answer>& answers,
+                       SimilarityFunction sim_fn);
+
+// Completeness score (N - M) / N for a collection task with M distinct
+// collected tuples out of an estimated cardinality N.
+double CompletenessScore(int64_t distinct_collected, int64_t estimated_total);
+
+// An AssignmentPolicy implementation for single-choice tasks: assigns the
+// top-k available tasks by Eq. 3 using the current posteriors and the
+// worker's estimated quality. The maps are borrowed and read at call time,
+// so the executor can update them between arrivals.
+class EntropyAssigner {
+ public:
+  EntropyAssigner(const std::map<TaskId, std::vector<double>>* posteriors,
+                  const std::map<int, double>* worker_quality,
+                  int num_choices, double default_quality = 0.7)
+      : posteriors_(posteriors),
+        worker_quality_(worker_quality),
+        num_choices_(num_choices),
+        default_quality_(default_quality) {}
+
+  std::vector<size_t> operator()(const SimulatedWorker& worker,
+                                 const std::vector<TaskId>& available,
+                                 int count) const;
+
+  // Adapts to the crowd-platform callback type.
+  AssignmentPolicy AsPolicy() const;
+
+ private:
+  const std::map<TaskId, std::vector<double>>* posteriors_;
+  const std::map<int, double>* worker_quality_;
+  int num_choices_;
+  double default_quality_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_QUALITY_TASK_ASSIGNMENT_H_

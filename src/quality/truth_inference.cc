@@ -1,0 +1,202 @@
+#include "quality/truth_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+int InferenceResult::Truth(TaskId task) const {
+  auto it = posteriors.find(task);
+  if (it == posteriors.end() || it->second.empty()) return -1;
+  return static_cast<int>(std::max_element(it->second.begin(), it->second.end()) -
+                          it->second.begin());
+}
+
+double InferenceResult::Confidence(TaskId task) const {
+  auto it = posteriors.find(task);
+  if (it == posteriors.end() || it->second.empty()) return 0.0;
+  return *std::max_element(it->second.begin(), it->second.end());
+}
+
+std::vector<double> BayesianVote(
+    const std::vector<std::pair<double, int>>& quality_and_choice,
+    int num_choices) {
+  CDB_CHECK(num_choices >= 2);
+  // Work in log space for numeric stability on many answers.
+  std::vector<double> log_p(num_choices, 0.0);
+  for (const auto& [quality, choice] : quality_and_choice) {
+    double q = std::clamp(quality, 1e-3, 1.0 - 1e-3);
+    double wrong = (1.0 - q) / static_cast<double>(num_choices - 1);
+    for (int i = 0; i < num_choices; ++i) {
+      log_p[i] += std::log(i == choice ? q : wrong);
+    }
+  }
+  double max_log = *std::max_element(log_p.begin(), log_p.end());
+  double norm = 0.0;
+  std::vector<double> p(num_choices);
+  for (int i = 0; i < num_choices; ++i) {
+    p[i] = std::exp(log_p[i] - max_log);
+    norm += p[i];
+  }
+  for (double& v : p) v /= norm;
+  return p;
+}
+
+namespace {
+
+// Groups observations per task and per worker.
+struct Grouped {
+  std::map<TaskId, std::vector<const ChoiceObservation*>> by_task;
+  std::map<int, std::vector<const ChoiceObservation*>> by_worker;
+};
+
+Grouped Group(const std::vector<ChoiceObservation>& obs) {
+  Grouped g;
+  for (const ChoiceObservation& o : obs) {
+    g.by_task[o.task].push_back(&o);
+    g.by_worker[o.worker].push_back(&o);
+  }
+  return g;
+}
+
+}  // namespace
+
+InferenceResult InferSingleChoiceEm(const std::vector<ChoiceObservation>& obs,
+                                    const EmOptions& options) {
+  InferenceResult result;
+  if (obs.empty()) return result;
+  Grouped grouped = Group(obs);
+
+  // Initialize qualities from the priors (or the default).
+  std::map<int, double> quality;
+  std::map<int, double> prior;
+  for (const auto& [worker, list] : grouped.by_worker) {
+    auto it = options.quality_priors.find(worker);
+    double q = it != options.quality_priors.end() ? it->second
+                                                  : options.initial_quality;
+    quality[worker] = q;
+    prior[worker] = q;
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step: task posteriors from current qualities (Eq. 2).
+    result.posteriors.clear();
+    for (const auto& [task, answers] : grouped.by_task) {
+      std::vector<std::pair<double, int>> qc;
+      qc.reserve(answers.size());
+      for (const ChoiceObservation* o : answers) {
+        qc.emplace_back(quality[o->worker], o->choice);
+      }
+      result.posteriors[task] = BayesianVote(qc, options.num_choices);
+    }
+    // M-step: worker quality = expected fraction of correct answers.
+    double max_delta = 0.0;
+    for (auto& [worker, answers] : grouped.by_worker) {
+      double expected_correct = 0.0;
+      for (const ChoiceObservation* o : answers) {
+        expected_correct += result.posteriors[o->task][o->choice];
+      }
+      // MAP estimate with a Beta pseudo-count prior centered on the
+      // worker's incoming quality.
+      double updated =
+          (options.prior_strength * prior[worker] + expected_correct) /
+          (options.prior_strength + static_cast<double>(answers.size()));
+      // Keep qualities interior so Eq. 2 stays well defined.
+      updated = std::clamp(updated, 0.05, 0.99);
+      max_delta = std::max(max_delta, std::abs(updated - quality[worker]));
+      quality[worker] = updated;
+    }
+    if (max_delta < options.tolerance) break;
+  }
+  result.worker_quality = std::move(quality);
+  return result;
+}
+
+InferenceResult InferSingleChoiceMajority(
+    const std::vector<ChoiceObservation>& obs, int num_choices) {
+  InferenceResult result;
+  Grouped grouped = Group(obs);
+  for (const auto& [task, answers] : grouped.by_task) {
+    std::vector<double> votes(num_choices, 0.0);
+    for (const ChoiceObservation* o : answers) {
+      if (o->choice >= 0 && o->choice < num_choices) votes[o->choice] += 1.0;
+    }
+    double total = 0.0;
+    for (double v : votes) total += v;
+    if (total > 0) {
+      for (double& v : votes) v /= total;
+    }
+    result.posteriors[task] = std::move(votes);
+  }
+  for (const auto& [worker, answers] : grouped.by_worker) {
+    result.worker_quality[worker] = 0.5;  // Not modeled by majority voting.
+    (void)answers;
+  }
+  return result;
+}
+
+std::vector<int> InferMultiChoice(const std::vector<Answer>& answers,
+                                  int num_choices,
+                                  const std::map<int, double>& worker_quality,
+                                  double default_quality) {
+  // Decompose: choice i is its own yes/no question; worker w voted "yes" iff
+  // i is in w's choice set.
+  std::vector<int> truth_set;
+  for (int i = 0; i < num_choices; ++i) {
+    std::vector<std::pair<double, int>> qc;
+    for (const Answer& a : answers) {
+      auto it = worker_quality.find(a.worker);
+      double q = it != worker_quality.end() ? it->second : default_quality;
+      bool yes = std::find(a.choice_set.begin(), a.choice_set.end(), i) !=
+                 a.choice_set.end();
+      qc.emplace_back(q, yes ? 0 : 1);
+    }
+    std::vector<double> p = BayesianVote(qc, 2);
+    if (p[0] > p[1]) truth_set.push_back(i);
+  }
+  return truth_set;
+}
+
+std::map<int, double> QualityFromGoldenTasks(
+    const std::vector<ChoiceObservation>& golden_answers,
+    const std::map<TaskId, int>& golden_truths, double default_quality,
+    double prior_strength) {
+  std::map<int, std::pair<double, double>> correct_and_total;
+  for (const ChoiceObservation& obs : golden_answers) {
+    auto it = golden_truths.find(obs.task);
+    if (it == golden_truths.end()) continue;
+    auto& [correct, total] = correct_and_total[obs.worker];
+    total += 1.0;
+    if (obs.choice == it->second) correct += 1.0;
+  }
+  std::map<int, double> quality;
+  for (const auto& [worker, counts] : correct_and_total) {
+    double q = (prior_strength * default_quality + counts.first) /
+               (prior_strength + counts.second);
+    quality[worker] = std::clamp(q, 0.05, 0.99);
+  }
+  return quality;
+}
+
+std::string InferFillInBlank(const std::vector<Answer>& answers,
+                             SimilarityFunction sim_fn) {
+  if (answers.empty()) return "";
+  double best_score = -1.0;
+  const std::string* best = nullptr;
+  for (const Answer& a : answers) {
+    double score = 0.0;
+    for (const Answer& b : answers) {
+      if (&a == &b) continue;
+      score += ComputeSimilarity(sim_fn, a.text, b.text);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = &a.text;
+    }
+  }
+  return *best;
+}
+
+}  // namespace cdb

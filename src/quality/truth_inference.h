@@ -1,0 +1,94 @@
+// Truth inference (Section 5.3.1).
+//
+// Single-choice tasks: worker qualities q_w are estimated with EM, and the
+// per-task truth distribution follows Bayesian voting (Equation 2).
+// Multi-choice tasks decompose into per-choice yes/no tasks. Fill-in-blank
+// tasks take the "pivot" answer — the one with the highest aggregated string
+// similarity to the others. Majority voting is provided as the baseline the
+// existing systems (CrowdDB / Qurk / Deco / CrowdOP) use.
+#ifndef CDB_QUALITY_TRUTH_INFERENCE_H_
+#define CDB_QUALITY_TRUTH_INFERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crowd/task.h"
+#include "similarity/similarity.h"
+
+namespace cdb {
+
+// One single-choice observation.
+struct ChoiceObservation {
+  TaskId task = -1;
+  int worker = -1;
+  int choice = -1;
+};
+
+struct InferenceResult {
+  // Posterior distribution over choices per task (Eq. 2).
+  std::map<TaskId, std::vector<double>> posteriors;
+  // Estimated quality per worker id.
+  std::map<int, double> worker_quality;
+
+  // argmax choice for a task (ties to the lowest index); -1 if unknown task.
+  int Truth(TaskId task) const;
+  // max posterior probability for a task; 0 if unknown.
+  double Confidence(TaskId task) const;
+};
+
+struct EmOptions {
+  int num_choices = 2;
+  double initial_quality = 0.7;  // The paper's default prior for new workers.
+  int max_iterations = 50;
+  double tolerance = 1e-6;
+  // Beta-prior pseudo-count regularizing the M-step: a worker's quality is
+  // (prior_strength * prior + expected_correct) / (prior_strength + n).
+  // Keeps early rounds (few answers per worker) from over-fitting, where
+  // unregularized EM can fall below majority voting.
+  double prior_strength = 8.0;
+  // Optional fixed priors per worker (e.g. qualities carried over from
+  // earlier rounds); missing workers start at initial_quality.
+  std::map<int, double> quality_priors;
+};
+
+// Expectation-Maximization over worker qualities + Bayesian voting truths.
+InferenceResult InferSingleChoiceEm(const std::vector<ChoiceObservation>& obs,
+                                    const EmOptions& options);
+
+// Majority voting (the baseline): posterior mass split by vote counts,
+// worker quality not modeled.
+InferenceResult InferSingleChoiceMajority(
+    const std::vector<ChoiceObservation>& obs, int num_choices);
+
+// Eq. 2 applied directly with known worker qualities; exposed for tests and
+// used inside EM's E-step.
+std::vector<double> BayesianVote(const std::vector<std::pair<double, int>>&
+                                     quality_and_choice,
+                                 int num_choices);
+
+// Multi-choice truth: decompose into per-choice yes/no and return the set of
+// choices inferred true. `obs` holds the full choice sets.
+std::vector<int> InferMultiChoice(const std::vector<Answer>& answers,
+                                  int num_choices,
+                                  const std::map<int, double>& worker_quality,
+                                  double default_quality = 0.7);
+
+// Fill-in-blank pivot: the answer maximizing aggregated similarity to the
+// other answers.
+std::string InferFillInBlank(const std::vector<Answer>& answers,
+                             SimilarityFunction sim_fn);
+
+// Golden-task initialization (Appendix E): workers answer tasks with known
+// truth on first contact, and their initial quality is their smoothed
+// accuracy on them — (prior_strength * default + correct) /
+// (prior_strength + answered). Feed the result into EmOptions::quality_priors.
+std::map<int, double> QualityFromGoldenTasks(
+    const std::vector<ChoiceObservation>& golden_answers,
+    const std::map<TaskId, int>& golden_truths, double default_quality = 0.7,
+    double prior_strength = 2.0);
+
+}  // namespace cdb
+
+#endif  // CDB_QUALITY_TRUTH_INFERENCE_H_

@@ -1,0 +1,279 @@
+#include "similarity/sim_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "similarity/tokenizer.h"
+
+namespace cdb {
+namespace {
+
+using TokenId = int32_t;
+
+// Maps token strings to dense ids ordered by ascending global frequency, the
+// canonical ordering for prefix filtering (rare tokens first makes prefixes
+// selective).
+class TokenDictionary {
+ public:
+  // Builds the dictionary from all token sets that will participate.
+  explicit TokenDictionary(
+      const std::vector<std::vector<std::string>>& all_sets) {
+    std::unordered_map<std::string, int64_t> freq;
+    for (const auto& set : all_sets) {
+      for (const auto& token : set) ++freq[token];
+    }
+    std::vector<std::pair<int64_t, std::string>> by_freq;
+    by_freq.reserve(freq.size());
+    for (auto& [token, count] : freq) by_freq.emplace_back(count, token);
+    std::sort(by_freq.begin(), by_freq.end());
+    ids_.reserve(by_freq.size());
+    for (size_t i = 0; i < by_freq.size(); ++i) {
+      ids_.emplace(by_freq[i].second, static_cast<TokenId>(i));
+    }
+  }
+
+  // Translates a token set into sorted ids (ascending frequency order).
+  std::vector<TokenId> Encode(const std::vector<std::string>& set) const {
+    std::vector<TokenId> out;
+    out.reserve(set.size());
+    for (const auto& token : set) {
+      auto it = ids_.find(token);
+      CDB_DCHECK(it != ids_.end());
+      out.push_back(it->second);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+};
+
+std::vector<std::vector<std::string>> TokenizeAll(
+    const std::vector<std::string>& values, SimilarityFunction fn) {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(values.size());
+  for (const auto& v : values) {
+    switch (fn) {
+      case SimilarityFunction::kWordJaccard:
+        out.push_back(WordTokenSet(v));
+        break;
+      case SimilarityFunction::kQGramJaccard:
+      case SimilarityFunction::kQGramCosine:
+        out.push_back(QGramSet(v, 2));
+        break;
+      default:
+        CDB_CHECK_MSG(false, "TokenizeAll: not a token-based function");
+    }
+  }
+  return out;
+}
+
+// Jaccard prefix length: a record of size n must share a token within its
+// first n - ceil(t * n) + 1 tokens with any record it joins at threshold t.
+size_t JaccardPrefixLength(size_t n, double t) {
+  if (n == 0) return 0;
+  size_t required = static_cast<size_t>(std::ceil(t * static_cast<double>(n)));
+  if (required == 0) required = 1;
+  if (required > n) return 0;  // Cannot reach the threshold at all.
+  return n - required + 1;
+}
+
+// Cosine prefix length: overlap must be >= t^2 * n against any partner.
+size_t CosinePrefixLength(size_t n, double t) {
+  if (n == 0) return 0;
+  size_t required =
+      static_cast<size_t>(std::ceil(t * t * static_cast<double>(n)));
+  if (required == 0) required = 1;
+  if (required > n) return 0;
+  return n - required + 1;
+}
+
+std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
+                                     const std::vector<std::string>& right,
+                                     SimilarityFunction fn, double threshold) {
+  std::vector<std::vector<std::string>> left_tokens = TokenizeAll(left, fn);
+  std::vector<std::vector<std::string>> right_tokens = TokenizeAll(right, fn);
+  std::vector<std::vector<std::string>> all = left_tokens;
+  all.insert(all.end(), right_tokens.begin(), right_tokens.end());
+  TokenDictionary dict(all);
+
+  std::vector<std::vector<TokenId>> left_ids(left.size());
+  std::vector<std::vector<TokenId>> right_ids(right.size());
+  for (size_t i = 0; i < left.size(); ++i) left_ids[i] = dict.Encode(left_tokens[i]);
+  for (size_t j = 0; j < right.size(); ++j) right_ids[j] = dict.Encode(right_tokens[j]);
+
+  const bool cosine = fn == SimilarityFunction::kQGramCosine;
+  auto prefix_len = [&](size_t n) {
+    return cosine ? CosinePrefixLength(n, threshold)
+                  : JaccardPrefixLength(n, threshold);
+  };
+
+  // Inverted index over the prefixes of the right side.
+  std::unordered_map<TokenId, std::vector<int32_t>> index;
+  for (size_t j = 0; j < right.size(); ++j) {
+    size_t plen = prefix_len(right_ids[j].size());
+    for (size_t k = 0; k < plen; ++k) index[right_ids[j][k]].push_back(static_cast<int32_t>(j));
+  }
+
+  std::vector<SimPair> out;
+  std::vector<int32_t> seen_stamp(right.size(), -1);
+  for (size_t i = 0; i < left.size(); ++i) {
+    size_t plen = prefix_len(left_ids[i].size());
+    for (size_t k = 0; k < plen; ++k) {
+      auto it = index.find(left_ids[i][k]);
+      if (it == index.end()) continue;
+      for (int32_t j : it->second) {
+        if (seen_stamp[j] == static_cast<int32_t>(i)) continue;
+        seen_stamp[j] = static_cast<int32_t>(i);
+        // Verify with the exact similarity.
+        double sim;
+        if (cosine) {
+          sim = CosineSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
+        } else {
+          sim = JaccardSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
+        }
+        if (sim >= threshold) {
+          out.push_back({static_cast<int32_t>(i), j, sim});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
+                                      const std::vector<std::string>& right,
+                                      double threshold) {
+  // Candidate generation: the length filter (|len(a)-len(b)| <= tau) always
+  // applies; the shared-2-gram filter applies only when the count bound
+  // (max_len - 1) - 2*tau is positive — strings within tau edits then must
+  // share at least one 2-gram. At permissive thresholds the bound can be
+  // non-positive, in which case we verify the pair directly (banded
+  // Levenshtein with early abandon keeps that cheap).
+  std::vector<std::string> left_lower(left.size());
+  std::vector<std::string> right_lower(right.size());
+  for (size_t i = 0; i < left.size(); ++i) left_lower[i] = ToLower(left[i]);
+  for (size_t j = 0; j < right.size(); ++j) right_lower[j] = ToLower(right[j]);
+
+  std::unordered_map<std::string, std::vector<int32_t>> index;
+  for (size_t j = 0; j < right.size(); ++j) {
+    for (const auto& gram : QGramSet(right_lower[j], 2)) {
+      index[gram].push_back(static_cast<int32_t>(j));
+    }
+  }
+
+  std::vector<SimPair> out;
+  std::vector<int32_t> shared_stamp(right.size(), -1);
+  for (size_t i = 0; i < left.size(); ++i) {
+    const std::string& a = left_lower[i];
+    for (const auto& gram : QGramSet(a, 2)) {
+      auto it = index.find(gram);
+      if (it == index.end()) continue;
+      for (int32_t j : it->second) shared_stamp[j] = static_cast<int32_t>(i);
+    }
+    for (size_t j = 0; j < right.size(); ++j) {
+      const std::string& b = right_lower[j];
+      size_t max_len = std::max(a.size(), b.size());
+      if (max_len == 0) {
+        out.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j), 1.0});
+        continue;
+      }
+      auto max_dist = static_cast<size_t>(
+          std::floor((1.0 - threshold) * static_cast<double>(max_len)));
+      size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+      if (diff > max_dist) continue;
+      bool gram_filter_applies =
+          static_cast<int64_t>(max_len) - 1 - 2 * static_cast<int64_t>(max_dist) > 0;
+      if (gram_filter_applies && shared_stamp[j] != static_cast<int32_t>(i)) {
+        continue;
+      }
+      size_t dist = BoundedEditDistance(a, b, max_dist);
+      if (dist <= max_dist) {
+        double sim = 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+        if (sim >= threshold) {
+          out.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j), sim});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SimPair> CrossProduct(size_t n_left, size_t n_right, double sim) {
+  std::vector<SimPair> out;
+  out.reserve(n_left * n_right);
+  for (size_t i = 0; i < n_left; ++i) {
+    for (size_t j = 0; j < n_right; ++j) {
+      out.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j), sim});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t BoundedEditDistance(const std::string& a, const std::string& b,
+                           size_t max_dist) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  size_t diff = n > m ? n - m : m - n;
+  if (diff > max_dist) return max_dist + 1;
+  const size_t kInf = max_dist + 1;
+  // Banded DP: only cells with |i - j| <= max_dist can be <= max_dist.
+  std::vector<size_t> prev(m + 1, kInf);
+  std::vector<size_t> cur(m + 1, kInf);
+  for (size_t j = 0; j <= std::min(m, max_dist); ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t lo = i > max_dist ? i - max_dist : 0;
+    size_t hi = std::min(m, i + max_dist);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 0) cur[0] = i <= max_dist ? i : kInf;
+    size_t row_min = kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t del = prev[j] == kInf ? kInf : prev[j] + 1;
+      size_t ins = cur[j - 1] == kInf ? kInf : cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (lo == 0) row_min = std::min(row_min, cur[0]);
+    if (row_min > max_dist) return max_dist + 1;  // Early abandon.
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], kInf);
+}
+
+std::vector<SimPair> SimilarityJoin(const std::vector<std::string>& left,
+                                    const std::vector<std::string>& right,
+                                    SimilarityFunction fn, double threshold) {
+  switch (fn) {
+    case SimilarityFunction::kNoSim:
+      if (threshold <= 0.5) return CrossProduct(left.size(), right.size(), 0.5);
+      return {};
+    case SimilarityFunction::kEditDistance:
+      return EditDistanceJoin(left, right, threshold);
+    case SimilarityFunction::kWordJaccard:
+    case SimilarityFunction::kQGramJaccard:
+    case SimilarityFunction::kQGramCosine:
+      return TokenPrefixJoin(left, right, fn, threshold);
+  }
+  return {};
+}
+
+std::vector<SimPair> SimilaritySearch(const std::vector<std::string>& values,
+                                      const std::string& query,
+                                      SimilarityFunction fn, double threshold) {
+  // One query string: the scan is linear anyway, so compute exactly.
+  std::vector<SimPair> out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double sim = ComputeSimilarity(fn, values[i], query);
+    if (sim >= threshold) out.push_back({static_cast<int32_t>(i), 0, sim});
+  }
+  return out;
+}
+
+}  // namespace cdb

@@ -1,0 +1,49 @@
+// Similarity join: find all cross-table string pairs with similarity >= a
+// threshold without enumerating the cross product.
+//
+// Section 4.1 of the paper relies on prefix-filtering similarity-join
+// techniques [Bayardo et al. WWW'07] to build the query graph: only pairs
+// with sim >= epsilon (default 0.3) become edges. This module implements an
+// AllPairs-style prefix filter for the token-based measures and a
+// length/q-gram filter plus banded verification for edit distance.
+#ifndef CDB_SIMILARITY_SIM_JOIN_H_
+#define CDB_SIMILARITY_SIM_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "similarity/similarity.h"
+
+namespace cdb {
+
+// One joined pair: indexes into the left/right input vectors plus the exact
+// similarity under the requested function.
+struct SimPair {
+  int32_t left = 0;
+  int32_t right = 0;
+  double sim = 0.0;
+};
+
+// Returns all pairs (i, j) with ComputeSimilarity(fn, left[i], right[j]) >=
+// threshold. Exact (verification recomputes the true similarity); the filter
+// only prunes. For kNoSim every pair has similarity 0.5, so the result is the
+// full cross product when threshold <= 0.5 and empty otherwise.
+std::vector<SimPair> SimilarityJoin(const std::vector<std::string>& left,
+                                    const std::vector<std::string>& right,
+                                    SimilarityFunction fn, double threshold);
+
+// One-vs-many variant used for CROWDEQUAL selection predicates: returns the
+// indexes i (with similarity) such that sim(values[i], query) >= threshold.
+std::vector<SimPair> SimilaritySearch(const std::vector<std::string>& values,
+                                      const std::string& query,
+                                      SimilarityFunction fn, double threshold);
+
+// Banded Levenshtein: returns the edit distance if it is <= max_dist, and
+// max_dist + 1 otherwise (early termination). Exposed for testing.
+size_t BoundedEditDistance(const std::string& a, const std::string& b,
+                           size_t max_dist);
+
+}  // namespace cdb
+
+#endif  // CDB_SIMILARITY_SIM_JOIN_H_

@@ -1,0 +1,88 @@
+#include "similarity/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "similarity/tokenizer.h"
+
+namespace cdb {
+
+const char* SimilarityFunctionName(SimilarityFunction fn) {
+  switch (fn) {
+    case SimilarityFunction::kNoSim:
+      return "NoSim";
+    case SimilarityFunction::kEditDistance:
+      return "ED";
+    case SimilarityFunction::kWordJaccard:
+      return "JAC";
+    case SimilarityFunction::kQGramJaccard:
+      return "CDB(2gram-Jaccard)";
+    case SimilarityFunction::kQGramCosine:
+      return "COS(2gram)";
+  }
+  return "?";
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub_cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(max_len);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) * static_cast<double>(b.size()));
+}
+
+double ComputeSimilarity(SimilarityFunction fn, std::string_view a,
+                         std::string_view b) {
+  switch (fn) {
+    case SimilarityFunction::kNoSim:
+      return 0.5;
+    case SimilarityFunction::kEditDistance: {
+      // Compare case-insensitively like the token-based measures do.
+      return NormalizedEditSimilarity(ToLower(std::string(a)),
+                                      ToLower(std::string(b)));
+    }
+    case SimilarityFunction::kWordJaccard:
+      return JaccardSimilarity(WordTokenSet(a), WordTokenSet(b));
+    case SimilarityFunction::kQGramJaccard:
+      return JaccardSimilarity(QGramSet(a, 2), QGramSet(b, 2));
+    case SimilarityFunction::kQGramCosine:
+      return CosineSimilarity(QGramSet(a, 2), QGramSet(b, 2));
+  }
+  return 0.0;
+}
+
+}  // namespace cdb

@@ -1,0 +1,50 @@
+// String-similarity functions used to estimate crowd-edge matching
+// probabilities (Section 4.1, Appendix D).
+#ifndef CDB_SIMILARITY_SIMILARITY_H_
+#define CDB_SIMILARITY_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdb {
+
+// Which estimator to use for edge weights. Mirrors the appendix-D ablation:
+//   kNoSim   — no estimation; every candidate pair gets probability 0.5.
+//   kEditDistance — 1 - ED(a,b) / max(|a|,|b|).
+//   kWordJaccard  — Jaccard over word-token sets.
+//   kQGramJaccard — Jaccard over 2-gram sets (the paper's default, "CDB").
+//   kQGramCosine  — cosine over 2-gram sets (extra; used by fill-in-blank
+//                   truth inference where the paper allows any measure).
+enum class SimilarityFunction {
+  kNoSim,
+  kEditDistance,
+  kWordJaccard,
+  kQGramJaccard,
+  kQGramCosine,
+};
+
+const char* SimilarityFunctionName(SimilarityFunction fn);
+
+// Levenshtein distance (unit costs). O(|a|*|b|) with O(min) memory.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+// 1 - ED/max-length, in [0,1]; both empty => 1.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+// Jaccard = |A∩B| / |A∪B| over sorted unique token sets; both empty => 1.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+// Cosine = |A∩B| / sqrt(|A|*|B|) over sorted unique token sets.
+double CosineSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+// Dispatches on `fn` and computes the similarity of two raw strings. For
+// kNoSim returns 0.5 regardless of input.
+double ComputeSimilarity(SimilarityFunction fn, std::string_view a,
+                         std::string_view b);
+
+}  // namespace cdb
+
+#endif  // CDB_SIMILARITY_SIMILARITY_H_

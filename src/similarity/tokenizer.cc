@@ -1,0 +1,71 @@
+#include "similarity/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace cdb {
+namespace {
+
+void SortUnique(std::vector<std::string>& tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+}
+
+std::string StripPunct(std::string_view token) {
+  size_t begin = 0;
+  size_t end = token.size();
+  while (begin < end && std::ispunct(static_cast<unsigned char>(token[begin]))) ++begin;
+  while (end > begin && std::ispunct(static_cast<unsigned char>(token[end - 1]))) --end;
+  return std::string(token.substr(begin, end - begin));
+}
+
+}  // namespace
+
+std::vector<std::string> QGramSet(std::string_view s, int q) {
+  std::string lower = ToLower(Trim(s));
+  std::vector<std::string> grams;
+  if (lower.empty()) return grams;
+  if (static_cast<int>(lower.size()) < q) {
+    grams.push_back(lower);
+    return grams;
+  }
+  grams.reserve(lower.size() - q + 1);
+  for (size_t i = 0; i + q <= lower.size(); ++i) {
+    grams.push_back(lower.substr(i, q));
+  }
+  SortUnique(grams);
+  return grams;
+}
+
+std::vector<std::string> WordTokenSet(std::string_view s) {
+  std::vector<std::string> tokens;
+  for (const std::string& raw : SplitWhitespace(ToLower(s))) {
+    std::string token = StripPunct(raw);
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  SortUnique(tokens);
+  return tokens;
+}
+
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace cdb

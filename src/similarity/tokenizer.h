@@ -1,0 +1,31 @@
+// Tokenizers feeding the similarity functions.
+//
+// CDB estimates the matching probability of a crowd edge from string
+// similarity (Section 4.1). The paper's default is Jaccard over 2-gram sets;
+// the appendix (Figures 23-24) also evaluates word-token Jaccard, normalized
+// edit distance, and a no-similarity baseline.
+#ifndef CDB_SIMILARITY_TOKENIZER_H_
+#define CDB_SIMILARITY_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdb {
+
+// Returns the set (sorted, deduplicated) of character q-grams of the
+// lowercased string. Strings shorter than q yield a single token equal to the
+// whole string, so very short values still compare meaningfully.
+std::vector<std::string> QGramSet(std::string_view s, int q);
+
+// Returns the set (sorted, deduplicated) of lowercased whitespace-separated
+// word tokens, with punctuation stripped from token edges.
+std::vector<std::string> WordTokenSet(std::string_view s);
+
+// Size of the intersection of two sorted unique token vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+}  // namespace cdb
+
+#endif  // CDB_SIMILARITY_TOKENIZER_H_

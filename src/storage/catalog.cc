@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cdb {
+
+Status Catalog::AddTable(Table table) {
+  std::string key = ToLower(table.name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + table.name() + "' already exists");
+  }
+  insertion_order_.push_back(table.name());
+  tables_.emplace(std::move(key), std::make_unique<Table>(std::move(table)));
+  return Status::Ok();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  std::string original = it->second->name();
+  tables_.erase(it);
+  insertion_order_.erase(
+      std::remove(insertion_order_.begin(), insertion_order_.end(), original),
+      insertion_order_.end());
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::TableNames() const { return insertion_order_; }
+
+}  // namespace cdb

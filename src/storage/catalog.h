@@ -1,0 +1,44 @@
+// The catalog owns all tables in a CDB database instance.
+#ifndef CDB_STORAGE_CATALOG_H_
+#define CDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cdb {
+
+// Name → Table map with case-insensitive lookup. Owns the tables.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  // Registers a table; fails if a table with the same name exists.
+  Status AddTable(Table table);
+
+  bool HasTable(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  Status DropTable(const std::string& name);
+
+  // Table names in insertion order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // Keyed by lowercased name; Table keeps the original-case name.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_CATALOG_H_

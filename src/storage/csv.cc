@@ -1,0 +1,174 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace cdb {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+Result<Value> ParseCell(const std::string& text, ValueType type) {
+  if (text == "CNULL") return Value::CNull();
+  switch (type) {
+    case ValueType::kString:
+      return Value::Str(text);
+    case ValueType::kInt64: {
+      if (text.empty()) return Value::Null();
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad integer literal: '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      if (text.empty()) return Value::Null();
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("bad double literal: '" + text + "'");
+      }
+      return Value::Real(v);
+    }
+    default:
+      return Status::InvalidArgument("unsupported column type in CSV");
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) return Status::ParseError("quote inside unquoted field");
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
+
+// Splits CSV text into records, honoring quoted fields (which may contain
+// newlines — the reason a plain line split is not enough).
+std::vector<std::string> SplitCsvRecords(const std::string& text) {
+  std::vector<std::string> records;
+  std::string current;
+  bool in_quotes = false;
+  for (char c : text) {
+    if (c == '"') {
+      in_quotes = !in_quotes;  // Doubled quotes toggle twice: net unchanged.
+      current.push_back(c);
+    } else if (c == '\n' && !in_quotes) {
+      records.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) records.push_back(std::move(current));
+  return records;
+}
+
+}  // namespace
+
+Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
+                           const std::string& csv_text) {
+  std::vector<std::string> lines = SplitCsvRecords(csv_text);
+  // Drop a trailing empty line from a final newline.
+  while (!lines.empty() && Trim(lines.back()).empty()) lines.pop_back();
+  if (lines.empty()) return Status::ParseError("empty CSV input");
+
+  CDB_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(lines[0]));
+  if (header.size() != schema.num_columns()) {
+    return Status::ParseError(
+        StrPrintf("CSV header has %zu fields, schema has %zu columns",
+                  header.size(), schema.num_columns()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(Trim(header[i]), schema.column(i).name)) {
+      return Status::ParseError("CSV header field '" + header[i] +
+                                "' does not match column '" +
+                                schema.column(i).name + "'");
+    }
+  }
+
+  Table table(name, schema);
+  for (size_t li = 1; li < lines.size(); ++li) {
+    CDB_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(lines[li]));
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(StrPrintf("CSV line %zu has %zu fields, want %zu",
+                                          li + 1, fields.size(),
+                                          schema.num_columns()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      CDB_ASSIGN_OR_RETURN(Value v, ParseCell(fields[c], schema.column(c).type));
+      row.push_back(std::move(v));
+    }
+    CDB_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(schema.column(i).name);
+  }
+  out += '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      if (row[i].is_null()) {
+        // NULL renders as an empty field.
+      } else {
+        out += QuoteField(row[i].ToString());
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cdb

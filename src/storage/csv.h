@@ -1,0 +1,28 @@
+// CSV import/export so datasets can be inspected and external data loaded.
+// Supports RFC-4180-style quoting; the literal cell "CNULL" loads as a
+// crowd-null and "" as SQL NULL in non-string columns.
+#ifndef CDB_STORAGE_CSV_H_
+#define CDB_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cdb {
+
+// Parses CSV text into a table with the given name and schema. The first
+// line must be a header matching the schema's column names (case-insensitive,
+// any order is NOT allowed — order must match).
+Result<Table> TableFromCsv(const std::string& name, const Schema& schema,
+                           const std::string& csv_text);
+
+// Renders a table as CSV (header + rows).
+std::string TableToCsv(const Table& table);
+
+// Splits one CSV record into fields, honoring double-quote quoting.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_CSV_H_

@@ -1,0 +1,117 @@
+#include "storage/persist.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace cdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "STRING") return ValueType::kString;
+  if (name == "INT") return ValueType::kInt64;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  return Status::ParseError("unknown column type '" + name + "'");
+}
+
+Status WriteFile(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path.string());
+  out << contents;
+  return out.good() ? Status::Ok() : Status::Internal("write failed: " + path.string());
+}
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string SchemaToText(const Table& table) {
+  std::string out;
+  if (table.is_crowd_table()) out += "CROWD TABLE\n";
+  for (const Column& column : table.schema().columns()) {
+    out += column.name;
+    out += '|';
+    out += ValueTypeName(column.type);
+    if (column.is_crowd) out += "|CROWD";
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> TableFromText(const std::string& name,
+                            const std::string& schema_text,
+                            const std::string& csv_text) {
+  Schema schema;
+  bool crowd_table = false;
+  for (const std::string& raw : Split(schema_text, '\n')) {
+    std::string line = Trim(raw);
+    if (line.empty()) continue;
+    if (line == "CROWD TABLE") {
+      crowd_table = true;
+      continue;
+    }
+    std::vector<std::string> parts = Split(line, '|');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::ParseError("bad schema line: '" + line + "'");
+    }
+    Column column;
+    column.name = Trim(parts[0]);
+    CDB_ASSIGN_OR_RETURN(column.type, TypeFromName(Trim(parts[1])));
+    column.is_crowd = parts.size() == 3 && Trim(parts[2]) == "CROWD";
+    schema.AddColumn(std::move(column));
+  }
+  if (schema.num_columns() == 0) {
+    return Status::ParseError("schema for '" + name + "' has no columns");
+  }
+  CDB_ASSIGN_OR_RETURN(Table parsed, TableFromCsv(name, schema, csv_text));
+  // TableFromCsv has no crowd-table notion; rebuild with the flag.
+  Table table(name, schema, crowd_table);
+  for (const Row& row : parsed.rows()) {
+    CDB_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return Status::Internal("cannot create directory " + directory);
+  for (const std::string& name : catalog.TableNames()) {
+    CDB_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    fs::path base = fs::path(directory) / name;
+    CDB_RETURN_IF_ERROR(WriteFile(base.string() + ".schema", SchemaToText(*table)));
+    CDB_RETURN_IF_ERROR(WriteFile(base.string() + ".csv", TableToCsv(*table)));
+  }
+  return Status::Ok();
+}
+
+Result<Catalog> LoadCatalog(const std::string& directory) {
+  Catalog catalog;
+  std::error_code ec;
+  fs::directory_iterator it(directory, ec);
+  if (ec) return Status::NotFound("cannot open directory " + directory);
+  for (const fs::directory_entry& entry : it) {
+    if (entry.path().extension() != ".schema") continue;
+    std::string name = entry.path().stem().string();
+    CDB_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(entry.path()));
+    fs::path csv_path = entry.path();
+    csv_path.replace_extension(".csv");
+    CDB_ASSIGN_OR_RETURN(std::string csv_text, ReadFile(csv_path));
+    CDB_ASSIGN_OR_RETURN(Table table, TableFromText(name, schema_text, csv_text));
+    CDB_RETURN_IF_ERROR(catalog.AddTable(std::move(table)));
+  }
+  return catalog;
+}
+
+}  // namespace cdb

@@ -1,0 +1,30 @@
+// Catalog persistence: save/load every table to a directory as
+// `<table>.schema` (one "name|TYPE[|CROWD]" line per column, first line
+// optionally "CROWD TABLE") plus `<table>.csv` (see csv.h). Keeps the
+// benchmark datasets inspectable and lets embedders ship data with their
+// binaries.
+#ifndef CDB_STORAGE_PERSIST_H_
+#define CDB_STORAGE_PERSIST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace cdb {
+
+// Writes every table of `catalog` into `directory` (created if missing).
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+// Loads every `<name>.schema` + `<name>.csv` pair found in `directory`.
+Result<Catalog> LoadCatalog(const std::string& directory);
+
+// Schema (de)serialization, exposed for tests.
+std::string SchemaToText(const Table& table);
+Result<Table> TableFromText(const std::string& name,
+                            const std::string& schema_text,
+                            const std::string& csv_text);
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_PERSIST_H_

@@ -1,0 +1,27 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace cdb {
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+    if (columns_[i].is_crowd) out += " CROWD";
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace cdb

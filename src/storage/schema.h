@@ -1,0 +1,45 @@
+// Table schemas. A column may be declared CROWD (its missing values are
+// candidates for FILL), and a whole table may be a CROWD table (its rows are
+// candidates for COLLECT) — CQL DDL, Appendix A.
+#ifndef CDB_STORAGE_SCHEMA_H_
+#define CDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace cdb {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool is_crowd = false;  // Declared with the CROWD keyword in CQL DDL.
+};
+
+// An ordered list of named columns. Column names are case-insensitive.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column with the given (case-insensitive) name, or error.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  // Human-readable rendering, e.g. "(name STRING CROWD, city STRING)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_SCHEMA_H_

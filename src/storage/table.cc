@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace cdb {
+namespace {
+
+bool TypeFits(const Value& v, ValueType column_type) {
+  if (v.is_missing()) return true;
+  if (v.type() == column_type) return true;
+  // Allow int literals in double columns.
+  return v.type() == ValueType::kInt64 && column_type == ValueType::kDouble;
+}
+
+}  // namespace
+
+Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StrPrintf(
+        "table %s: row has %zu values, schema has %zu columns", name_.c_str(),
+        row.size(), schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!TypeFits(row[i], schema_.column(i).type)) {
+      return Status::InvalidArgument(StrPrintf(
+          "table %s column %s: value type %s does not fit column type %s",
+          name_.c_str(), schema_.column(i).name.c_str(),
+          ValueTypeName(row[i].type()), ValueTypeName(schema_.column(i).type)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Result<Value> Table::GetCell(size_t row, const std::string& column) const {
+  CDB_ASSIGN_OR_RETURN(size_t col, schema_.FindColumn(column));
+  if (row >= rows_.size()) {
+    return Status::OutOfRange(StrPrintf("row %zu out of range (table %s has %zu rows)",
+                                        row, name_.c_str(), rows_.size()));
+  }
+  return rows_[row][col];
+}
+
+Status Table::SetCell(size_t row, const std::string& column, Value value) {
+  CDB_ASSIGN_OR_RETURN(size_t col, schema_.FindColumn(column));
+  if (row >= rows_.size()) {
+    return Status::OutOfRange(StrPrintf("row %zu out of range (table %s has %zu rows)",
+                                        row, name_.c_str(), rows_.size()));
+  }
+  if (!TypeFits(value, schema_.column(col).type)) {
+    return Status::InvalidArgument("value type does not fit column type");
+  }
+  rows_[row][col] = std::move(value);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Table::StringColumn(
+    const std::string& column) const {
+  CDB_ASSIGN_OR_RETURN(size_t col, schema_.FindColumn(column));
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    const Value& v = row[col];
+    out.push_back(v.is_missing() ? std::string() : v.ToString());
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> Table::CrowdMissingRows(
+    const std::string& column) const {
+  CDB_ASSIGN_OR_RETURN(size_t col, schema_.FindColumn(column));
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][col].is_cnull()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cdb

@@ -1,0 +1,59 @@
+// In-memory row-store table.
+#ifndef CDB_STORAGE_TABLE_H_
+#define CDB_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace cdb {
+
+using Row = std::vector<Value>;
+
+// A named relation: schema + rows. Tables created with CREATE CROWD TABLE are
+// marked crowd tables (COLLECT may append rows to them).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema, bool is_crowd_table = false)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        is_crowd_table_(is_crowd_table) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  bool is_crowd_table() const { return is_crowd_table_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Appends a row after checking arity and (loose) type compatibility:
+  // NULL/CNULL fit any column; ints fit double columns.
+  Status AppendRow(Row row);
+
+  // Cell accessors by column name; errors on unknown column.
+  Result<Value> GetCell(size_t row, const std::string& column) const;
+  Status SetCell(size_t row, const std::string& column, Value value);
+
+  // Extracts an entire string column (missing cells become empty strings).
+  // The graph builder uses this to run similarity joins per predicate.
+  Result<std::vector<std::string>> StringColumn(const std::string& column) const;
+
+  // Row indexes whose `column` cell is CNULL — the FILL work list.
+  Result<std::vector<size_t>> CrowdMissingRows(const std::string& column) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  bool is_crowd_table_ = false;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_TABLE_H_

@@ -1,0 +1,70 @@
+#include "storage/value.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cdb {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kCNull:
+      return "CNULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  CDB_CHECK(type_ == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (type_ == ValueType::kInt64) return static_cast<double>(std::get<int64_t>(data_));
+  CDB_CHECK(type_ == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  CDB_CHECK(type_ == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kCNull:
+      return "CNULL";
+    case ValueType::kInt64:
+      return StrPrintf("%lld", static_cast<long long>(std::get<int64_t>(data_)));
+    case ValueType::kDouble:
+      return StrPrintf("%g", std::get<double>(data_));
+    case ValueType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_missing() || other.is_missing()) return false;
+  if (type_ == other.type_) return data_ == other.data_;
+  // Numeric promotion.
+  bool a_num = type_ == ValueType::kInt64 || type_ == ValueType::kDouble;
+  bool b_num = other.type_ == ValueType::kInt64 || other.type_ == ValueType::kDouble;
+  if (a_num && b_num) return AsDouble() == other.AsDouble();
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  return a.type_ == b.type_ && a.data_ == b.data_;
+}
+
+}  // namespace cdb

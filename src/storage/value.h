@@ -1,0 +1,82 @@
+// Cell values. CDB is a crowd database: a cell may hold CNULL, the marker the
+// CQL DDL uses for "this value must be crowdsourced" (Appendix A.1), which is
+// distinct from SQL NULL.
+#ifndef CDB_STORAGE_VALUE_H_
+#define CDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cdb {
+
+enum class ValueType : uint8_t {
+  kNull,    // SQL NULL.
+  kCNull,   // Crowd-null: to be filled by the crowd (CQL's CNULL).
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+// A dynamically typed cell value with value semantics.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value CNull() {
+    Value v;
+    v.type_ = ValueType::kCNull;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.type_ = ValueType::kInt64;
+    v.data_ = i;
+    return v;
+  }
+  static Value Real(double d) {
+    Value v;
+    v.type_ = ValueType::kDouble;
+    v.data_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = ValueType::kString;
+    v.data_ = std::move(s);
+    return v;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_cnull() const { return type_ == ValueType::kCNull; }
+  bool is_missing() const { return is_null() || is_cnull(); }
+
+  // Typed accessors; calling the wrong one aborts (programmer error).
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Best-effort string rendering for any type ("NULL", "CNULL", numbers,
+  // or the raw string). Used by CSV export and result printing.
+  std::string ToString() const;
+
+  // SQL-style equality: missing values compare unequal to everything
+  // (including other missing values). Numeric cross-type comparison promotes
+  // ints to double.
+  bool SqlEquals(const Value& other) const;
+
+  // Exact structural equality (type and payload), used by tests and maps.
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_VALUE_H_

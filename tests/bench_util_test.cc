@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "bench_util/metrics.h"
+#include "bench_util/queries.h"
+#include "bench_util/runner.h"
+#include "bench_util/table_printer.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+
+namespace cdb {
+namespace {
+
+TEST(MetricsTest, F1Math) {
+  std::vector<QueryAnswer> returned = {{{0, 0}}, {{1, 1}}, {{2, 2}}};
+  std::vector<QueryAnswer> truth = {{{1, 1}}, {{2, 2}}, {{3, 3}}, {{4, 4}}};
+  PrecisionRecall pr = ComputeF1(returned, truth);
+  EXPECT_EQ(pr.correct, 2);
+  EXPECT_NEAR(pr.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pr.recall, 0.5, 1e-12);
+  EXPECT_NEAR(pr.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, EmptyInputs) {
+  PrecisionRecall pr = ComputeF1({}, {});
+  EXPECT_EQ(pr.precision, 0.0);
+  EXPECT_EQ(pr.recall, 0.0);
+  EXPECT_EQ(pr.f1, 0.0);
+}
+
+TEST(MetricsTest, TrueAnswersOnMiniExample) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  Statement stmt = ParseStatement(kMiniExampleQuery).value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+  std::vector<QueryAnswer> answers = TrueAnswers(ds, query);
+  // True chains (paper, researcher, citation, university), including the
+  // paper's three listed answers (u8,r8,p4,c6), (u9,r9,p5,c7),
+  // (u12,r12,p8,c12) plus the genuinely-true Garcia-Molina and DataSift
+  // chains our entity links encode.
+  auto contains = [&](int64_t p, int64_t r, int64_t c, int64_t u) {
+    for (const QueryAnswer& a : answers) {
+      if (a.rows[0] == p && a.rows[1] == r && a.rows[2] == c && a.rows[3] == u) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(3, 7, 5, 7));    // p4, r8, c6, u8.
+  EXPECT_TRUE(contains(4, 8, 6, 8));    // p5, r9, c7, u9.
+  EXPECT_TRUE(contains(7, 11, 11, 11)); // p8, r12, c12, u12.
+}
+
+TEST(MetricsTest, TrueAnswersRespectSelections) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  Statement stmt = ParseStatement(
+                       "SELECT University.name FROM University "
+                       "WHERE University.country CROWDEQUAL 'UK'")
+                       .value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+  std::vector<QueryAnswer> answers = TrueAnswers(ds, query);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].rows[0], 10);  // u11, Univ. of Cambridge.
+}
+
+TEST(QueriesTest, FiveQueriesPerDataset) {
+  std::vector<BenchmarkQuery> paper = PaperQueries();
+  std::vector<BenchmarkQuery> award = AwardQueries();
+  ASSERT_EQ(paper.size(), 5u);
+  ASSERT_EQ(award.size(), 5u);
+  EXPECT_EQ(paper[0].label, "2J");
+  EXPECT_EQ(paper[4].label, "3J2S");
+}
+
+TEST(QueriesTest, PaperQueriesAnalyzeAgainstPaperDataset) {
+  GeneratedDataset ds = MakeMiniPaperExample();  // Same schema as generator.
+  for (const BenchmarkQuery& bq : PaperQueries()) {
+    Statement stmt = ParseStatement(bq.cql).value();
+    auto query = AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog);
+    EXPECT_TRUE(query.ok()) << bq.label << ": " << query.status().ToString();
+  }
+}
+
+TEST(RunnerTest, MethodNamesUnique) {
+  std::set<std::string> names;
+  for (Method m : AllMethods()) names.insert(MethodName(m));
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(RunnerTest, RunsCdbOnMiniExample) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  RunConfig config;
+  config.worker_quality = 1.0;
+  config.worker_quality_stddev = 0.0;
+  config.redundancy = 1;
+  config.repetitions = 2;
+  RunOutcome outcome = RunMethod(Method::kCdb, ds, kMiniExampleQuery, config).value();
+  EXPECT_GT(outcome.tasks, 0.0);
+  EXPECT_GT(outcome.rounds, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.precision, 1.0);
+}
+
+TEST(RunnerTest, RejectsNonSelect) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  RunConfig config;
+  EXPECT_FALSE(
+      RunMethod(Method::kCdb, ds, "CREATE TABLE T (x int)", config).ok());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"method", "tasks"});
+  printer.AddRow({"CDB", "12"});
+  printer.AddRow({"CrowdDB", "345"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("| method  | tasks |"), std::string::npos);
+  EXPECT_NE(out.find("| CDB     | 12    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"x"});
+  EXPECT_NE(printer.ToString().find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(FormatDouble(1.257, 2), "1.26");
+  EXPECT_EQ(FormatCount(17.4), "17");
+}
+
+}  // namespace
+}  // namespace cdb

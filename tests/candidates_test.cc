@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "graph/candidates.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+TEST(CandidatesTest, FindEdgeBetween) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  VertexId r1 = graph.FindVertex(1, 1);
+  VertexId p1 = graph.FindVertex(2, 1);
+  EdgeId e = FindEdgeBetween(graph, r1, p1, 1);
+  ASSERT_NE(e, kNoEdge);
+  EXPECT_DOUBLE_EQ(graph.edge(e).weight, 0.42);
+  EXPECT_EQ(FindEdgeBetween(graph, r1, p1, 0), kNoEdge);
+}
+
+TEST(CandidatesTest, AnswersRequireAllBlue) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  EXPECT_TRUE(FindAnswers(graph).empty());  // Nothing colored yet.
+  // Color a full chain blue: u1-r1-p1-c1.
+  VertexId u1 = graph.FindVertex(0, 1);
+  VertexId r1 = graph.FindVertex(1, 1);
+  VertexId p1 = graph.FindVertex(2, 1);
+  VertexId c1 = graph.FindVertex(3, 1);
+  graph.SetColor(FindEdgeBetween(graph, u1, r1, 0), EdgeColor::kBlue);
+  graph.SetColor(FindEdgeBetween(graph, r1, p1, 1), EdgeColor::kBlue);
+  graph.SetColor(FindEdgeBetween(graph, p1, c1, 2), EdgeColor::kBlue);
+  std::vector<Assignment> answers = FindAnswers(graph);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], u1);
+  EXPECT_EQ(answers[0][1], r1);
+  EXPECT_EQ(answers[0][2], p1);
+  EXPECT_EQ(answers[0][3], c1);
+}
+
+TEST(CandidatesTest, AssignmentEdges) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  Assignment assignment = {graph.FindVertex(0, 1), graph.FindVertex(1, 1),
+                           graph.FindVertex(2, 1), graph.FindVertex(3, 1)};
+  std::vector<EdgeId> edges = AssignmentEdges(graph, assignment);
+  ASSERT_EQ(edges.size(), 3u);
+  for (size_t p = 0; p < edges.size(); ++p) {
+    EXPECT_EQ(graph.edge(edges[p]).pred, static_cast<int>(p));
+  }
+}
+
+TEST(CandidatesTest, ExistsCandidateRespectsFixedVertices) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  auto non_red = [](const GraphEdge& e) { return e.color != EdgeColor::kRed; };
+  std::vector<VertexId> fixed(4, kNoVertex);
+  EXPECT_TRUE(ExistsCandidate(graph, fixed, non_red));
+  // u3 only connects to r3: fixing u3 and r1 must fail.
+  fixed[0] = graph.FindVertex(0, 3);
+  fixed[1] = graph.FindVertex(1, 1);
+  EXPECT_FALSE(ExistsCandidate(graph, fixed, non_red));
+  fixed[1] = graph.FindVertex(1, 3);
+  EXPECT_TRUE(ExistsCandidate(graph, fixed, non_red));
+}
+
+TEST(CandidatesTest, EdgeValidExactAfterRed) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  EdgeId p1c1 = kNoEdge;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge(e).pred == 2) p1c1 = e;
+  }
+  EXPECT_TRUE(EdgeValidExact(graph, 0));
+  graph.SetColor(p1c1, EdgeColor::kRed);
+  EXPECT_FALSE(EdgeValidExact(graph, p1c1));
+  EXPECT_FALSE(EdgeValidExact(graph, 0));
+}
+
+TEST(CandidatesTest, ConflictSameTableRule) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  // Edges (t1:0, t2:0) and (t1:1, t2:1) involve different tuples of both
+  // relations -> never in one candidate -> non-conflict.
+  EdgeId e00 = kNoEdge;
+  EdgeId e11 = kNoEdge;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.pred != 0) continue;
+    int64_t a = graph.vertex(edge.u).row;
+    int64_t b = graph.vertex(edge.v).row;
+    if (a == 0 && b == 0) e00 = e;
+    if (a == 1 && b == 1) e11 = e;
+  }
+  ASSERT_NE(e00, kNoEdge);
+  ASSERT_NE(e11, kNoEdge);
+  EXPECT_FALSE(EdgesConflict(graph, e00, e11));
+  EXPECT_TRUE(EdgesConflict(graph, e00, e00));
+}
+
+TEST(CandidatesTest, ConflictAcrossPredicates) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  // (t1:0, t2:0) for pred 0 and (t2:0, t3:0) for pred 1 share T2 row 0 and
+  // can extend each other: conflict.
+  EdgeId e_left = kNoEdge;
+  EdgeId e_right = kNoEdge;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    int64_t a = graph.vertex(edge.u).row;
+    int64_t b = graph.vertex(edge.v).row;
+    if (edge.pred == 0 && a == 0 && b == 0) e_left = e;
+    if (edge.pred == 1 && a == 0 && b == 0) e_right = e;
+  }
+  EXPECT_TRUE(EdgesConflict(graph, e_left, e_right));
+  // After the right edge's alternative path dies, still conflict by
+  // candidate membership; now make them incompatible: a pred-1 edge from
+  // t2 row 0 and a pred-0 edge into t2 row 1 are non-conflict (different
+  // tuples of T2).
+  EdgeId e_other = kNoEdge;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    if (edge.pred == 0 && graph.vertex(edge.u).row == 0 &&
+        graph.vertex(edge.v).row == 1) {
+      e_other = e;
+    }
+  }
+  ASSERT_NE(e_other, kNoEdge);
+  EXPECT_FALSE(EdgesConflict(graph, e_other, e_right));
+}
+
+TEST(CandidatesTest, EnumerateCandidatesCounts) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  // Candidates = choices of (t1, t2=0, t3): 3 * 3 = 9 (only T2 row 0 has
+  // pred-1 edges).
+  int count = 0;
+  EnumerateCandidates(graph, [&](const Assignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 9);
+  // Early abort works.
+  count = 0;
+  EnumerateCandidates(graph, [&](const Assignment&) {
+    ++count;
+    return count < 3;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(CandidatesTest, BestCandidateMaximizesProduct) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  std::optional<ScoredCandidate> best = BestCandidate(graph, true);
+  ASSERT_TRUE(best.has_value());
+  // The best chain goes through the 0.83 R-P edge: 0.6 * 0.83 * 0.9.
+  EXPECT_NEAR(best->probability, 0.6 * 0.83 * 0.9, 1e-9);
+}
+
+TEST(CandidatesTest, BestCandidateTreatsBlueAsCertain) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  // Confirm the 0.42 edge BLUE: its chain now scores 0.6 * 1.0 * 0.9 which
+  // beats 0.6 * 0.83 * 0.9.
+  VertexId r1 = graph.FindVertex(1, 1);
+  VertexId p1 = graph.FindVertex(2, 1);
+  graph.SetColor(FindEdgeBetween(graph, r1, p1, 1), EdgeColor::kBlue);
+  std::optional<ScoredCandidate> best = BestCandidate(graph, true);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.6 * 1.0 * 0.9, 1e-9);
+  EXPECT_EQ(best->assignment[1], r1);
+}
+
+TEST(CandidatesTest, BestCandidateRequireUnknownSkipsAnswers) {
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}};
+  std::vector<QueryGraph::SyntheticEdge> edges = {
+      {0, 0, 0, 0.9, true, EdgeColor::kBlue},  // Already an answer.
+      {0, 1, 1, 0.5},
+  };
+  QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
+  std::optional<ScoredCandidate> best = BestCandidate(graph, true);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(best->probability, 0.5, 1e-12);
+  std::optional<ScoredCandidate> any = BestCandidate(graph, false);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_NEAR(any->probability, 1.0, 1e-12);
+}
+
+TEST(CandidatesTest, BestCandidateNoneLeft) {
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}};
+  std::vector<QueryGraph::SyntheticEdge> edges = {
+      {0, 0, 0, 0.9, true, EdgeColor::kRed},
+  };
+  QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
+  EXPECT_FALSE(BestCandidate(graph, true).has_value());
+  EXPECT_FALSE(BestCandidate(graph, false).has_value());
+}
+
+}  // namespace
+}  // namespace cdb

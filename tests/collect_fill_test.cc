@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/collect_fill.h"
+
+namespace cdb {
+namespace {
+
+CollectUniverse MakeUniverse(int64_t n) {
+  CollectUniverse universe;
+  for (int64_t i = 0; i < n; ++i) {
+    CollectUniverse::Entity entity;
+    entity.canonical = "University " + std::to_string(i);
+    entity.variants = {"Univ. " + std::to_string(i), "U" + std::to_string(i)};
+    universe.entities.push_back(std::move(entity));
+  }
+  return universe;
+}
+
+TEST(CollectTest, ReachesTarget) {
+  CollectUniverse universe = MakeUniverse(200);
+  CollectOptions options;
+  options.target_distinct = 50;
+  CollectResult result = RunCollect(universe, options);
+  EXPECT_EQ(result.distinct_collected, 50);
+  EXPECT_EQ(result.collected.size(), 50u);
+  EXPECT_EQ(result.questions_at_distinct.size(), 50u);
+  EXPECT_GE(result.questions_asked, 50);
+}
+
+TEST(CollectTest, AutocompleteBeatsBaseline) {
+  // Figure 17(a)'s shape: without duplicate control the baseline wastes many
+  // questions on resubmissions; autocompletion saves several-fold.
+  CollectUniverse universe = MakeUniverse(150);
+  CollectOptions with;
+  with.target_distinct = 100;
+  with.autocomplete = true;
+  with.seed = 5;
+  CollectOptions without = with;
+  without.autocomplete = false;
+  CollectResult cdb = RunCollect(universe, with);
+  CollectResult deco = RunCollect(universe, without);
+  EXPECT_EQ(cdb.distinct_collected, 100);
+  EXPECT_EQ(deco.distinct_collected, 100);
+  EXPECT_LT(cdb.questions_asked, deco.questions_asked);
+  EXPECT_GT(deco.duplicates, cdb.duplicates);
+}
+
+TEST(CollectTest, AutocompleteCanonicalizes) {
+  CollectUniverse universe = MakeUniverse(30);
+  CollectOptions options;
+  options.target_distinct = 30;
+  options.autocomplete = true;
+  CollectResult result = RunCollect(universe, options);
+  for (const std::string& s : result.collected) {
+    EXPECT_EQ(s.rfind("University ", 0), 0u) << s;
+  }
+}
+
+TEST(CollectTest, QuestionCurveIsMonotone) {
+  CollectUniverse universe = MakeUniverse(120);
+  CollectOptions options;
+  options.target_distinct = 80;
+  options.autocomplete = false;
+  CollectResult result = RunCollect(universe, options);
+  for (size_t i = 1; i < result.questions_at_distinct.size(); ++i) {
+    EXPECT_GT(result.questions_at_distinct[i], result.questions_at_distinct[i - 1]);
+  }
+}
+
+TEST(CollectTest, TargetCappedByUniverse) {
+  CollectUniverse universe = MakeUniverse(10);
+  CollectOptions options;
+  options.target_distinct = 50;
+  CollectResult result = RunCollect(universe, options);
+  EXPECT_EQ(result.distinct_collected, 10);
+}
+
+std::vector<FillTaskSpec> MakeFillSpecs(int n) {
+  std::vector<FillTaskSpec> specs;
+  const std::vector<std::string> states = {"Illinois", "California",
+                                           "Massachusetts", "Texas"};
+  for (int i = 0; i < n; ++i) {
+    FillTaskSpec spec;
+    spec.question = "state of university " + std::to_string(i);
+    spec.truth = states[static_cast<size_t>(i) % states.size()];
+    for (const std::string& s : states) {
+      if (s != spec.truth) spec.wrong_pool.push_back(s);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(FillTest, EarlyStopSavesCost) {
+  // Figure 17(b)'s shape: CDB's 3-of-5 agreement stop saves ~30% over
+  // always asking 5 workers.
+  std::vector<FillTaskSpec> specs = MakeFillSpecs(100);
+  FillOptions cdb;
+  cdb.early_stop = true;
+  cdb.worker_quality_mean = 0.85;
+  cdb.seed = 7;
+  FillOptions deco = cdb;
+  deco.early_stop = false;
+  FillResult cdb_result = RunFill(specs, cdb);
+  FillResult deco_result = RunFill(specs, deco);
+  EXPECT_EQ(deco_result.answers_collected, 500);
+  EXPECT_LT(cdb_result.answers_collected, deco_result.answers_collected);
+  // Accuracy stays high despite the early stop.
+  EXPECT_GT(static_cast<double>(cdb_result.cells_correct) /
+                static_cast<double>(cdb_result.cells_filled),
+            0.85);
+}
+
+TEST(FillTest, PerfectWorkersStopAtThree) {
+  std::vector<FillTaskSpec> specs = MakeFillSpecs(20);
+  FillOptions options;
+  options.worker_quality_mean = 1.0;
+  options.worker_quality_stddev = 0.0;
+  options.early_stop = true;
+  FillResult result = RunFill(specs, options);
+  EXPECT_EQ(result.answers_collected, 60);  // 3 per cell.
+  EXPECT_EQ(result.cells_correct, 20);
+}
+
+TEST(FillTest, ValuesComeFromPivot) {
+  std::vector<FillTaskSpec> specs = MakeFillSpecs(10);
+  FillOptions options;
+  options.worker_quality_mean = 0.95;
+  FillResult result = RunFill(specs, options);
+  ASSERT_EQ(result.values.size(), 10u);
+  EXPECT_EQ(result.cells_filled, 10);
+}
+
+}  // namespace
+}  // namespace cdb

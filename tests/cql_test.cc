@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "cql/analyzer.h"
+#include "cql/lexer.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+
+namespace cdb {
+namespace {
+
+// ---------------------------------------------------------------- Lexer ---
+
+TEST(LexerTest, BasicTokens) {
+  std::vector<Token> tokens = Tokenize("SELECT * FROM T WHERE a.b = 'x';").value();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kSymbol);
+  EXPECT_EQ(tokens[1].text, "*");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringLiterals) {
+  std::vector<Token> tokens = Tokenize("'ab''c' \"dq\"").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "ab'c");
+  EXPECT_EQ(tokens[1].text, "dq");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> tokens = Tokenize("123 4.5").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[0].text, "123");
+  EXPECT_EQ(tokens[1].text, "4.5");
+}
+
+TEST(LexerTest, Comments) {
+  std::vector<Token> tokens = Tokenize("SELECT -- hi\n *").value();
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "*");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+// --------------------------------------------------------------- Parser ---
+
+TEST(ParserTest, SelectStarWithCrowdJoin) {
+  Statement stmt = ParseStatement(kMiniExampleQuery).value();
+  const auto& select = std::get<SelectStatement>(stmt);
+  EXPECT_TRUE(select.select_star);
+  ASSERT_EQ(select.tables.size(), 4u);
+  ASSERT_EQ(select.predicates.size(), 3u);
+  EXPECT_EQ(select.predicates[0].kind, PredicateKind::kCrowdJoin);
+  EXPECT_EQ(select.predicates[0].left.ToString(), "Paper.Author");
+  EXPECT_EQ(select.predicates[0].right.ToString(), "Researcher.Name");
+}
+
+TEST(ParserTest, SelectionPredicates) {
+  Statement stmt = ParseStatement(
+                       "SELECT University.name FROM University "
+                       "WHERE University.country CROWDEQUAL 'USA' "
+                       "AND University.city = 'Chicago'")
+                       .value();
+  const auto& select = std::get<SelectStatement>(stmt);
+  ASSERT_EQ(select.predicates.size(), 2u);
+  EXPECT_EQ(select.predicates[0].kind, PredicateKind::kCrowdEqual);
+  EXPECT_EQ(select.predicates[0].constant, "USA");
+  EXPECT_EQ(select.predicates[1].kind, PredicateKind::kEqualConst);
+}
+
+TEST(ParserTest, EquiJoinVsConstEqual) {
+  Statement stmt = ParseStatement(
+                       "SELECT A.x FROM A, B WHERE A.x = B.y AND A.z = '3'")
+                       .value();
+  const auto& select = std::get<SelectStatement>(stmt);
+  EXPECT_EQ(select.predicates[0].kind, PredicateKind::kEquiJoin);
+  EXPECT_EQ(select.predicates[1].kind, PredicateKind::kEqualConst);
+}
+
+TEST(ParserTest, Budget) {
+  Statement stmt =
+      ParseStatement("SELECT A.x FROM A WHERE A.x CROWDEQUAL 'v' BUDGET 50")
+          .value();
+  EXPECT_EQ(std::get<SelectStatement>(stmt).budget.value(), 50);
+  EXPECT_FALSE(
+      ParseStatement("SELECT A.x FROM A WHERE A.x CROWDEQUAL 'v' BUDGET 0").ok());
+}
+
+TEST(ParserTest, CreateTableWithCrowdColumn) {
+  // The paper's DDL example (Appendix A): CROWD before the type.
+  Statement stmt = ParseStatement(
+                       "CREATE TABLE Researcher (name varchar(64), "
+                       "gender CROWD varchar(16), affiliation CROWD varchar(64));")
+                       .value();
+  const auto& create = std::get<CreateTableStatement>(stmt);
+  EXPECT_EQ(create.name, "Researcher");
+  EXPECT_FALSE(create.crowd_table);
+  ASSERT_EQ(create.columns.size(), 3u);
+  EXPECT_FALSE(create.columns[0].is_crowd);
+  EXPECT_TRUE(create.columns[1].is_crowd);
+  EXPECT_TRUE(create.columns[2].is_crowd);
+}
+
+TEST(ParserTest, CreateCrowdTable) {
+  Statement stmt = ParseStatement(
+                       "CREATE CROWD TABLE University (name varchar(64), "
+                       "city varchar(64), country varchar(64));")
+                       .value();
+  const auto& create = std::get<CreateTableStatement>(stmt);
+  EXPECT_TRUE(create.crowd_table);
+  EXPECT_EQ(create.columns.size(), 3u);
+}
+
+TEST(ParserTest, ColumnTypes) {
+  Statement stmt =
+      ParseStatement("CREATE TABLE T (a int, b double, c varchar(10))").value();
+  const auto& create = std::get<CreateTableStatement>(stmt);
+  EXPECT_EQ(create.columns[0].type, ValueType::kInt64);
+  EXPECT_EQ(create.columns[1].type, ValueType::kDouble);
+  EXPECT_EQ(create.columns[2].type, ValueType::kString);
+  EXPECT_FALSE(ParseStatement("CREATE TABLE T (a blob)").ok());
+}
+
+TEST(ParserTest, Fill) {
+  Statement stmt = ParseStatement(
+                       "FILL Researcher.affiliation "
+                       "WHERE Researcher.gender = 'female' BUDGET 10")
+                       .value();
+  const auto& fill = std::get<FillStatement>(stmt);
+  EXPECT_EQ(fill.target.ToString(), "Researcher.affiliation");
+  EXPECT_EQ(fill.predicates.size(), 1u);
+  EXPECT_EQ(fill.budget.value(), 10);
+  // Join predicates are rejected in FILL.
+  EXPECT_FALSE(
+      ParseStatement("FILL A.x WHERE A.y CROWDJOIN B.z").ok());
+}
+
+TEST(ParserTest, Collect) {
+  Statement stmt = ParseStatement(
+                       "COLLECT University.name, University.city "
+                       "WHERE University.country = 'US' BUDGET 100")
+                       .value();
+  const auto& collect = std::get<CollectStatement>(stmt);
+  ASSERT_EQ(collect.targets.size(), 2u);
+  EXPECT_EQ(collect.budget.value(), 100);
+  EXPECT_FALSE(ParseStatement("COLLECT A.x, B.y").ok());  // Two tables.
+}
+
+TEST(ParserTest, Script) {
+  std::vector<Statement> script =
+      ParseScript("CREATE TABLE A (x varchar(4)); SELECT A.x FROM A WHERE "
+                  "A.x CROWDEQUAL 'v';")
+          .value();
+  EXPECT_EQ(script.size(), 2u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM A").ok());
+  EXPECT_FALSE(ParseStatement("SELECT A.x").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE A SET x = 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT A.x FROM A trailing junk").ok());
+  EXPECT_FALSE(ParseStatement("SELECT A.x FROM A WHERE A.x CROWDJOIN 'v'").ok());
+}
+
+// ------------------------------------------------------------- Analyzer ---
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : dataset_(MakeMiniPaperExample()) {}
+
+  ResolvedQuery Analyze(const std::string& cql) {
+    Statement stmt = ParseStatement(cql).value();
+    return AnalyzeSelect(std::get<SelectStatement>(stmt), dataset_.catalog).value();
+  }
+
+  Status AnalyzeError(const std::string& cql) {
+    Statement stmt = ParseStatement(cql).value();
+    auto result = AnalyzeSelect(std::get<SelectStatement>(stmt), dataset_.catalog);
+    return result.ok() ? Status::Ok() : result.status();
+  }
+
+  GeneratedDataset dataset_;
+};
+
+TEST_F(AnalyzerTest, ResolvesMiniExampleQuery) {
+  ResolvedQuery query = Analyze(kMiniExampleQuery);
+  EXPECT_EQ(query.tables.size(), 4u);
+  EXPECT_EQ(query.joins.size(), 3u);
+  EXPECT_TRUE(query.selections.empty());
+  EXPECT_TRUE(query.select_star);
+  EXPECT_EQ(query.num_predicates(), 3u);
+  for (const ResolvedJoin& join : query.joins) EXPECT_TRUE(join.is_crowd);
+}
+
+TEST_F(AnalyzerTest, ResolvesSelections) {
+  ResolvedQuery query = Analyze(
+      "SELECT Paper.title FROM Paper "
+      "WHERE Paper.conference CROWDEQUAL 'sigmod'");
+  ASSERT_EQ(query.selections.size(), 1u);
+  EXPECT_TRUE(query.selections[0].is_crowd);
+  EXPECT_EQ(query.selections[0].value, "sigmod");
+  ASSERT_EQ(query.projections.size(), 1u);
+  EXPECT_EQ(query.projections[0].rel, 0);
+}
+
+TEST_F(AnalyzerTest, RejectsUnknownTableAndColumn) {
+  EXPECT_EQ(AnalyzeError("SELECT Nope.x FROM Nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AnalyzeError("SELECT Paper.bogus FROM Paper").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(AnalyzeError("SELECT Citation.title FROM Paper").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, RejectsCrossProducts) {
+  EXPECT_EQ(AnalyzeError("SELECT Paper.title FROM Paper, Citation").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, RejectsSelfJoin) {
+  EXPECT_EQ(AnalyzeError("SELECT Paper.title FROM Paper, Paper "
+                         "WHERE Paper.title CROWDJOIN Paper.title")
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerTest, ApplyCreateTable) {
+  Catalog catalog;
+  Statement stmt =
+      ParseStatement("CREATE TABLE T (a varchar(4), b int)").value();
+  ASSERT_TRUE(ApplyCreateTable(std::get<CreateTableStatement>(stmt), catalog).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));
+  // Duplicate table rejected.
+  EXPECT_FALSE(
+      ApplyCreateTable(std::get<CreateTableStatement>(stmt), catalog).ok());
+  // Duplicate column rejected.
+  Statement dup = ParseStatement("CREATE TABLE U (a int, A int)").value();
+  EXPECT_FALSE(ApplyCreateTable(std::get<CreateTableStatement>(dup), catalog).ok());
+}
+
+}  // namespace
+}  // namespace cdb

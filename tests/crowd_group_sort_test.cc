@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exec/crowd_group_sort.h"
+
+namespace cdb {
+namespace {
+
+PlatformOptions Perfect(uint64_t seed = 3) {
+  PlatformOptions platform;
+  platform.worker_quality_mean = 1.0;
+  platform.worker_quality_stddev = 0.0;
+  platform.redundancy = 1;
+  platform.seed = seed;
+  return platform;
+}
+
+// Values in the same "entity" (same prefix) truly group together.
+std::vector<std::string> GroupValues() {
+  return {"University of Chicago", "Univ. of Chicago", "U. of Chicago",
+          "Stanford University",   "Stanford Univ.",
+          "MIT"};
+}
+
+GroupTruthFn PrefixGroupTruth() {
+  // Truth by index ranges of GroupValues(): {0,1,2}, {3,4}, {5}.
+  return [](size_t a, size_t b) {
+    auto group = [](size_t i) { return i <= 2 ? 0 : i <= 4 ? 1 : 2; };
+    return group(a) == group(b);
+  };
+}
+
+TEST(CrowdGroupByTest, RecoversTrueGroups) {
+  CrowdGroupOptions options;
+  options.platform = Perfect();
+  CrowdGroupResult result =
+      CrowdGroupBy(GroupValues(), options, PrefixGroupTruth());
+  EXPECT_EQ(result.num_groups, 3);
+  EXPECT_EQ(result.group_of[0], result.group_of[1]);
+  EXPECT_EQ(result.group_of[0], result.group_of[2]);
+  EXPECT_EQ(result.group_of[3], result.group_of[4]);
+  EXPECT_NE(result.group_of[0], result.group_of[3]);
+  EXPECT_NE(result.group_of[0], result.group_of[5]);
+  EXPECT_GT(result.tasks_asked, 0);
+}
+
+TEST(CrowdGroupByTest, TransitivitySavesTasks) {
+  // Three exact duplicates: two matches imply the third by transitivity, so
+  // at most C(3,2) - 1 = 2 tasks are asked for that cluster.
+  std::vector<std::string> values = {"alpha beta", "alpha beta", "alpha beta"};
+  CrowdGroupOptions options;
+  options.platform = Perfect();
+  CrowdGroupResult result =
+      CrowdGroupBy(values, options, [](size_t, size_t) { return true; });
+  EXPECT_EQ(result.num_groups, 1);
+  EXPECT_LE(result.tasks_asked, 2);
+}
+
+TEST(CrowdGroupByTest, EpsilonPrunesWithoutAsking) {
+  // Dissimilar strings never reach the crowd.
+  std::vector<std::string> values = {"aaaaaa", "zzzzzz"};
+  CrowdGroupOptions options;
+  options.platform = Perfect();
+  CrowdGroupResult result =
+      CrowdGroupBy(values, options, [](size_t, size_t) { return true; });
+  EXPECT_EQ(result.tasks_asked, 0);
+  EXPECT_EQ(result.num_groups, 2);
+}
+
+TEST(CrowdGroupByTest, EmptyInput) {
+  CrowdGroupOptions options;
+  options.platform = Perfect();
+  CrowdGroupResult result =
+      CrowdGroupBy({}, options, [](size_t, size_t) { return false; });
+  EXPECT_EQ(result.num_groups, 0);
+  EXPECT_TRUE(result.group_of.empty());
+}
+
+TEST(CrowdOrderByTest, SortsPerfectly) {
+  // True order: by the hidden key i*7 % 11.
+  std::vector<int> key = {0, 7, 3, 10, 6, 2, 9, 5, 1, 8};
+  CrowdSortOptions options;
+  options.platform = Perfect();
+  CrowdSortResult result = CrowdOrderBy(
+      key.size(), options,
+      [&](size_t a, size_t b) { return key[a] < key[b]; });
+  ASSERT_EQ(result.order.size(), key.size());
+  for (size_t i = 1; i < result.order.size(); ++i) {
+    EXPECT_LT(key[result.order[i - 1]], key[result.order[i]]);
+  }
+  EXPECT_GT(result.tasks_asked, 0);
+}
+
+TEST(CrowdOrderByTest, TaskCountIsMergeSortLike) {
+  const size_t n = 16;
+  CrowdSortOptions options;
+  options.platform = Perfect();
+  CrowdSortResult result = CrowdOrderBy(
+      n, options, [](size_t a, size_t b) { return a < b; });
+  // Merge sort asks at most n*log2(n) comparisons and at least n-1.
+  EXPECT_GE(result.tasks_asked, static_cast<int64_t>(n - 1));
+  EXPECT_LE(result.tasks_asked, static_cast<int64_t>(n) * 4);
+}
+
+TEST(CrowdOrderByTest, BatchesComparisonsAcrossMerges) {
+  // With many parallel merges, rounds grow ~linearly in n (merge cursors are
+  // sequential) but stay well below the total comparison count.
+  const size_t n = 32;
+  CrowdSortOptions options;
+  options.platform = Perfect();
+  CrowdSortResult result = CrowdOrderBy(
+      n, options, [](size_t a, size_t b) { return a < b; });
+  EXPECT_LT(result.rounds, result.tasks_asked);
+}
+
+TEST(CrowdOrderByTest, SmallInputs) {
+  CrowdSortOptions options;
+  options.platform = Perfect();
+  EXPECT_TRUE(CrowdOrderBy(0, options, [](size_t, size_t) { return true; })
+                  .order.empty());
+  CrowdSortResult one =
+      CrowdOrderBy(1, options, [](size_t, size_t) { return true; });
+  ASSERT_EQ(one.order.size(), 1u);
+  EXPECT_EQ(one.tasks_asked, 0);
+}
+
+TEST(CrowdOrderByTest, NoisyCrowdStillPermutation) {
+  std::vector<int> key(20);
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<int>(i * 13 % 20);
+  CrowdSortOptions options;
+  options.platform.worker_quality_mean = 0.7;
+  options.platform.redundancy = 3;
+  CrowdSortResult result = CrowdOrderBy(
+      key.size(), options,
+      [&](size_t a, size_t b) { return key[a] < key[b]; });
+  std::set<size_t> seen(result.order.begin(), result.order.end());
+  EXPECT_EQ(seen.size(), key.size());  // A permutation even with errors.
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crowd/platform.h"
+
+namespace cdb {
+namespace {
+
+Task YesNoTask(TaskId id) {
+  Task task;
+  task.id = id;
+  task.type = TaskType::kSingleChoice;
+  task.question = "match?";
+  task.choices = {"yes", "no"};
+  task.payload = id;
+  return task;
+}
+
+TruthProvider AlwaysYes() {
+  return [](const Task&) {
+    TaskTruth truth;
+    truth.correct_choice = 0;
+    return truth;
+  };
+}
+
+TEST(WorkerTest, PerfectWorkerAlwaysCorrect) {
+  Rng rng(1);
+  SimulatedWorker worker(0, 1.0);
+  Task task = YesNoTask(0);
+  TaskTruth truth;
+  truth.correct_choice = 1;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(worker.AnswerTask(task, truth, rng).choice, 1);
+  }
+}
+
+TEST(WorkerTest, AccuracyMatchesFrequency) {
+  Rng rng(2);
+  SimulatedWorker worker(0, 0.7);
+  Task task = YesNoTask(0);
+  TaskTruth truth;
+  truth.correct_choice = 0;
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    correct += worker.AnswerTask(task, truth, rng).choice == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.7, 0.02);
+}
+
+TEST(WorkerTest, WrongAnswersAreUniformOverWrongChoices) {
+  Rng rng(3);
+  SimulatedWorker worker(0, 0.0);  // Clamped internally? No: direct 0.
+  Task task = YesNoTask(0);
+  task.choices = {"a", "b", "c", "d"};
+  TaskTruth truth;
+  truth.correct_choice = 2;
+  std::map<int, int> counts;
+  for (int i = 0; i < 9000; ++i) {
+    ++counts[worker.AnswerTask(task, truth, rng).choice];
+  }
+  EXPECT_EQ(counts.count(2), 0u);  // Never correct.
+  for (int c : {0, 1, 3}) EXPECT_NEAR(counts[c], 3000, 300);
+}
+
+TEST(WorkerTest, MultiChoicePerChoiceAccuracy) {
+  Rng rng(4);
+  SimulatedWorker worker(0, 1.0);
+  Task task;
+  task.id = 1;
+  task.type = TaskType::kMultiChoice;
+  task.choices = {"a", "b", "c"};
+  TaskTruth truth;
+  truth.correct_choice_set = {0, 2};
+  Answer answer = worker.AnswerTask(task, truth, rng);
+  EXPECT_EQ(answer.choice_set, (std::vector<int>{0, 2}));
+}
+
+TEST(WorkerTest, FillInBlankUsesWrongPool) {
+  Rng rng(5);
+  SimulatedWorker good(0, 1.0);
+  SimulatedWorker bad(1, 0.0);
+  Task task;
+  task.id = 2;
+  task.type = TaskType::kFillInBlank;
+  TaskTruth truth;
+  truth.correct_text = "Illinois";
+  truth.wrong_text_pool = {"Indiana", "Iowa"};
+  EXPECT_EQ(good.AnswerTask(task, truth, rng).text, "Illinois");
+  std::string wrong = bad.AnswerTask(task, truth, rng).text;
+  EXPECT_TRUE(wrong == "Indiana" || wrong == "Iowa");
+}
+
+TEST(WorkerPoolTest, QualitiesNearMean) {
+  Rng rng(6);
+  std::vector<SimulatedWorker> pool = MakeWorkerPool(500, 0.8, 0.1, rng);
+  ASSERT_EQ(pool.size(), 500u);
+  double sum = 0.0;
+  for (const SimulatedWorker& w : pool) {
+    EXPECT_GE(w.accuracy(), 0.05);
+    EXPECT_LE(w.accuracy(), 0.99);
+    sum += w.accuracy();
+  }
+  EXPECT_NEAR(sum / 500.0, 0.8, 0.02);
+}
+
+TEST(PlatformTest, EveryTaskGetsRedundancyAnswers) {
+  PlatformOptions options;
+  options.redundancy = 5;
+  options.num_workers = 20;
+  options.seed = 9;
+  CrowdPlatform platform(options, AlwaysYes());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 17; ++i) tasks.push_back(YesNoTask(i));
+  std::vector<Answer> answers = platform.ExecuteRound(tasks);
+  EXPECT_EQ(answers.size(), 17u * 5u);
+  std::map<TaskId, std::set<int>> workers_per_task;
+  for (const Answer& a : answers) {
+    EXPECT_TRUE(workers_per_task[a.task].insert(a.worker).second)
+        << "worker answered the same task twice";
+  }
+  for (auto& [task, workers] : workers_per_task) EXPECT_EQ(workers.size(), 5u);
+}
+
+TEST(PlatformTest, RedundancyCappedByWorkerCount) {
+  PlatformOptions options;
+  options.redundancy = 10;
+  options.num_workers = 4;
+  CrowdPlatform platform(options, AlwaysYes());
+  std::vector<Answer> answers = platform.ExecuteRound({YesNoTask(0)});
+  EXPECT_EQ(answers.size(), 4u);
+}
+
+TEST(PlatformTest, StatsAccumulate) {
+  PlatformOptions options;
+  options.redundancy = 3;
+  options.tasks_per_hit = 10;
+  options.price_per_hit = 0.1;
+  CrowdPlatform platform(options, AlwaysYes());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 25; ++i) tasks.push_back(YesNoTask(i));
+  platform.ExecuteRound(tasks);
+  EXPECT_EQ(platform.stats().tasks_published, 25);
+  EXPECT_EQ(platform.stats().hits_published, 3);  // ceil(25/10).
+  EXPECT_NEAR(platform.stats().dollars_spent, 0.3, 1e-9);
+  EXPECT_EQ(platform.stats().answers_collected, 75);
+  platform.ExecuteRound({YesNoTask(100)});
+  EXPECT_EQ(platform.stats().tasks_published, 26);
+  EXPECT_EQ(platform.stats().hits_published, 4);
+}
+
+TEST(PlatformTest, PolicyControlsAssignment) {
+  PlatformOptions options;
+  options.redundancy = 2;
+  options.num_workers = 10;
+  options.requester_controls_assignment = true;
+  CrowdPlatform platform(options, AlwaysYes());
+  // Policy that always picks the last available task: everything still
+  // completes, and the policy was actually consulted.
+  int policy_calls = 0;
+  AssignmentPolicy policy = [&](const SimulatedWorker&,
+                                const std::vector<TaskId>& available,
+                                int count) {
+    ++policy_calls;
+    std::vector<size_t> picks;
+    for (int i = 0; i < count && i < static_cast<int>(available.size()); ++i) {
+      picks.push_back(available.size() - 1 - static_cast<size_t>(i));
+    }
+    return picks;
+  };
+  std::vector<Task> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back(YesNoTask(i));
+  std::vector<Answer> answers = platform.ExecuteRound(tasks, &policy);
+  EXPECT_EQ(answers.size(), 16u);
+  EXPECT_GT(policy_calls, 0);
+}
+
+TEST(PlatformTest, ObserverSeesEveryAnswer) {
+  PlatformOptions options;
+  options.redundancy = 3;
+  CrowdPlatform platform(options, AlwaysYes());
+  int observed = 0;
+  AnswerObserver observer = [&](const Answer&) { ++observed; };
+  platform.ExecuteRound({YesNoTask(0), YesNoTask(1)}, nullptr, &observer);
+  EXPECT_EQ(observed, 6);
+}
+
+TEST(PlatformTest, EmptyRoundIsNoop) {
+  CrowdPlatform platform(PlatformOptions{}, AlwaysYes());
+  EXPECT_TRUE(platform.ExecuteRound({}).empty());
+  EXPECT_EQ(platform.stats().tasks_published, 0);
+}
+
+TEST(MultiMarketTest, PartitionsAndMerges) {
+  PlatformOptions a;
+  a.market_name = "SimAMT";
+  a.redundancy = 2;
+  a.seed = 1;
+  PlatformOptions b;
+  b.market_name = "SimCrowdFlower";
+  b.requester_controls_assignment = false;
+  b.redundancy = 2;
+  b.seed = 2;
+  MultiMarket market({a, b}, AlwaysYes());
+  std::vector<Task> tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back(YesNoTask(i));
+  std::vector<Answer> answers = market.ExecuteRound(tasks);
+  EXPECT_EQ(answers.size(), 20u);
+  PlatformStats stats = market.CombinedStats();
+  EXPECT_EQ(stats.tasks_published, 10);
+  EXPECT_EQ(stats.answers_collected, 20);
+  // Worker ids from the second market carry the offset.
+  bool saw_offset = false;
+  for (const Answer& answer : answers) {
+    if (answer.worker >= MultiMarket::kWorkerIdStride) saw_offset = true;
+  }
+  EXPECT_TRUE(saw_offset);
+}
+
+TEST(TaskTest, MakeEdgeTaskFormatsQuestion) {
+  Task task = MakeEdgeTask(3, 7, "MIT", "Massachusetts Institute of Technology");
+  EXPECT_EQ(task.id, 3);
+  EXPECT_EQ(task.payload, 7);
+  EXPECT_EQ(task.type, TaskType::kSingleChoice);
+  ASSERT_EQ(task.choices.size(), 2u);
+  EXPECT_NE(task.question.find("MIT"), std::string::npos);
+}
+
+TEST(TaskTest, TypeNames) {
+  EXPECT_STREQ(TaskTypeName(TaskType::kSingleChoice), "single-choice");
+  EXPECT_STREQ(TaskTypeName(TaskType::kCollection), "collection");
+}
+
+}  // namespace
+}  // namespace cdb

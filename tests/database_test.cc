@@ -1,0 +1,175 @@
+// Tests for the Database front-end (full CQL statements against a crowd
+// oracle) and catalog persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "datagen/entity_oracle.h"
+#include "datagen/mini_example.h"
+#include "exec/database.h"
+#include "storage/csv.h"
+#include "storage/persist.h"
+
+namespace cdb {
+namespace {
+
+Database::Options PerfectOptions() {
+  Database::Options options;
+  options.executor.platform.worker_quality_mean = 1.0;
+  options.executor.platform.worker_quality_stddev = 0.0;
+  options.executor.platform.redundancy = 1;
+  options.fill.worker_quality_mean = 1.0;
+  options.fill.worker_quality_stddev = 0.0;
+  return options;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest()
+      : dataset_(MakeMiniPaperExample()),
+        oracle_(&dataset_),
+        db_(PerfectOptions(), &oracle_) {
+    // Copy the miniature tables into the database catalog.
+    for (const std::string& name : dataset_.catalog.TableNames()) {
+      CDB_CHECK(db_.catalog()
+                    .AddTable(*dataset_.catalog.GetTable(name).value())
+                    .ok());
+    }
+  }
+
+  GeneratedDataset dataset_;
+  EntityOracle oracle_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, SelectStarReturnsConcatenatedRows) {
+  StatementResult result = db_.Execute(kMiniExampleQuery).value();
+  ASSERT_EQ(result.rows.size(), 4u);  // The four genuinely-true chains.
+  // Paper(3) + Researcher(3) + Citation(2) + University(3) columns.
+  EXPECT_EQ(result.rows[0].values.size(), 11u);
+  EXPECT_GT(result.stats.tasks_asked, 0);
+}
+
+TEST_F(DatabaseTest, ProjectionsReturnRequestedColumns) {
+  StatementResult result =
+      db_.Execute(
+             "SELECT Researcher.name, University.name FROM Researcher, "
+             "University WHERE Researcher.affiliation CROWDJOIN "
+             "University.name")
+          .value();
+  ASSERT_FALSE(result.rows.empty());
+  for (const ResultRow& row : result.rows) {
+    ASSERT_EQ(row.values.size(), 2u);
+    EXPECT_EQ(row.values[0].type(), ValueType::kString);
+  }
+}
+
+TEST_F(DatabaseTest, BudgetClauseLimitsTasks) {
+  StatementResult result =
+      db_.Execute(std::string(kMiniExampleQuery) + " BUDGET 5").value();
+  EXPECT_LE(result.stats.tasks_asked, 5);
+}
+
+TEST_F(DatabaseTest, CreateTableAndErrors) {
+  EXPECT_TRUE(db_.Execute("CREATE TABLE Extra (x varchar(8))").ok());
+  EXPECT_TRUE(db_.catalog().HasTable("Extra"));
+  EXPECT_FALSE(db_.Execute("CREATE TABLE Extra (x varchar(8))").ok());
+  EXPECT_FALSE(db_.Execute("SELECT Nope.x FROM Nope").ok());
+  EXPECT_FALSE(db_.Execute("garbage").ok());
+}
+
+TEST_F(DatabaseTest, FillReplacesCnullCells) {
+  // Researcher.gender is a CROWD column full of CNULL in the miniature.
+  StatementResult result = db_.Execute("FILL Researcher.gender").value();
+  EXPECT_EQ(result.affected, 12);
+  const Table* researcher = db_.catalog().GetTable("Researcher").value();
+  for (size_t r = 0; r < researcher->num_rows(); ++r) {
+    EXPECT_FALSE(researcher->row(r)[2].is_cnull());
+  }
+  // Idempotent: nothing left to fill.
+  EXPECT_EQ(db_.Execute("FILL Researcher.gender").value().affected, 0);
+}
+
+TEST_F(DatabaseTest, FillRejectsNonCrowdColumn) {
+  EXPECT_EQ(db_.Execute("FILL Researcher.name").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, CollectAppendsToCrowdTable) {
+  ASSERT_TRUE(db_.Execute("CREATE CROWD TABLE Venue (name varchar(64), "
+                          "city CROWD varchar(32))")
+                  .ok());
+  StatementResult result =
+      db_.Execute("COLLECT Venue.name BUDGET 500").value();
+  EXPECT_GT(result.affected, 0);
+  const Table* venue = db_.catalog().GetTable("Venue").value();
+  EXPECT_EQ(venue->num_rows(), static_cast<size_t>(result.affected));
+  // CROWD columns of collected rows await FILL.
+  EXPECT_TRUE(venue->row(0)[1].is_cnull());
+  // COLLECT into a non-crowd table is rejected.
+  EXPECT_EQ(db_.Execute("COLLECT Researcher.name").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, ExecuteScriptRunsAllStatements) {
+  StatementResult result =
+      db_.ExecuteScript(
+             "CREATE CROWD TABLE Venue (name varchar(64)); "
+             "COLLECT Venue.name BUDGET 300;")
+          .value();
+  EXPECT_GT(result.affected, 0);
+  EXPECT_FALSE(db_.ExecuteScript("").ok());
+}
+
+TEST(EntityOracleTest, MatchesEntityLinks) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  EntityOracle oracle(&ds);
+  // p8 "Surajit Chaudhuri" == r12 "S. Chaudhuri".
+  EXPECT_TRUE(oracle.JoinMatches("Paper", "author", 7, "Researcher", "name", 11));
+  EXPECT_FALSE(oracle.JoinMatches("Paper", "author", 1, "Researcher", "name", 3));
+  EXPECT_TRUE(oracle.SelectionMatches("University", "country", 0, "USA"));
+  EXPECT_FALSE(oracle.SelectionMatches("University", "country", 10, "USA"));
+  // Unknown columns never match.
+  EXPECT_FALSE(oracle.JoinMatches("Paper", "bogus", 0, "Researcher", "name", 0));
+}
+
+TEST(PersistTest, SchemaRoundTrip) {
+  Table table("T", Schema({{"name", ValueType::kString, false},
+                           {"gender", ValueType::kString, true},
+                           {"count", ValueType::kInt64, false}}),
+              /*is_crowd_table=*/true);
+  ASSERT_TRUE(table.AppendRow({Value::Str("a"), Value::CNull(), Value::Int(1)}).ok());
+  std::string schema_text = SchemaToText(table);
+  std::string csv_text = TableToCsv(table);
+  Table loaded = TableFromText("T", schema_text, csv_text).value();
+  EXPECT_TRUE(loaded.is_crowd_table());
+  ASSERT_EQ(loaded.num_rows(), 1u);
+  EXPECT_TRUE(loaded.schema().column(1).is_crowd);
+  EXPECT_TRUE(loaded.row(0)[1].is_cnull());
+  EXPECT_EQ(loaded.row(0)[2].AsInt(), 1);
+}
+
+TEST(PersistTest, CatalogRoundTripOnDisk) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "cdb_persist_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(SaveCatalog(ds.catalog, dir).ok());
+  Catalog loaded = LoadCatalog(dir).value();
+  EXPECT_EQ(loaded.TableNames().size(), 4u);
+  const Table* paper = loaded.GetTable("Paper").value();
+  EXPECT_EQ(paper->num_rows(), 8u);
+  EXPECT_EQ(paper->row(0)[0].AsString(), "Michael J. Franklin");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadErrors) {
+  EXPECT_FALSE(LoadCatalog("/nonexistent/cdb/dir").ok());
+  EXPECT_FALSE(TableFromText("T", "", "a\n1").ok());
+  EXPECT_FALSE(TableFromText("T", "a|BLOB", "a\n1").ok());
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/award_dataset.h"
+#include "datagen/mini_example.h"
+#include "datagen/paper_dataset.h"
+#include "datagen/perturb.h"
+#include "similarity/similarity.h"
+
+namespace cdb {
+namespace {
+
+TEST(PerturbTest, TypoChangesAtMostOneEdit) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = IntroduceTypo("franklin", rng);
+    EXPECT_LE(EditDistance("franklin", out), 1u);
+  }
+}
+
+TEST(PerturbTest, AbbreviationKeepsSimilarity) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    std::string out = PerturbOrgName("University of California", rng);
+    EXPECT_GE(ComputeSimilarity(SimilarityFunction::kQGramJaccard,
+                                "University of California", out),
+              0.3)
+        << out;
+  }
+}
+
+TEST(PerturbTest, PersonNameStaysRecognizable) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string out = PerturbPersonName("Michael J. Franklin", rng);
+    EXPECT_FALSE(out.empty());
+    // The perturbation keeps at least one original token intact.
+    bool shares = out.find("Franklin") != std::string::npos ||
+                  out.find("Michael") != std::string::npos ||
+                  out.find("M.") != std::string::npos;
+    EXPECT_TRUE(shares) << out;
+  }
+}
+
+TEST(PerturbTest, DropRandomWordShortensByOne) {
+  Rng rng(4);
+  std::string out = DropRandomWord("a b c", rng);
+  EXPECT_EQ(SplitWhitespace(out).size(), 2u);
+  EXPECT_EQ(DropRandomWord("single", rng), "single");
+}
+
+TEST(PaperDatasetTest, CardinalitiesMatchTable2) {
+  PaperDatasetOptions options;
+  GeneratedDataset ds = GeneratePaperDataset(options);
+  EXPECT_EQ(ds.catalog.GetTable("Paper").value()->num_rows(), 676u);
+  EXPECT_EQ(ds.catalog.GetTable("Citation").value()->num_rows(), 1239u);
+  EXPECT_EQ(ds.catalog.GetTable("Researcher").value()->num_rows(), 911u);
+  EXPECT_EQ(ds.catalog.GetTable("University").value()->num_rows(), 830u);
+}
+
+TEST(PaperDatasetTest, ScaleShrinks) {
+  PaperDatasetOptions options;
+  options.scale = 0.1;
+  GeneratedDataset ds = GeneratePaperDataset(options);
+  EXPECT_EQ(ds.catalog.GetTable("Paper").value()->num_rows(), 67u);
+}
+
+TEST(PaperDatasetTest, EntityVectorsAligned) {
+  PaperDatasetOptions options;
+  options.scale = 0.2;
+  GeneratedDataset ds = GeneratePaperDataset(options);
+  for (const char* key : {"Paper", "Citation", "Researcher", "University"}) {
+    const Table* table = ds.catalog.GetTable(key).value();
+    for (const Column& column : table->schema().columns()) {
+      auto it = ds.entity_of.find(GeneratedDataset::ColumnKey(key, column.name));
+      if (it != ds.entity_of.end()) {
+        EXPECT_EQ(it->second.size(), table->num_rows())
+            << key << "." << column.name;
+      }
+    }
+  }
+}
+
+TEST(PaperDatasetTest, TrueMatchesHaveUsableSimilarity) {
+  // Most true author-name matches must survive the epsilon threshold,
+  // otherwise recall would be capped artificially low.
+  PaperDatasetOptions options;
+  options.scale = 0.3;
+  GeneratedDataset ds = GeneratePaperDataset(options);
+  const Table* paper = ds.catalog.GetTable("Paper").value();
+  const Table* researcher = ds.catalog.GetTable("Researcher").value();
+  const auto& paper_ent = ds.Entities("Paper", "author");
+  const auto& res_ent = ds.Entities("Researcher", "name");
+  int matches = 0;
+  int above_threshold = 0;
+  for (size_t p = 0; p < paper->num_rows(); ++p) {
+    if (paper_ent[p] == kNoEntity) continue;
+    for (size_t r = 0; r < researcher->num_rows(); ++r) {
+      if (paper_ent[p] != res_ent[r]) continue;
+      ++matches;
+      double sim = ComputeSimilarity(
+          SimilarityFunction::kQGramJaccard,
+          paper->row(p)[0].AsString(), researcher->row(r)[1].AsString());
+      if (sim >= 0.3) ++above_threshold;
+    }
+  }
+  ASSERT_GT(matches, 0);
+  EXPECT_GT(static_cast<double>(above_threshold) / matches, 0.7);
+}
+
+TEST(PaperDatasetTest, DeterministicPerSeed) {
+  PaperDatasetOptions options;
+  options.scale = 0.05;
+  GeneratedDataset a = GeneratePaperDataset(options);
+  GeneratedDataset b = GeneratePaperDataset(options);
+  const Table* ta = a.catalog.GetTable("Paper").value();
+  const Table* tb = b.catalog.GetTable("Paper").value();
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t i = 0; i < ta->num_rows(); ++i) {
+    EXPECT_EQ(ta->row(i)[1].AsString(), tb->row(i)[1].AsString());
+  }
+}
+
+TEST(PaperDatasetTest, ConstantEntitiesRegistered) {
+  GeneratedDataset ds = GeneratePaperDataset(PaperDatasetOptions{});
+  EXPECT_NE(ds.ConstantEntity("University", "country", "USA"), kNoEntity);
+  EXPECT_NE(ds.ConstantEntity("University", "country", "usa"), kNoEntity);
+  EXPECT_EQ(ds.ConstantEntity("University", "country", "USA"),
+            ds.ConstantEntity("University", "country", "United States"));
+  EXPECT_NE(ds.ConstantEntity("Paper", "conference", "sigmod"), kNoEntity);
+  EXPECT_EQ(ds.ConstantEntity("University", "country", "Narnia"), kNoEntity);
+}
+
+TEST(AwardDatasetTest, CardinalitiesMatchTable3) {
+  GeneratedDataset ds = GenerateAwardDataset(AwardDatasetOptions{});
+  EXPECT_EQ(ds.catalog.GetTable("Celebrity").value()->num_rows(), 1498u);
+  EXPECT_EQ(ds.catalog.GetTable("City").value()->num_rows(), 3220u);
+  EXPECT_EQ(ds.catalog.GetTable("Winner").value()->num_rows(), 2669u);
+  EXPECT_EQ(ds.catalog.GetTable("Award").value()->num_rows(), 1192u);
+}
+
+TEST(AwardDatasetTest, WinnersLinkToCelebrities) {
+  AwardDatasetOptions options;
+  options.scale = 0.2;
+  GeneratedDataset ds = GenerateAwardDataset(options);
+  const auto& winner_ent = ds.Entities("Winner", "name");
+  const auto& celeb_ent = ds.Entities("Celebrity", "name");
+  std::set<int64_t> celeb_ids(celeb_ent.begin(), celeb_ent.end());
+  int linked = 0;
+  for (int64_t e : winner_ent) linked += celeb_ids.count(e) ? 1 : 0;
+  // ~80% of winners should resolve to an in-table celebrity.
+  EXPECT_GT(static_cast<double>(linked) / winner_ent.size(), 0.6);
+}
+
+TEST(MiniExampleTest, TablesMatchTable1) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  EXPECT_EQ(ds.catalog.GetTable("Paper").value()->num_rows(), 8u);
+  EXPECT_EQ(ds.catalog.GetTable("Researcher").value()->num_rows(), 12u);
+  EXPECT_EQ(ds.catalog.GetTable("Citation").value()->num_rows(), 12u);
+  EXPECT_EQ(ds.catalog.GetTable("University").value()->num_rows(), 12u);
+}
+
+TEST(MiniExampleTest, KnownTruthLinks) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  const auto& paper_author = ds.Entities("Paper", "author");
+  const auto& researcher = ds.Entities("Researcher", "name");
+  // p8 "Surajit Chaudhuri" == r12 "S. Chaudhuri" (rows 7 and 11).
+  EXPECT_EQ(paper_author[7], researcher[11]);
+  // p2 "Samuel Madden" matches nobody.
+  EXPECT_EQ(paper_author[1], kNoEntity);
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,107 @@
+// Tests for the paper's extension features: golden tasks (Appendix E) and
+// cross-market deployment (Section 2.2) wired into the executor.
+#include <gtest/gtest.h>
+
+#include "bench_util/metrics.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "exec/executor.h"
+#include "quality/truth_inference.h"
+
+namespace cdb {
+namespace {
+
+TEST(GoldenTasksTest, AccurateWorkersScoreHigh) {
+  std::map<TaskId, int> truths = {{-1, 0}, {-2, 1}, {-3, 0}, {-4, 1}};
+  std::vector<ChoiceObservation> answers;
+  // Worker 1 answers all four correctly; worker 2 gets all four wrong.
+  for (const auto& [task, truth] : truths) {
+    answers.push_back({task, 1, truth});
+    answers.push_back({task, 2, 1 - truth});
+  }
+  std::map<int, double> quality = QualityFromGoldenTasks(answers, truths);
+  EXPECT_GT(quality.at(1), 0.85);
+  EXPECT_LT(quality.at(2), 0.4);
+}
+
+TEST(GoldenTasksTest, SmoothedTowardDefault) {
+  // One answer only: the estimate stays near the prior.
+  std::map<TaskId, int> truths = {{-1, 0}};
+  std::vector<ChoiceObservation> answers = {{-1, 7, 0}};
+  std::map<int, double> quality = QualityFromGoldenTasks(answers, truths, 0.7, 2.0);
+  EXPECT_NEAR(quality.at(7), (2.0 * 0.7 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(GoldenTasksTest, UnknownTasksIgnored) {
+  std::map<TaskId, int> truths = {{-1, 0}};
+  std::vector<ChoiceObservation> answers = {{-99, 7, 0}};
+  EXPECT_TRUE(QualityFromGoldenTasks(answers, truths).empty());
+}
+
+class ExecutorExtensionTest : public ::testing::Test {
+ protected:
+  ExecutorExtensionTest() : dataset_(MakeMiniPaperExample()) {
+    Statement stmt = ParseStatement(kMiniExampleQuery).value();
+    query_ = AnalyzeSelect(std::get<SelectStatement>(stmt), dataset_.catalog).value();
+    truth_ = MakeEdgeTruth(&dataset_, &query_);
+  }
+
+  GeneratedDataset dataset_;
+  ResolvedQuery query_;
+  EdgeTruthFn truth_;
+};
+
+TEST_F(ExecutorExtensionTest, GoldenTasksWarmUpRun) {
+  ExecutorOptions options;
+  options.quality_control = true;
+  options.golden_tasks = 10;
+  options.platform.worker_quality_mean = 0.85;
+  options.platform.seed = 31;
+  CdbExecutor executor(&query_, options, truth_);
+  ExecutionResult result = executor.Run().value();
+  // The warm-up answers are extra crowd work but not query tasks.
+  EXPECT_GT(result.stats.worker_answers,
+            result.stats.tasks_asked * options.platform.redundancy);
+  EXPECT_GT(result.answers.size(), 0u);
+}
+
+TEST_F(ExecutorExtensionTest, CrossMarketDeploymentCompletes) {
+  ExecutorOptions options;
+  PlatformOptions amt;
+  amt.market_name = "SimAMT";
+  amt.worker_quality_mean = 1.0;
+  amt.worker_quality_stddev = 0.0;
+  amt.redundancy = 1;
+  amt.seed = 5;
+  PlatformOptions flower = amt;
+  flower.market_name = "SimCrowdFlower";
+  flower.requester_controls_assignment = false;
+  flower.seed = 6;
+  options.markets = {amt, flower};
+  CdbExecutor executor(&query_, options, truth_);
+  ExecutionResult result = executor.Run().value();
+  PrecisionRecall pr = ComputeF1(result.answers, TrueAnswers(dataset_, query_));
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_GT(result.stats.tasks_asked, 0);
+  EXPECT_EQ(result.stats.worker_answers, result.stats.tasks_asked);
+}
+
+TEST_F(ExecutorExtensionTest, CrossMarketMatchesSingleMarketAnswers) {
+  // With perfect workers, deploying across two markets returns exactly the
+  // same answer set as a single market.
+  ExecutorOptions single;
+  single.platform.worker_quality_mean = 1.0;
+  single.platform.worker_quality_stddev = 0.0;
+  single.platform.redundancy = 1;
+  ExecutionResult base = CdbExecutor(&query_, single, truth_).Run().value();
+
+  ExecutorOptions multi = single;
+  PlatformOptions b = single.platform;
+  b.seed = 99;
+  multi.markets = {single.platform, b};
+  ExecutionResult cross = CdbExecutor(&query_, multi, truth_).Run().value();
+  EXPECT_EQ(base.answers, cross.answers);
+}
+
+}  // namespace
+}  // namespace cdb

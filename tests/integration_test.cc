@@ -1,0 +1,132 @@
+// End-to-end integration: generated datasets -> CQL -> graph -> simulated
+// crowd -> answers, across all nine methods, checking the paper's headline
+// relationships (not absolute numbers) at reduced scale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bench_util/queries.h"
+#include "bench_util/runner.h"
+#include "datagen/paper_dataset.h"
+
+namespace cdb {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PaperDatasetOptions options;
+    options.scale = 0.08;  // ~54 papers, 99 citations, 72 researchers.
+    options.seed = 2024;
+    dataset_ = new GeneratedDataset(GeneratePaperDataset(options));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static RunConfig HighQualityConfig() {
+    RunConfig config;
+    config.worker_quality = 0.95;
+    config.repetitions = 2;
+    config.redundancy = 5;
+    config.sampling_samples = 20;
+    config.seed = 5;
+    return config;
+  }
+
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* IntegrationTest::dataset_ = nullptr;
+
+TEST_F(IntegrationTest, AllMethodsCompleteWithGoodQuality) {
+  const std::string cql = PaperQueries()[0].cql;  // 2J.
+  RunConfig config = HighQualityConfig();
+  for (Method method : AllMethods()) {
+    RunOutcome outcome = RunMethod(method, *dataset_, cql, config).value();
+    EXPECT_GT(outcome.tasks, 0.0) << MethodName(method);
+    EXPECT_GT(outcome.rounds, 0.0) << MethodName(method);
+    EXPECT_GT(outcome.f1, 0.5) << MethodName(method);
+  }
+}
+
+TEST_F(IntegrationTest, GraphModelCheaperThanTreeModel) {
+  const std::string cql = PaperQueries()[2].cql;  // 3J.
+  RunConfig config = HighQualityConfig();
+  config.repetitions = 1;
+  double cdb = RunMethod(Method::kCdb, *dataset_, cql, config).value().tasks;
+  double crowddb = RunMethod(Method::kCrowdDb, *dataset_, cql, config).value().tasks;
+  double opttree = RunMethod(Method::kOptTree, *dataset_, cql, config).value().tasks;
+  EXPECT_LT(cdb, crowddb);
+  EXPECT_LE(cdb, opttree);
+  EXPECT_LE(opttree, crowddb * 1.001);  // Oracle order cannot be worse.
+}
+
+TEST_F(IntegrationTest, ErMethodsNeedMoreRounds) {
+  const std::string cql = PaperQueries()[0].cql;
+  RunConfig config = HighQualityConfig();
+  config.repetitions = 1;
+  double trans_rounds = RunMethod(Method::kTrans, *dataset_, cql, config).value().rounds;
+  double tree_rounds = RunMethod(Method::kDeco, *dataset_, cql, config).value().rounds;
+  EXPECT_GT(trans_rounds, tree_rounds);
+}
+
+TEST_F(IntegrationTest, CdbPlusQualityAtLeastCdbWithNoisyCrowd) {
+  const std::string cql = PaperQueries()[0].cql;
+  RunConfig config = HighQualityConfig();
+  config.worker_quality = 0.7;
+  // Enough repetitions to separate method effect from crowd noise.
+  config.repetitions = 10;
+  // CDB+'s worker-quality model needs workers with history (Section 5.3.2);
+  // a small pool gives every worker enough answers even at this test scale.
+  config.num_workers = 15;
+  double plus = RunMethod(Method::kCdbPlus, *dataset_, cql, config).value().f1;
+  double base = RunMethod(Method::kCdb, *dataset_, cql, config).value().f1;
+  // At this reduced scale workers answer too few tasks for EM to pull ahead
+  // decisively (Section 5.3.2 presumes workers with history); assert CDB+ is
+  // not materially worse here — the full-size Figure 9/20 benches show the
+  // positive gap.
+  EXPECT_GE(plus + 0.05, base);
+}
+
+TEST_F(IntegrationTest, SelectionQueriesPruneCost) {
+  // Adding a selective predicate (2J1S vs 2J) must not increase cost for the
+  // graph model: refuted papers prune their join edges.
+  RunConfig config = HighQualityConfig();
+  config.repetitions = 1;
+  double with_sel =
+      RunMethod(Method::kCdb, *dataset_, PaperQueries()[1].cql, config).value().tasks;
+  double without_sel =
+      RunMethod(Method::kCdb, *dataset_, PaperQueries()[0].cql, config).value().tasks;
+  // The 2J1S query has strictly more edges, but pruning keeps the increase
+  // bounded; loosely assert it does not blow up by more than the selection
+  // edge count itself.
+  EXPECT_LT(with_sel, without_sel * 3.0);
+}
+
+TEST_F(IntegrationTest, BudgetCurveSaturates) {
+  const std::string cql = PaperQueries()[0].cql;
+  RunConfig config = HighQualityConfig();
+  config.repetitions = 1;
+  config.budget = 20;
+  double low = RunMethod(Method::kCdb, *dataset_, cql, config).value().recall;
+  config.budget = 400;
+  double high = RunMethod(Method::kCdb, *dataset_, cql, config).value().recall;
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0.3);
+}
+
+TEST_F(IntegrationTest, RoundLimitTradesCostForLatency) {
+  const std::string cql = PaperQueries()[0].cql;
+  RunConfig config = HighQualityConfig();
+  config.repetitions = 1;
+  config.round_limit = 1;
+  double flush_cost = RunMethod(Method::kCdb, *dataset_, cql, config).value().tasks;
+  config.round_limit.reset();
+  double free_cost = RunMethod(Method::kCdb, *dataset_, cql, config).value().tasks;
+  EXPECT_GE(flush_cost, free_cost);
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "cost/expectation.h"
+#include "graph/candidates.h"
+#include "latency/scheduler.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+std::vector<EdgeId> OrderedTasks(const QueryGraph& graph, Pruner& pruner) {
+  std::vector<EdgeId> out;
+  for (const ScoredEdge& se : ExpectationOrder(graph, const_cast<Pruner&>(pruner))) {
+    out.push_back(se.edge);
+  }
+  return out;
+}
+
+TEST(LatencyTest, ComponentsSeparateDisconnectedParts) {
+  // Two disjoint single-edge components.
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}};
+  std::vector<QueryGraph::SyntheticEdge> edges = {{0, 0, 0, 0.5}, {0, 1, 1, 0.5}};
+  QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
+  Pruner pruner(&graph);
+  std::vector<int> components = ValidComponents(graph, pruner);
+  EXPECT_NE(components[0], -1);
+  // Endpoints of edge 0 share a component; edge 1's endpoints are in another.
+  EXPECT_EQ(components[graph.edge(0).u], components[graph.edge(0).v]);
+  EXPECT_EQ(components[graph.edge(1).u], components[graph.edge(1).v]);
+  EXPECT_NE(components[graph.edge(0).u], components[graph.edge(1).u]);
+}
+
+TEST(LatencyTest, DeadVerticesHaveNoComponent) {
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}};
+  std::vector<QueryGraph::SyntheticEdge> edges = {
+      {0, 0, 0, 0.5, true, EdgeColor::kRed}, {0, 1, 1, 0.5}};
+  QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
+  Pruner pruner(&graph);
+  std::vector<int> components = ValidComponents(graph, pruner);
+  EXPECT_EQ(components[graph.edge(0).u], -1);
+  EXPECT_NE(components[graph.edge(1).u], -1);
+}
+
+TEST(LatencyTest, DisjointEdgesAskedTogether) {
+  std::vector<PredicateInfo> preds = {{true, false, 0, 1}};
+  std::vector<QueryGraph::SyntheticEdge> edges = {{0, 0, 0, 0.5}, {0, 1, 1, 0.5}};
+  QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
+  Pruner pruner(&graph);
+  for (LatencyMode mode : {LatencyMode::kVertexGreedy, LatencyMode::kExactPrefix}) {
+    std::vector<EdgeId> round =
+        SelectParallelRound(graph, pruner, OrderedTasks(graph, pruner), mode);
+    EXPECT_EQ(round.size(), 2u);  // Different components: both go.
+  }
+}
+
+TEST(LatencyTest, SameTableRuleAllowsParallelism) {
+  // All 9 pred-0 edges in one component, but edges on different (T1, T2)
+  // tuple pairs are non-conflict... only if they cannot co-occur in a
+  // candidate. In the Figure-1 chain, pred-0 edges sharing no tuple are
+  // non-conflict; edges sharing the T2-row-0 hub conflict through pred 1.
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> round = SelectParallelRound(
+      graph, pruner, OrderedTasks(graph, pruner), LatencyMode::kExactPrefix);
+  EXPECT_FALSE(round.empty());
+  // Within the round, no two edges may be in one candidate.
+  for (size_t i = 0; i < round.size(); ++i) {
+    for (size_t j = i + 1; j < round.size(); ++j) {
+      EXPECT_FALSE(EdgesConflict(graph, round[i], round[j]))
+          << round[i] << " vs " << round[j];
+    }
+  }
+}
+
+TEST(LatencyTest, FirstTaskAlwaysSelected) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> ordered = OrderedTasks(graph, pruner);
+  ASSERT_FALSE(ordered.empty());
+  for (LatencyMode mode : {LatencyMode::kVertexGreedy, LatencyMode::kExactPrefix}) {
+    std::vector<EdgeId> round = SelectParallelRound(graph, pruner, ordered, mode);
+    ASSERT_FALSE(round.empty());
+    EXPECT_EQ(round[0], ordered[0]);
+  }
+}
+
+TEST(LatencyTest, ExactRoundNeverContainsConflicts) {
+  // Property over the mini paper example graph (exact mode).
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> round = SelectParallelRound(
+      graph, pruner, OrderedTasks(graph, pruner), LatencyMode::kExactPrefix);
+  for (size_t i = 0; i < round.size(); ++i) {
+    for (size_t j = i + 1; j < round.size(); ++j) {
+      EXPECT_FALSE(EdgesConflict(graph, round[i], round[j]));
+    }
+  }
+}
+
+TEST(LatencyTest, VertexGreedyRespectsPartnerRelationRule) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> round = SelectParallelRound(
+      graph, pruner, OrderedTasks(graph, pruner), LatencyMode::kVertexGreedy);
+  // No vertex may have round edges toward two different relations.
+  std::map<VertexId, int> partner;
+  for (EdgeId e : round) {
+    const GraphEdge& edge = graph.edge(e);
+    for (auto [a, b] : {std::make_pair(edge.u, edge.v), std::make_pair(edge.v, edge.u)}) {
+      auto it = partner.find(a);
+      int rel = graph.vertex(b).rel;
+      if (it == partner.end()) {
+        partner[a] = rel;
+      } else {
+        EXPECT_EQ(it->second, rel);
+      }
+    }
+  }
+}
+
+TEST(LatencyTest, VertexGreedyCoversMoreTasksPerRound) {
+  // The greedy mode exists to keep rounds near the predicate count; it must
+  // select at least as many tasks per round as the strict prefix.
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  Pruner pruner(&graph);
+  std::vector<EdgeId> ordered = OrderedTasks(graph, pruner);
+  size_t greedy = SelectParallelRound(graph, pruner, ordered,
+                                      LatencyMode::kVertexGreedy).size();
+  size_t exact = SelectParallelRound(graph, pruner, ordered,
+                                     LatencyMode::kExactPrefix).size();
+  EXPECT_GE(greedy, exact);
+}
+
+TEST(LatencyTest, EmptyInputEmptyRound) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  Pruner pruner(&graph);
+  EXPECT_TRUE(SelectParallelRound(graph, pruner, {}).empty());
+}
+
+}  // namespace
+}  // namespace cdb

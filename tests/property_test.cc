@@ -1,0 +1,202 @@
+// Cross-module property sweeps (parameterized): invariants that must hold
+// for random graph shapes, colorings and crowd configurations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "cost/known_color.h"
+#include "flow/min_cut.h"
+#include "graph/candidates.h"
+#include "graph/pruning.h"
+#include "graph/structure.h"
+#include "latency/scheduler.h"
+#include "quality/truth_inference.h"
+
+namespace cdb {
+namespace {
+
+// Random tree-structured query graph over `num_rels` relations with a
+// selection-style leaf (single-vertex relation) sometimes attached.
+QueryGraph RandomTreeGraph(Rng& rng, int num_rels, int rows_per_rel,
+                           double edge_prob) {
+  std::vector<PredicateInfo> preds;
+  for (int rel = 1; rel < num_rels; ++rel) {
+    int parent = static_cast<int>(rng.UniformInt(0, rel - 1));
+    preds.push_back({true, false, parent, rel});
+  }
+  std::vector<QueryGraph::SyntheticEdge> edges;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    int right_rows = preds[p].right_rel == num_rels - 1 && rng.Bernoulli(0.3)
+                         ? 1  // Selection-like leaf.
+                         : rows_per_rel;
+    for (int a = 0; a < rows_per_rel; ++a) {
+      for (int b = 0; b < right_rows; ++b) {
+        if (rng.Bernoulli(edge_prob)) {
+          edges.push_back({static_cast<int>(p), a, b, rng.Uniform(0.3, 1.0)});
+        }
+      }
+    }
+  }
+  if (edges.empty()) edges.push_back({0, 0, 0, 0.5});
+  return QueryGraph::MakeSynthetic(num_rels, preds, edges);
+}
+
+void RandomColoring(QueryGraph& graph, Rng& rng, double red, double blue) {
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    double roll = rng.Uniform();
+    if (roll < red) {
+      graph.SetColor(e, EdgeColor::kRed);
+    } else if (roll < red + blue) {
+      graph.SetColor(e, EdgeColor::kBlue);
+    }
+  }
+}
+
+class TreeGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeGraphPropertyTest, PrunerMatchesExactValidityOnTrees) {
+  Rng rng(GetParam());
+  QueryGraph graph = RandomTreeGraph(rng, 2 + static_cast<int>(rng.UniformInt(0, 2)),
+                                     4, 0.5);
+  RandomColoring(graph, rng, 0.25, 0.25);
+  Pruner pruner(&graph);
+  ASSERT_TRUE(pruner.group_graph_acyclic());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(pruner.EdgeValid(e), EdgeValidExact(graph, e)) << "edge " << e;
+  }
+}
+
+TEST_P(TreeGraphPropertyTest, AnswersAreExactlyAllBlueCandidates) {
+  Rng rng(GetParam() + 1000);
+  QueryGraph graph = RandomTreeGraph(rng, 3, 4, 0.5);
+  RandomColoring(graph, rng, 0.3, 0.4);
+  for (const Assignment& answer : FindAnswers(graph)) {
+    for (EdgeId e : AssignmentEdges(graph, answer)) {
+      EXPECT_EQ(graph.edge(e).color, EdgeColor::kBlue);
+    }
+  }
+}
+
+TEST_P(TreeGraphPropertyTest, KnownColorSelectionDeterminesAllAnswers) {
+  // Soundness of the Lemma-1 selection on random trees: asking the selected
+  // edges must fix the answer set — every all-BLUE candidate uses only
+  // selected edges, and every other candidate contains a selected RED edge.
+  Rng rng(GetParam() + 2000);
+  QueryGraph graph = RandomTreeGraph(rng, 3, 3, 0.6);
+  std::vector<EdgeColor> colors(static_cast<size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    colors[static_cast<size_t>(e)] =
+        rng.Bernoulli(0.4) ? EdgeColor::kBlue : EdgeColor::kRed;
+  }
+  std::vector<EdgeId> selected_vec = SelectTasksKnownColors(graph, colors);
+  std::set<EdgeId> selected(selected_vec.begin(), selected_vec.end());
+  EnumerateCandidates(graph, [&](const Assignment& candidate) {
+    std::vector<EdgeId> edges = AssignmentEdges(graph, candidate);
+    bool all_blue = true;
+    for (EdgeId e : edges) {
+      all_blue = all_blue && colors[static_cast<size_t>(e)] == EdgeColor::kBlue;
+    }
+    if (all_blue) {
+      for (EdgeId e : edges) {
+        EXPECT_TRUE(selected.count(e)) << "answer edge not asked";
+      }
+    } else {
+      bool refuted = false;
+      for (EdgeId e : edges) {
+        refuted = refuted || (selected.count(e) > 0 &&
+                              colors[static_cast<size_t>(e)] == EdgeColor::kRed);
+      }
+      EXPECT_TRUE(refuted) << "non-answer candidate not refuted";
+    }
+    return true;
+  });
+}
+
+TEST_P(TreeGraphPropertyTest, ChainPlanCoversEveryGroup) {
+  Rng rng(GetParam() + 3000);
+  QueryGraph graph = RandomTreeGraph(rng, 2 + static_cast<int>(rng.UniformInt(0, 3)),
+                                     3, 0.5);
+  ChainPlan plan = BuildChainPlan(graph);
+  RelGraph rel_graph = BuildRelGraph(graph);
+  ASSERT_EQ(plan.occ_group.size() + 1, plan.occ_rel.size());
+  std::set<int> groups(plan.occ_group.begin(), plan.occ_group.end());
+  EXPECT_EQ(groups.size(), rel_graph.groups.size());
+  std::set<int> rels(plan.occ_rel.begin(), plan.occ_rel.end());
+  EXPECT_EQ(rels.size(), static_cast<size_t>(graph.num_relations()));
+}
+
+TEST_P(TreeGraphPropertyTest, VertexGreedyRoundIsSubsetAndOrdered) {
+  Rng rng(GetParam() + 4000);
+  QueryGraph graph = RandomTreeGraph(rng, 3, 5, 0.5);
+  Pruner pruner(&graph);
+  std::vector<EdgeId> ordered = pruner.RemainingTasks();
+  std::vector<EdgeId> round = SelectParallelRound(
+      graph, pruner, ordered, LatencyMode::kVertexGreedy, 1.0);
+  std::set<EdgeId> pool(ordered.begin(), ordered.end());
+  std::set<EdgeId> unique(round.begin(), round.end());
+  EXPECT_EQ(unique.size(), round.size());  // No duplicates.
+  for (EdgeId e : round) EXPECT_TRUE(pool.count(e));
+  if (!ordered.empty()) {
+    ASSERT_FALSE(round.empty());
+    EXPECT_EQ(round[0], ordered[0]);  // Highest-expectation task always goes.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeGraphPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// EM calibration sweep: across worker-quality regimes, EM with golden-task
+// priors never does materially worse than majority voting, and recovered
+// qualities correlate with the truth.
+class EmCalibrationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmCalibrationTest, EmTracksWorkerQuality) {
+  const double mean_quality = GetParam();
+  Rng rng(static_cast<uint64_t>(mean_quality * 1000));
+  const int kWorkers = 12;
+  const int kTasks = 250;
+  std::vector<double> quality(kWorkers);
+  for (double& q : quality) q = rng.ClampedGaussian(mean_quality, 0.1, 0.05, 0.99);
+  std::vector<ChoiceObservation> obs;
+  std::vector<int> truths(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    truths[static_cast<size_t>(t)] = static_cast<int>(rng.UniformInt(0, 1));
+    std::set<int> asked;
+    while (asked.size() < 5) {
+      asked.insert(static_cast<int>(rng.UniformInt(0, kWorkers - 1)));
+    }
+    for (int w : asked) {
+      int answer = rng.Bernoulli(quality[static_cast<size_t>(w)])
+                       ? truths[static_cast<size_t>(t)]
+                       : 1 - truths[static_cast<size_t>(t)];
+      obs.push_back({t, w, answer});
+    }
+  }
+  InferenceResult em = InferSingleChoiceEm(obs, EmOptions{});
+  InferenceResult mv = InferSingleChoiceMajority(obs, 2);
+  int em_correct = 0;
+  int mv_correct = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    em_correct += em.Truth(t) == truths[static_cast<size_t>(t)] ? 1 : 0;
+    mv_correct += mv.Truth(t) == truths[static_cast<size_t>(t)] ? 1 : 0;
+  }
+  EXPECT_GE(em_correct + 5, mv_correct);  // Never materially worse.
+  // Recovered qualities point the right way: best-estimated worker really is
+  // above the mean.
+  int best_worker = -1;
+  double best_quality = -1.0;
+  for (const auto& [w, q] : em.worker_quality) {
+    if (q > best_quality) {
+      best_quality = q;
+      best_worker = w;
+    }
+  }
+  EXPECT_GE(quality[static_cast<size_t>(best_worker)], mean_quality - 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityLevels, EmCalibrationTest,
+                         ::testing::Values(0.6, 0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "graph/query_graph.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+ResolvedQuery Resolve(const GeneratedDataset& ds, const std::string& cql) {
+  Statement stmt = ParseStatement(cql).value();
+  return AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+}
+
+TEST(QueryGraphTest, BuildsMiniExample) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  ResolvedQuery query = Resolve(ds, kMiniExampleQuery);
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+
+  EXPECT_EQ(graph.num_base_relations(), 4);
+  EXPECT_EQ(graph.num_relations(), 4);
+  EXPECT_EQ(graph.num_predicates(), 3);
+  EXPECT_GT(graph.num_edges(), 0);
+  // Every edge weight respects the epsilon threshold and every crowd edge
+  // starts Unknown.
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    EXPECT_GE(edge.weight, 0.3);
+    EXPECT_LE(edge.weight, 1.0);
+    EXPECT_TRUE(edge.is_crowd);
+    EXPECT_EQ(edge.color, EdgeColor::kUnknown);
+  }
+}
+
+TEST(QueryGraphTest, TruePairsAreEdges) {
+  // Real matches in the miniature tables have high similarity, so they must
+  // survive the epsilon pruning: e.g. paper p4 "W. Bruce Croft" and
+  // researcher r7 "Bruce W Croft" (rows 3 and 7).
+  GeneratedDataset ds = MakeMiniPaperExample();
+  ResolvedQuery query = Resolve(ds, kMiniExampleQuery);
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  VertexId p4 = graph.FindVertex(0, 3);
+  VertexId r8 = graph.FindVertex(1, 7);
+  ASSERT_NE(p4, kNoVertex);
+  ASSERT_NE(r8, kNoVertex);
+  bool found = false;
+  for (EdgeId e : graph.IncidentEdges(p4, 0)) {
+    if (graph.Opposite(e, p4) == r8) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(QueryGraphTest, SelectionAddsPseudoRelation) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  ResolvedQuery query = Resolve(ds,
+                                "SELECT Paper.title FROM Paper "
+                                "WHERE Paper.conference CROWDEQUAL 'sigmod'");
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  EXPECT_EQ(graph.num_base_relations(), 1);
+  EXPECT_EQ(graph.num_relations(), 2);
+  EXPECT_EQ(graph.relation_size(1), 1);  // One pseudo vertex.
+  EXPECT_TRUE(graph.predicate(0).is_selection);
+  // Several conference strings contain "sigmod" so edges exist.
+  EXPECT_GT(graph.num_edges(), 3);
+}
+
+TEST(QueryGraphTest, TraditionalSelectionIsBlueAndFree) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  ResolvedQuery query = Resolve(ds,
+                                "SELECT Paper.title FROM Paper "
+                                "WHERE Paper.conference = 'sigmod14'");
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  // Exactly two papers have conference string "sigmod14" (p5, p7).
+  EXPECT_EQ(graph.num_edges(), 2);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_FALSE(graph.edge(e).is_crowd);
+    EXPECT_EQ(graph.edge(e).color, EdgeColor::kBlue);
+    EXPECT_DOUBLE_EQ(graph.edge(e).weight, 1.0);
+  }
+}
+
+TEST(QueryGraphTest, EpsilonControlsDensity) {
+  GeneratedDataset ds = MakeMiniPaperExample();
+  ResolvedQuery query = Resolve(ds, kMiniExampleQuery);
+  GraphOptions loose;
+  loose.epsilon = 0.2;
+  GraphOptions tight;
+  tight.epsilon = 0.6;
+  int64_t loose_edges = QueryGraph::Build(query, loose).value().num_edges();
+  int64_t tight_edges = QueryGraph::Build(query, tight).value().num_edges();
+  EXPECT_GT(loose_edges, tight_edges);
+}
+
+TEST(QueryGraphTest, SetColorAndCounters) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  EXPECT_EQ(graph.num_edges(), 12);
+  EXPECT_EQ(graph.CountEdges(EdgeColor::kUnknown), 12);
+  graph.SetColor(0, EdgeColor::kBlue);
+  graph.SetColor(1, EdgeColor::kRed);
+  EXPECT_EQ(graph.CountEdges(EdgeColor::kBlue), 1);
+  EXPECT_EQ(graph.CountEdges(EdgeColor::kRed), 1);
+  EXPECT_EQ(graph.CountEdges(EdgeColor::kUnknown), 10);
+  // Re-coloring with the same color is a no-op.
+  graph.SetColor(0, EdgeColor::kBlue);
+}
+
+TEST(QueryGraphTest, SyntheticAccessors) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  EXPECT_EQ(graph.num_relations(), 4);
+  EXPECT_EQ(graph.num_predicates(), 3);
+  // p1 is row 1 of relation 2; it has three predicate-1 edges and one
+  // predicate-2 edge.
+  VertexId p1 = graph.FindVertex(2, 1);
+  ASSERT_NE(p1, kNoVertex);
+  EXPECT_EQ(graph.IncidentEdges(p1, 1).size(), 3u);
+  EXPECT_EQ(graph.IncidentEdges(p1, 2).size(), 1u);
+  EXPECT_EQ(graph.AllIncidentEdges(p1).size(), 4u);
+  EXPECT_EQ(graph.FindVertex(2, 99), kNoVertex);
+  // Opposite endpoints resolve.
+  EdgeId e = graph.IncidentEdges(p1, 2)[0];
+  VertexId c1 = graph.Opposite(e, p1);
+  EXPECT_EQ(graph.vertex(c1).rel, 3);
+  EXPECT_EQ(graph.Opposite(e, c1), p1);
+}
+
+TEST(QueryGraphTest, DebugStringMentionsEdges) {
+  QueryGraph graph = testing_util::MakeFigure1Chain();
+  std::string dump = graph.DebugString();
+  EXPECT_NE(dump.find("pred0"), std::string::npos);
+  EXPECT_NE(dump.find("pred1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdb

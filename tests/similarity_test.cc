@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "similarity/similarity.h"
+#include "similarity/tokenizer.h"
+
+namespace cdb {
+namespace {
+
+TEST(TokenizerTest, QGramsOfShortString) {
+  std::vector<std::string> grams = QGramSet("a", 2);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "a");
+}
+
+TEST(TokenizerTest, QGramsAreSortedUniqueLowercased) {
+  std::vector<std::string> grams = QGramSet("ABAB", 2);
+  // "abab" -> {ab, ba, ab} -> {ab, ba}.
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_EQ(grams[1], "ba");
+}
+
+TEST(TokenizerTest, QGramsEmpty) { EXPECT_TRUE(QGramSet("", 2).empty()); }
+
+TEST(TokenizerTest, WordTokensStripPunctuation) {
+  std::vector<std::string> tokens = WordTokenSet("Query, Processing.");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "processing");
+  EXPECT_EQ(tokens[1], "query");
+}
+
+TEST(TokenizerTest, IntersectionSize) {
+  EXPECT_EQ(SortedIntersectionSize({"a", "b", "c"}, {"b", "c", "d"}), 2u);
+  EXPECT_EQ(SortedIntersectionSize({}, {"a"}), 0u);
+  EXPECT_EQ(SortedIntersectionSize({"a"}, {"a"}), 1u);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("sigmod", "sigir"), EditDistance("sigir", "sigmod"));
+}
+
+TEST(NormalizedEditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"a"}), 1.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({"a"}, {"a"}), 1.0);
+  EXPECT_NEAR(CosineSimilarity({"a", "b"}, {"b", "c", "d"}),
+              1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {"a"}), 0.0);
+}
+
+TEST(ComputeSimilarityTest, NoSimIsConstant) {
+  EXPECT_DOUBLE_EQ(ComputeSimilarity(SimilarityFunction::kNoSim, "a", "zzz"), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeSimilarity(SimilarityFunction::kNoSim, "", ""), 0.5);
+}
+
+TEST(ComputeSimilarityTest, CaseInsensitive) {
+  for (SimilarityFunction fn :
+       {SimilarityFunction::kEditDistance, SimilarityFunction::kWordJaccard,
+        SimilarityFunction::kQGramJaccard, SimilarityFunction::kQGramCosine}) {
+    EXPECT_DOUBLE_EQ(ComputeSimilarity(fn, "SIGMOD", "sigmod"), 1.0)
+        << SimilarityFunctionName(fn);
+  }
+}
+
+TEST(ComputeSimilarityTest, PaperExampleTwoGramJaccard) {
+  // "sigmod" vs "sigmod16": grams {si,ig,gm,mo,od} vs the same + {d1,16};
+  // Jaccard = 5/7.
+  EXPECT_NEAR(
+      ComputeSimilarity(SimilarityFunction::kQGramJaccard, "sigmod", "sigmod16"),
+      5.0 / 7.0, 1e-12);
+}
+
+TEST(ComputeSimilarityTest, NamesAreKept) {
+  EXPECT_STREQ(SimilarityFunctionName(SimilarityFunction::kNoSim), "NoSim");
+  EXPECT_STREQ(SimilarityFunctionName(SimilarityFunction::kEditDistance), "ED");
+}
+
+// Property sweep: all functions are symmetric, bounded to [0,1], and give 1
+// on identical strings.
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<SimilarityFunction> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricBoundedReflexive) {
+  const SimilarityFunction fn = GetParam();
+  const std::vector<std::string> samples = {
+      "", "a", "ab", "University of California", "Univ. of California",
+      "Michael J. Franklin", "franklin michael", "CrowdDB", "sigmod 2017",
+      "a very long string about crowdsourced query optimization",
+  };
+  for (const std::string& a : samples) {
+    for (const std::string& b : samples) {
+      double ab = ComputeSimilarity(fn, a, b);
+      double ba = ComputeSimilarity(fn, b, a);
+      EXPECT_DOUBLE_EQ(ab, ba);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+    if (fn != SimilarityFunction::kNoSim) {
+      EXPECT_DOUBLE_EQ(ComputeSimilarity(fn, a, a), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctions, SimilarityPropertyTest,
+    ::testing::Values(SimilarityFunction::kNoSim,
+                      SimilarityFunction::kEditDistance,
+                      SimilarityFunction::kWordJaccard,
+                      SimilarityFunction::kQGramJaccard,
+                      SimilarityFunction::kQGramCosine));
+
+}  // namespace
+}  // namespace cdb

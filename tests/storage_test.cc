@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace cdb {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({{"name", ValueType::kString, false},
+                 {"count", ValueType::kInt64, false}});
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::CNull().is_cnull());
+  EXPECT_TRUE(Value::CNull().is_missing());
+  EXPECT_FALSE(Value::Int(3).is_missing());
+  EXPECT_EQ(Value::Int(3).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);  // Promotion.
+  EXPECT_EQ(Value::Str("x").AsString(), "x");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::CNull().ToString(), "CNULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, SqlEquals) {
+  EXPECT_TRUE(Value::Int(3).SqlEquals(Value::Int(3)));
+  EXPECT_TRUE(Value::Int(3).SqlEquals(Value::Real(3.0)));
+  EXPECT_FALSE(Value::Null().SqlEquals(Value::Null()));
+  EXPECT_FALSE(Value::CNull().SqlEquals(Value::CNull()));
+  EXPECT_FALSE(Value::Str("3").SqlEquals(Value::Int(3)));
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_FALSE(Value::Str("a") == Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::CNull());
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema schema = TwoColumnSchema();
+  ASSERT_TRUE(schema.FindColumn("NAME").ok());
+  EXPECT_EQ(schema.FindColumn("NAME").value(), 0u);
+  EXPECT_EQ(schema.FindColumn("count").value(), 1u);
+  EXPECT_FALSE(schema.FindColumn("missing").ok());
+}
+
+TEST(SchemaTest, ToStringMentionsCrowd) {
+  Schema schema({{"gender", ValueType::kString, true}});
+  EXPECT_NE(schema.ToString().find("CROWD"), std::string::npos);
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table table("T", TwoColumnSchema());
+  EXPECT_FALSE(table.AppendRow({Value::Str("x")}).ok());
+  EXPECT_TRUE(table.AppendRow({Value::Str("x"), Value::Int(1)}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendChecksTypes) {
+  Table table("T", TwoColumnSchema());
+  EXPECT_FALSE(table.AppendRow({Value::Int(1), Value::Int(1)}).ok());
+  // Missing values fit anywhere.
+  EXPECT_TRUE(table.AppendRow({Value::CNull(), Value::Null()}).ok());
+}
+
+TEST(TableTest, CellAccess) {
+  Table table("T", TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value::Str("a"), Value::Int(5)}).ok());
+  EXPECT_EQ(table.GetCell(0, "name").value().AsString(), "a");
+  EXPECT_TRUE(table.SetCell(0, "count", Value::Int(6)).ok());
+  EXPECT_EQ(table.GetCell(0, "count").value().AsInt(), 6);
+  EXPECT_FALSE(table.GetCell(5, "name").ok());
+  EXPECT_FALSE(table.GetCell(0, "bogus").ok());
+}
+
+TEST(TableTest, StringColumn) {
+  Table table("T", TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value::Str("a"), Value::Int(5)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::CNull(), Value::Int(6)}).ok());
+  std::vector<std::string> names = table.StringColumn("name").value();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "");  // Missing renders empty.
+}
+
+TEST(TableTest, CrowdMissingRows) {
+  Table table("T", Schema({{"gender", ValueType::kString, true}}));
+  ASSERT_TRUE(table.AppendRow({Value::Str("male")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::CNull()}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::CNull()}).ok());
+  std::vector<size_t> missing = table.CrowdMissingRows("gender").value();
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0], 1u);
+  EXPECT_EQ(missing[1], 2u);
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Table("Paper", TwoColumnSchema())).ok());
+  EXPECT_TRUE(catalog.HasTable("paper"));  // Case-insensitive.
+  EXPECT_TRUE(catalog.GetTable("PAPER").ok());
+  EXPECT_FALSE(catalog.AddTable(Table("paper", TwoColumnSchema())).ok());
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+  ASSERT_TRUE(catalog.DropTable("Paper").ok());
+  EXPECT_FALSE(catalog.HasTable("paper"));
+  EXPECT_TRUE(catalog.TableNames().empty());
+  EXPECT_FALSE(catalog.DropTable("paper").ok());
+}
+
+TEST(CatalogTest, MutableAccess) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Table("T", TwoColumnSchema())).ok());
+  Table* table = catalog.GetMutableTable("t").value();
+  ASSERT_TRUE(table->AppendRow({Value::Str("x"), Value::Int(1)}).ok());
+  EXPECT_EQ(catalog.GetTable("T").value()->num_rows(), 1u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table table("T", TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value::Str("plain"), Value::Int(1)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Str("has,comma"), Value::Int(2)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Str("has\"quote"), Value::Int(3)}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::CNull(), Value::Null()}).ok());
+  std::string csv = TableToCsv(table);
+  Table parsed = TableFromCsv("T", TwoColumnSchema(), csv).value();
+  ASSERT_EQ(parsed.num_rows(), 4u);
+  EXPECT_EQ(parsed.row(1)[0].AsString(), "has,comma");
+  EXPECT_EQ(parsed.row(2)[0].AsString(), "has\"quote");
+  EXPECT_TRUE(parsed.row(3)[0].is_cnull());
+  EXPECT_TRUE(parsed.row(3)[1].is_null());
+}
+
+TEST(CsvTest, EmbeddedNewlineRoundTrip) {
+  Table table("T", TwoColumnSchema());
+  ASSERT_TRUE(table.AppendRow({Value::Str("line one\nline two"), Value::Int(1)}).ok());
+  Table parsed = TableFromCsv("T", TwoColumnSchema(), TableToCsv(table)).value();
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.row(0)[0].AsString(), "line one\nline two");
+}
+
+TEST(CsvTest, HeaderValidation) {
+  EXPECT_FALSE(TableFromCsv("T", TwoColumnSchema(), "name\nx").ok());
+  EXPECT_FALSE(TableFromCsv("T", TwoColumnSchema(), "wrong,count\nx,1").ok());
+  EXPECT_TRUE(TableFromCsv("T", TwoColumnSchema(), "NAME,Count\nx,1").ok());
+}
+
+TEST(CsvTest, BadCells) {
+  EXPECT_FALSE(TableFromCsv("T", TwoColumnSchema(), "name,count\nx,notanint").ok());
+  EXPECT_FALSE(TableFromCsv("T", TwoColumnSchema(), "name,count\n\"unterminated,1").ok());
+  EXPECT_FALSE(TableFromCsv("T", TwoColumnSchema(), "").ok());
+}
+
+TEST(CsvTest, ParseLineQuoting) {
+  std::vector<std::string> fields = ParseCsvLine("a,\"b,\"\"c\",d").value();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,\"c");
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/structure.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+QueryGraph MakeShape(std::vector<PredicateInfo> preds) {
+  // One edge per predicate is enough to build the relation-level structures.
+  std::vector<QueryGraph::SyntheticEdge> edges;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    edges.push_back({static_cast<int>(p), 0, 0, 0.5});
+  }
+  int max_rel = 0;
+  for (const PredicateInfo& info : preds) {
+    max_rel = std::max({max_rel, info.left_rel, info.right_rel});
+  }
+  return QueryGraph::MakeSynthetic(max_rel + 1, std::move(preds), edges);
+}
+
+TEST(StructureTest, ClassifyChain) {
+  QueryGraph two = MakeShape({{true, false, 0, 1}});
+  EXPECT_EQ(Classify(BuildRelGraph(two)), JoinStructure::kChain);
+  QueryGraph four =
+      MakeShape({{true, false, 0, 1}, {true, false, 1, 2}, {true, false, 2, 3}});
+  EXPECT_EQ(Classify(BuildRelGraph(four)), JoinStructure::kChain);
+}
+
+TEST(StructureTest, ClassifyStar) {
+  QueryGraph star =
+      MakeShape({{true, false, 0, 1}, {true, false, 0, 2}, {true, false, 0, 3}});
+  RelGraph rel_graph = BuildRelGraph(star);
+  EXPECT_EQ(Classify(rel_graph), JoinStructure::kStar);
+  EXPECT_EQ(StarCenter(rel_graph), 0);
+}
+
+TEST(StructureTest, ClassifyTree) {
+  // A "T" shape: 0-1-2 chain plus 1-3 and 3-4: max degree 3 at node 1 but
+  // not a star (node 3 has degree 2).
+  QueryGraph tree = MakeShape({{true, false, 0, 1},
+                               {true, false, 1, 2},
+                               {true, false, 1, 3},
+                               {true, false, 3, 4}});
+  EXPECT_EQ(Classify(BuildRelGraph(tree)), JoinStructure::kTree);
+  EXPECT_EQ(StarCenter(BuildRelGraph(tree)), -1);
+}
+
+TEST(StructureTest, ClassifyCyclic) {
+  QueryGraph cyclic =
+      MakeShape({{true, false, 0, 1}, {true, false, 1, 2}, {true, false, 2, 0}});
+  EXPECT_EQ(Classify(BuildRelGraph(cyclic)), JoinStructure::kCyclic);
+}
+
+TEST(StructureTest, ParallelPredicatesCollapseToOneGroup) {
+  QueryGraph graph = MakeShape({{true, false, 0, 1}, {true, false, 0, 1}});
+  RelGraph rel_graph = BuildRelGraph(graph);
+  ASSERT_EQ(rel_graph.groups.size(), 1u);
+  EXPECT_EQ(rel_graph.groups[0].preds.size(), 2u);
+  EXPECT_EQ(Classify(rel_graph), JoinStructure::kChain);
+}
+
+void CheckChainPlan(const QueryGraph& graph, const ChainPlan& plan) {
+  // Occurrences and connecting groups are consistent, every relation
+  // appears, and every group is used at least once.
+  ASSERT_FALSE(plan.occ_rel.empty());
+  ASSERT_EQ(plan.occ_group.size(), plan.occ_rel.size() - 1);
+  RelGraph rel_graph = BuildRelGraph(graph);
+  std::set<int> seen_rels;
+  std::set<int> seen_groups;
+  for (int rel : plan.occ_rel) seen_rels.insert(rel);
+  for (size_t i = 0; i + 1 < plan.occ_rel.size(); ++i) {
+    const RelGraph::Group& group = rel_graph.groups[static_cast<size_t>(plan.occ_group[i])];
+    seen_groups.insert(plan.occ_group[i]);
+    std::set<int> endpoints = {plan.occ_rel[i], plan.occ_rel[i + 1]};
+    EXPECT_EQ(endpoints, (std::set<int>{group.rel_a, group.rel_b}));
+  }
+  EXPECT_EQ(seen_rels.size(), static_cast<size_t>(graph.num_relations()));
+  EXPECT_EQ(seen_groups.size(), rel_graph.groups.size());
+}
+
+TEST(StructureTest, ChainPlanOfChainIsMinimal) {
+  QueryGraph graph = testing_util::MakeFigure4Neighborhood();
+  ChainPlan plan = BuildChainPlan(graph);
+  CheckChainPlan(graph, plan);
+  EXPECT_EQ(plan.occ_rel.size(), 4u);  // No duplicate occurrences needed.
+}
+
+TEST(StructureTest, ChainPlanOfStarDuplicatesCenter) {
+  QueryGraph star =
+      MakeShape({{true, false, 0, 1}, {true, false, 0, 2}, {true, false, 0, 3}});
+  ChainPlan plan = BuildChainPlan(star);
+  CheckChainPlan(star, plan);
+  // A 3-leaf star needs the center at least twice.
+  int center_occurrences = 0;
+  for (int rel : plan.occ_rel) center_occurrences += rel == 0 ? 1 : 0;
+  EXPECT_GE(center_occurrences, 2);
+}
+
+TEST(StructureTest, ChainPlanOfTree) {
+  QueryGraph tree = MakeShape({{true, false, 0, 1},
+                               {true, false, 1, 2},
+                               {true, false, 1, 3},
+                               {true, false, 3, 4}});
+  ChainPlan plan = BuildChainPlan(tree);
+  CheckChainPlan(tree, plan);
+}
+
+TEST(StructureTest, ChainPlanOfCycleCoversAllGroups) {
+  QueryGraph cyclic =
+      MakeShape({{true, false, 0, 1}, {true, false, 1, 2}, {true, false, 2, 0}});
+  ChainPlan plan = BuildChainPlan(cyclic);
+  CheckChainPlan(cyclic, plan);
+}
+
+TEST(StructureTest, Names) {
+  EXPECT_STREQ(JoinStructureName(JoinStructure::kChain), "chain");
+  EXPECT_STREQ(JoinStructureName(JoinStructure::kStar), "star");
+  EXPECT_STREQ(JoinStructureName(JoinStructure::kTree), "tree");
+  EXPECT_STREQ(JoinStructureName(JoinStructure::kCyclic), "cyclic");
+}
+
+}  // namespace
+}  // namespace cdb
