@@ -26,6 +26,7 @@ struct BenchArgs {
   double scale = 0.2;
   int reps = 2;
   uint64_t seed = 1;
+  int threads = 0;  // Optimizer threads: 0 = all hardware threads, 1 = serial.
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv, double default_scale = 0.2,
@@ -38,6 +39,8 @@ inline BenchArgs ParseArgs(int argc, char** argv, double default_scale = 0.2,
     if (std::strncmp(argv[i], "--reps=", 7) == 0) args.reps = std::atoi(argv[i] + 7);
     if (std::strncmp(argv[i], "--seed=", 7) == 0)
       args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      args.threads = std::atoi(argv[i] + 10);
   }
   return args;
 }
@@ -60,6 +63,7 @@ inline RunConfig BaseConfig(const BenchArgs& args, double worker_quality = 0.8) 
   config.repetitions = args.reps;
   config.sampling_samples = 50;
   config.seed = args.seed;
+  config.num_threads = args.threads;
   return config;
 }
 

@@ -1,18 +1,26 @@
 // Micro-benchmarks (google-benchmark) of the optimizer's core primitives:
 // similarity join, graph construction, pruning recomputation, cut-impact
 // simulation, expectation scoring, min-cut selection, and round scheduling.
+// The parallel stages are benchmarked as serial-vs-parallel pairs
+// (threads: 1 in the name = exact serial path, 0 = all hardware threads);
+// both members of a pair produce bit-identical results, only the wall clock
+// differs.
 #include <benchmark/benchmark.h>
 
 #include "bench_util/metrics.h"
 #include "bench_util/queries.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "cost/expectation.h"
 #include "cost/known_color.h"
+#include "cost/sampling.h"
 #include "cql/parser.h"
 #include "datagen/paper_dataset.h"
 #include "flow/min_cut.h"
 #include "graph/pruning.h"
 #include "graph/structure.h"
 #include "latency/scheduler.h"
+#include "quality/truth_inference.h"
 #include "similarity/sim_join.h"
 
 namespace cdb {
@@ -106,6 +114,72 @@ void BM_KnownColorSelection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnownColorSelection);
+
+// --- Serial-vs-parallel pairs. state.range(0) is the thread knob: 1 = the
+// exact serial path, 0 = all hardware threads via the shared pool. ---
+
+void BM_TokenPrefixJoin(benchmark::State& state) {
+  const Table* paper = Dataset().catalog.GetTable("Paper").value();
+  const Table* citation = Dataset().catalog.GetTable("Citation").value();
+  std::vector<std::string> left = paper->StringColumn("title").value();
+  std::vector<std::string> right = citation->StringColumn("title").value();
+  SimJoinOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityJoin(
+        left, right, SimilarityFunction::kQGramJaccard, 0.3, options));
+  }
+}
+BENCHMARK(BM_TokenPrefixJoin)->Arg(1)->Arg(0);
+
+void BM_EditDistanceJoin(benchmark::State& state) {
+  const Table* paper = Dataset().catalog.GetTable("Paper").value();
+  const Table* citation = Dataset().catalog.GetTable("Citation").value();
+  std::vector<std::string> left = paper->StringColumn("title").value();
+  std::vector<std::string> right = citation->StringColumn("title").value();
+  SimJoinOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityJoin(
+        left, right, SimilarityFunction::kEditDistance, 0.6, options));
+  }
+}
+BENCHMARK(BM_EditDistanceJoin)->Arg(1)->Arg(0);
+
+void BM_SampleMinCutOrder(benchmark::State& state) {
+  ResolvedQuery query = ThreeJoinQuery();
+  QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
+  SamplingOptions options;
+  options.num_samples = 100;  // The paper's real-experiment sample count.
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleMinCutOrder(graph, options));
+  }
+}
+BENCHMARK(BM_SampleMinCutOrder)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_EmTruthInference(benchmark::State& state) {
+  // Synthetic workload at round scale: 2000 tasks x 5 answers from a pool of
+  // 50 workers of mixed quality.
+  Rng rng(42);
+  std::vector<double> worker_quality(50);
+  for (double& q : worker_quality) q = rng.Uniform(0.6, 0.95);
+  std::vector<ChoiceObservation> obs;
+  for (int task = 0; task < 2000; ++task) {
+    int truth = static_cast<int>(rng.UniformInt(0, 1));
+    for (int a = 0; a < 5; ++a) {
+      int worker = static_cast<int>(rng.UniformInt(0, 49));
+      bool correct = rng.Bernoulli(worker_quality[static_cast<size_t>(worker)]);
+      obs.push_back({task, worker, correct ? truth : 1 - truth});
+    }
+  }
+  EmOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferSingleChoiceEm(obs, options));
+  }
+}
+BENCHMARK(BM_EmTruthInference)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_SelectParallelRound(benchmark::State& state) {
   ResolvedQuery query = ThreeJoinQuery();

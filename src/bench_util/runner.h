@@ -43,6 +43,9 @@ struct RunConfig {
   std::optional<int64_t> budget;
   std::optional<int> round_limit;
   uint64_t seed = 1;
+  // Optimizer thread count (<= 0 = all hardware threads, 1 = serial); metric
+  // outputs are bit-identical either way, only selection_ms moves.
+  int num_threads = 0;
 };
 
 struct RunOutcome {

@@ -6,6 +6,21 @@
 #include "common/logging.h"
 
 namespace cdb {
+namespace {
+
+// Fmix from splitmix64: bijective, avalanching; adjacent inputs map to
+// uncorrelated outputs, which is exactly what per-stream seeds need.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream)
+    : engine_(SplitMix64(SplitMix64(seed) + SplitMix64(~stream))) {}
 
 double Rng::ClampedGaussian(double mean, double stddev, double lo, double hi) {
   CDB_DCHECK(lo <= hi);

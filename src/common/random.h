@@ -16,6 +16,13 @@ class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
+  // Stream splitting for parallel loops: Rng(seed, i) yields a generator
+  // deterministically derived from (seed, i) alone, so chunk i of a parallel
+  // region draws the same sequence no matter which thread runs it or how many
+  // threads exist. Streams of distinct indexes are decorrelated by a
+  // splitmix64 mix of both words.
+  Rng(uint64_t seed, uint64_t stream);
+
   // Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }
 

@@ -1,7 +1,9 @@
 #include "cost/sampling.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "common/thread_pool.h"
 #include "cost/known_color.h"
 #include "graph/structure.h"
 
@@ -9,22 +11,35 @@ namespace cdb {
 
 std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
                                       const SamplingOptions& options) {
-  Rng rng(options.seed);
   std::vector<int64_t> occurrences(graph.num_edges(), 0);
+  std::mutex mu;
 
-  std::vector<EdgeColor> colors(graph.num_edges());
-  for (int s = 0; s < options.num_samples; ++s) {
-    // Sample a possible graph: each unknown edge is BLUE with probability
-    // omega(e); known colors are kept.
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      const GraphEdge& edge = graph.edge(e);
-      colors[e] = edge.color != EdgeColor::kUnknown
-                      ? edge.color
-                      : (rng.Bernoulli(edge.weight) ? EdgeColor::kBlue
-                                                    : EdgeColor::kRed);
-    }
-    for (EdgeId e : SelectTasksKnownColors(graph, colors)) ++occurrences[e];
-  }
+  // Each sample is seeded independently as Rng(seed, s), so colorings do not
+  // depend on how samples are batched into chunks; occurrence counts merge by
+  // integer addition, which is order-insensitive. Together that makes the
+  // output bit-identical at every thread count.
+  ParallelFor(
+      0, options.num_samples, /*grain=*/1,
+      [&](int64_t chunk_begin, int64_t chunk_end, int /*chunk*/) {
+        std::vector<int64_t> local(graph.num_edges(), 0);
+        std::vector<EdgeColor> colors(graph.num_edges());
+        for (int64_t s = chunk_begin; s < chunk_end; ++s) {
+          Rng rng(options.seed, static_cast<uint64_t>(s));
+          // Sample a possible graph: each unknown edge is BLUE with
+          // probability omega(e); known colors are kept.
+          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+            const GraphEdge& edge = graph.edge(e);
+            colors[e] = edge.color != EdgeColor::kUnknown
+                            ? edge.color
+                            : (rng.Bernoulli(edge.weight) ? EdgeColor::kBlue
+                                                          : EdgeColor::kRed);
+          }
+          for (EdgeId e : SelectTasksKnownColors(graph, colors)) ++local[e];
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        for (EdgeId e = 0; e < graph.num_edges(); ++e) occurrences[e] += local[e];
+      },
+      options.num_threads);
 
   // Unknown crowd edges, by descending occurrence; never-selected edges
   // trail, ordered by weight (more likely BLUE, thus more likely needed).

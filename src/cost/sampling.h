@@ -17,6 +17,11 @@ namespace cdb {
 struct SamplingOptions {
   int num_samples = 100;  // The paper's real experiments use 100 samples.
   uint64_t seed = 1;
+  // Threads for the per-sample selections (samples are independent, so they
+  // parallelize embarrassingly): <= 0 uses all hardware threads, 1 runs
+  // serially. Each sample s draws from Rng(seed, s), so the result is
+  // bit-identical at every thread count.
+  int num_threads = 0;
 };
 
 // Returns the currently-unknown crowd edges ordered by descending occurrence

@@ -162,7 +162,8 @@ Result<ExecutionResult> CdbExecutor::Run() {
     Clock::time_point start = Clock::now();
     sampling_order = SampleMinCutOrder(
         graph_, SamplingOptions{options_.sampling_samples,
-                                options_.platform.seed ^ 0x5eedULL});
+                                options_.platform.seed ^ 0x5eedULL,
+                                options_.num_threads});
     stats.selection_ms += MsSince(start);
   }
 
@@ -229,6 +230,7 @@ Result<ExecutionResult> CdbExecutor::Run() {
       EmOptions em;
       em.num_choices = 2;
       em.quality_priors = worker_quality;
+      em.num_threads = options_.num_threads;
       inference = InferSingleChoiceEm(all_observations, em);
       worker_quality = inference.worker_quality;
     } else {

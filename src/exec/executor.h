@@ -50,6 +50,11 @@ struct ExecutorOptions {
   // answers (instead of the flat 0.7 prior).
   int golden_tasks = 0;
   int sampling_samples = 100;
+  // Threads for the optimizer's parallel stages (sampling min-cut, EM truth
+  // inference; graph.num_threads covers the build-time similarity joins):
+  // <= 0 = all hardware threads, 1 = the exact serial path. Results are
+  // bit-identical at every setting.
+  int num_threads = 0;
   std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
   std::optional<int> round_limit;    // Figure-22 latency constraint.
 };

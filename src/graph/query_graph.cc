@@ -164,8 +164,9 @@ Result<QueryGraph> QueryGraph::Build(const ResolvedQuery& query,
         std::vector<std::string> right_vals,
         right->StringColumn(right->schema().column(join.right_col).name));
     if (join.is_crowd) {
-      std::vector<SimPair> pairs = SimilarityJoin(left_vals, right_vals,
-                                                  options.sim_fn, options.epsilon);
+      std::vector<SimPair> pairs =
+          SimilarityJoin(left_vals, right_vals, options.sim_fn, options.epsilon,
+                         SimJoinOptions{options.num_threads});
       for (const SimPair& pair : pairs) {
         VertexId u = graph.InternVertex(join.left_rel, pair.left);
         VertexId v = graph.InternVertex(join.right_rel, pair.right);

@@ -59,6 +59,9 @@ struct PredicateInfo {
 struct GraphOptions {
   SimilarityFunction sim_fn = SimilarityFunction::kQGramJaccard;
   double epsilon = 0.3;  // Edges below this matching probability are dropped.
+  // Threads for the per-predicate similarity joins during Build (<= 0 = all
+  // hardware threads, 1 = serial). Edge sets are identical either way.
+  int num_threads = 0;
 };
 
 // The materialized tuple-level graph. Vertices exist only for tuples with at

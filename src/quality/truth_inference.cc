@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace cdb {
 
@@ -69,48 +71,108 @@ InferenceResult InferSingleChoiceEm(const std::vector<ChoiceObservation>& obs,
   if (obs.empty()) return result;
   Grouped grouped = Group(obs);
 
-  // Initialize qualities from the priors (or the default).
-  std::map<int, double> quality;
-  std::map<int, double> prior;
-  for (const auto& [worker, list] : grouped.by_worker) {
-    auto it = options.quality_priors.find(worker);
-    double q = it != options.quality_priors.end() ? it->second
-                                                  : options.initial_quality;
-    quality[worker] = q;
-    prior[worker] = q;
+  // Flatten the task map into an indexable form so the E-step can write
+  // per-task posteriors into disjoint slots from the pool, and give every
+  // observation its dense task row + worker row up front.
+  std::vector<TaskId> task_ids;
+  std::vector<const std::vector<const ChoiceObservation*>*> task_answers;
+  std::map<TaskId, int> task_row;
+  for (const auto& [task, answers] : grouped.by_task) {
+    task_row[task] = static_cast<int>(task_ids.size());
+    task_ids.push_back(task);
+    task_answers.push_back(&answers);
+  }
+  std::vector<int> worker_ids;
+  // Per worker: that worker's answers as (task row, choice), in observation
+  // order — the same order the serial M-step summed in.
+  std::vector<std::vector<std::pair<int, int>>> worker_answers;
+  for (const auto& [worker, answers] : grouped.by_worker) {
+    worker_ids.push_back(worker);
+    std::vector<std::pair<int, int>> rows;
+    rows.reserve(answers.size());
+    for (const ChoiceObservation* o : answers) {
+      rows.emplace_back(task_row.at(o->task), o->choice);
+    }
+    worker_answers.push_back(std::move(rows));
   }
 
+  // Initialize qualities from the priors (or the default), indexed like
+  // worker_ids.
+  std::vector<double> quality(worker_ids.size());
+  std::vector<double> prior(worker_ids.size());
+  std::map<int, int> worker_row;
+  for (size_t w = 0; w < worker_ids.size(); ++w) {
+    worker_row[worker_ids[w]] = static_cast<int>(w);
+    auto it = options.quality_priors.find(worker_ids[w]);
+    double q = it != options.quality_priors.end() ? it->second
+                                                  : options.initial_quality;
+    quality[w] = q;
+    prior[w] = q;
+  }
+
+  std::vector<std::vector<double>> posteriors(task_ids.size());
+  std::vector<double> updated_quality(worker_ids.size());
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // E-step: task posteriors from current qualities (Eq. 2).
-    result.posteriors.clear();
-    for (const auto& [task, answers] : grouped.by_task) {
-      std::vector<std::pair<double, int>> qc;
-      qc.reserve(answers.size());
-      for (const ChoiceObservation* o : answers) {
-        qc.emplace_back(quality[o->worker], o->choice);
-      }
-      result.posteriors[task] = BayesianVote(qc, options.num_choices);
-    }
-    // M-step: worker quality = expected fraction of correct answers.
+    // E-step: task posteriors from current qualities (Eq. 2). Tasks are
+    // independent given the qualities, so they fan out across the pool.
+    ParallelFor(
+        0, static_cast<int64_t>(task_ids.size()), /*grain=*/64,
+        [&](int64_t begin, int64_t end, int /*chunk*/) {
+          std::vector<std::pair<double, int>> qc;
+          for (int64_t t = begin; t < end; ++t) {
+            const auto& answers = *task_answers[static_cast<size_t>(t)];
+            qc.clear();
+            qc.reserve(answers.size());
+            for (const ChoiceObservation* o : answers) {
+              qc.emplace_back(
+                  quality[static_cast<size_t>(worker_row.at(o->worker))],
+                  o->choice);
+            }
+            posteriors[static_cast<size_t>(t)] =
+                BayesianVote(qc, options.num_choices);
+          }
+        },
+        options.num_threads);
+    // M-step: worker quality = expected fraction of correct answers. The
+    // per-worker sums run in parallel (each walks only its own answers, in
+    // the serial order); the max_delta reduction stays serial so the
+    // convergence test is exactly the single-thread one.
+    ParallelFor(
+        0, static_cast<int64_t>(worker_ids.size()), /*grain=*/64,
+        [&](int64_t begin, int64_t end, int /*chunk*/) {
+          for (int64_t w = begin; w < end; ++w) {
+            const auto& answers = worker_answers[static_cast<size_t>(w)];
+            double expected_correct = 0.0;
+            for (const auto& [row, choice] : answers) {
+              expected_correct +=
+                  posteriors[static_cast<size_t>(row)][static_cast<size_t>(choice)];
+            }
+            // MAP estimate with a Beta pseudo-count prior centered on the
+            // worker's incoming quality.
+            double updated = (options.prior_strength * prior[static_cast<size_t>(w)] +
+                              expected_correct) /
+                             (options.prior_strength +
+                              static_cast<double>(answers.size()));
+            // Keep qualities interior so Eq. 2 stays well defined.
+            updated_quality[static_cast<size_t>(w)] =
+                std::clamp(updated, 0.05, 0.99);
+          }
+        },
+        options.num_threads);
     double max_delta = 0.0;
-    for (auto& [worker, answers] : grouped.by_worker) {
-      double expected_correct = 0.0;
-      for (const ChoiceObservation* o : answers) {
-        expected_correct += result.posteriors[o->task][o->choice];
-      }
-      // MAP estimate with a Beta pseudo-count prior centered on the
-      // worker's incoming quality.
-      double updated =
-          (options.prior_strength * prior[worker] + expected_correct) /
-          (options.prior_strength + static_cast<double>(answers.size()));
-      // Keep qualities interior so Eq. 2 stays well defined.
-      updated = std::clamp(updated, 0.05, 0.99);
-      max_delta = std::max(max_delta, std::abs(updated - quality[worker]));
-      quality[worker] = updated;
+    for (size_t w = 0; w < worker_ids.size(); ++w) {
+      max_delta = std::max(max_delta, std::abs(updated_quality[w] - quality[w]));
+      quality[w] = updated_quality[w];
     }
     if (max_delta < options.tolerance) break;
   }
-  result.worker_quality = std::move(quality);
+
+  for (size_t t = 0; t < task_ids.size(); ++t) {
+    result.posteriors[task_ids[t]] = std::move(posteriors[t]);
+  }
+  for (size_t w = 0; w < worker_ids.size(); ++w) {
+    result.worker_quality[worker_ids[w]] = quality[w];
+  }
   return result;
 }
 

@@ -51,6 +51,12 @@ struct EmOptions {
   // Optional fixed priors per worker (e.g. qualities carried over from
   // earlier rounds); missing workers start at initial_quality.
   std::map<int, double> quality_priors;
+  // Threads for the E-step (per-task posteriors are independent) and the
+  // M-step per-worker sums: <= 0 uses all hardware threads, 1 runs serially.
+  // Posteriors and qualities are bit-identical at every thread count — each
+  // task/worker is a unit of work whose floating-point accumulation order
+  // never changes, and cross-unit reductions happen serially.
+  int num_threads = 0;
 };
 
 // Expectation-Maximization over worker qualities + Bayesian voting truths.

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "similarity/tokenizer.h"
 
 namespace cdb {
@@ -18,12 +19,15 @@ using TokenId = int32_t;
 // selective).
 class TokenDictionary {
  public:
-  // Builds the dictionary from all token sets that will participate.
-  explicit TokenDictionary(
-      const std::vector<std::vector<std::string>>& all_sets) {
+  // Builds the dictionary from the two sides of the join directly (no
+  // concatenated copy of the token sets).
+  TokenDictionary(const std::vector<std::vector<std::string>>& left_sets,
+                  const std::vector<std::vector<std::string>>& right_sets) {
     std::unordered_map<std::string, int64_t> freq;
-    for (const auto& set : all_sets) {
-      for (const auto& token : set) ++freq[token];
+    for (const auto* sets : {&left_sets, &right_sets}) {
+      for (const auto& set : *sets) {
+        for (const auto& token : set) ++freq[token];
+      }
     }
     std::vector<std::pair<int64_t, std::string>> by_freq;
     by_freq.reserve(freq.size());
@@ -52,23 +56,51 @@ class TokenDictionary {
   std::unordered_map<std::string, TokenId> ids_;
 };
 
-std::vector<std::vector<std::string>> TokenizeAll(
-    const std::vector<std::string>& values, SimilarityFunction fn) {
-  std::vector<std::vector<std::string>> out;
-  out.reserve(values.size());
-  for (const auto& v : values) {
-    switch (fn) {
-      case SimilarityFunction::kWordJaccard:
-        out.push_back(WordTokenSet(v));
-        break;
-      case SimilarityFunction::kQGramJaccard:
-      case SimilarityFunction::kQGramCosine:
-        out.push_back(QGramSet(v, 2));
-        break;
-      default:
-        CDB_CHECK_MSG(false, "TokenizeAll: not a token-based function");
-    }
+// Chunk size for partitioning the left relation across the pool: a handful
+// of chunks per thread for balance, but coarse enough that the per-chunk
+// scratch (seen stamps sized by the right relation) amortizes.
+int64_t ProbeGrain(size_t left_size, int num_threads) {
+  int64_t chunks = static_cast<int64_t>(ResolveNumThreads(num_threads)) * 4;
+  return std::max<int64_t>(static_cast<int64_t>(left_size) / chunks, 16);
+}
+
+// Concatenates per-chunk outputs in chunk order. Chunks are contiguous
+// ascending ranges of the left relation, so this is exactly the serial
+// (ascending left index) output order.
+std::vector<SimPair> ConcatChunks(std::vector<std::vector<SimPair>> chunks) {
+  size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  std::vector<SimPair> out;
+  out.reserve(total);
+  for (auto& chunk : chunks) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
   }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TokenizeAll(
+    const std::vector<std::string>& values, SimilarityFunction fn,
+    int num_threads) {
+  std::vector<std::vector<std::string>> out(values.size());
+  ParallelFor(
+      0, static_cast<int64_t>(values.size()), /*grain=*/64,
+      [&](int64_t begin, int64_t end, int /*chunk*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          const std::string& v = values[static_cast<size_t>(i)];
+          switch (fn) {
+            case SimilarityFunction::kWordJaccard:
+              out[static_cast<size_t>(i)] = WordTokenSet(v);
+              break;
+            case SimilarityFunction::kQGramJaccard:
+            case SimilarityFunction::kQGramCosine:
+              out[static_cast<size_t>(i)] = QGramSet(v, 2);
+              break;
+            default:
+              CDB_CHECK_MSG(false, "TokenizeAll: not a token-based function");
+          }
+        }
+      },
+      num_threads);
   return out;
 }
 
@@ -94,17 +126,34 @@ size_t CosinePrefixLength(size_t n, double t) {
 
 std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
                                      const std::vector<std::string>& right,
-                                     SimilarityFunction fn, double threshold) {
-  std::vector<std::vector<std::string>> left_tokens = TokenizeAll(left, fn);
-  std::vector<std::vector<std::string>> right_tokens = TokenizeAll(right, fn);
-  std::vector<std::vector<std::string>> all = left_tokens;
-  all.insert(all.end(), right_tokens.begin(), right_tokens.end());
-  TokenDictionary dict(all);
+                                     SimilarityFunction fn, double threshold,
+                                     const SimJoinOptions& options) {
+  std::vector<std::vector<std::string>> left_tokens =
+      TokenizeAll(left, fn, options.num_threads);
+  std::vector<std::vector<std::string>> right_tokens =
+      TokenizeAll(right, fn, options.num_threads);
+  TokenDictionary dict(left_tokens, right_tokens);
 
   std::vector<std::vector<TokenId>> left_ids(left.size());
   std::vector<std::vector<TokenId>> right_ids(right.size());
-  for (size_t i = 0; i < left.size(); ++i) left_ids[i] = dict.Encode(left_tokens[i]);
-  for (size_t j = 0; j < right.size(); ++j) right_ids[j] = dict.Encode(right_tokens[j]);
+  ParallelFor(
+      0, static_cast<int64_t>(left.size()), /*grain=*/64,
+      [&](int64_t begin, int64_t end, int /*chunk*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          left_ids[static_cast<size_t>(i)] =
+              dict.Encode(left_tokens[static_cast<size_t>(i)]);
+        }
+      },
+      options.num_threads);
+  ParallelFor(
+      0, static_cast<int64_t>(right.size()), /*grain=*/64,
+      [&](int64_t begin, int64_t end, int /*chunk*/) {
+        for (int64_t j = begin; j < end; ++j) {
+          right_ids[static_cast<size_t>(j)] =
+              dict.Encode(right_tokens[static_cast<size_t>(j)]);
+        }
+      },
+      options.num_threads);
 
   const bool cosine = fn == SimilarityFunction::kQGramCosine;
   auto prefix_len = [&](size_t n) {
@@ -112,44 +161,61 @@ std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
                   : JaccardPrefixLength(n, threshold);
   };
 
-  // Inverted index over the prefixes of the right side.
+  // Inverted index over the prefixes of the right side. Built serially so
+  // posting lists stay in ascending-j order, then shared read-only across
+  // the probe threads.
   std::unordered_map<TokenId, std::vector<int32_t>> index;
   for (size_t j = 0; j < right.size(); ++j) {
     size_t plen = prefix_len(right_ids[j].size());
     for (size_t k = 0; k < plen; ++k) index[right_ids[j][k]].push_back(static_cast<int32_t>(j));
   }
 
-  std::vector<SimPair> out;
-  std::vector<int32_t> seen_stamp(right.size(), -1);
-  for (size_t i = 0; i < left.size(); ++i) {
-    size_t plen = prefix_len(left_ids[i].size());
-    for (size_t k = 0; k < plen; ++k) {
-      auto it = index.find(left_ids[i][k]);
-      if (it == index.end()) continue;
-      for (int32_t j : it->second) {
-        if (seen_stamp[j] == static_cast<int32_t>(i)) continue;
-        seen_stamp[j] = static_cast<int32_t>(i);
-        // Verify with the exact similarity.
-        double sim;
-        if (cosine) {
-          sim = CosineSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
-        } else {
-          sim = JaccardSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
+  const int64_t grain = ProbeGrain(left.size(), options.num_threads);
+  const int64_t num_chunks =
+      left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
+  std::vector<std::vector<SimPair>> chunk_out(static_cast<size_t>(num_chunks));
+  ParallelFor(
+      0, static_cast<int64_t>(left.size()), grain,
+      [&](int64_t begin, int64_t end, int chunk) {
+        std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        // Thread-local dedup scratch: stamps are per-probe, so a fresh vector
+        // per chunk reproduces the serial semantics exactly.
+        std::vector<int32_t> seen_stamp(right.size(), -1);
+        for (int64_t li = begin; li < end; ++li) {
+          size_t i = static_cast<size_t>(li);
+          size_t plen = prefix_len(left_ids[i].size());
+          for (size_t k = 0; k < plen; ++k) {
+            auto it = index.find(left_ids[i][k]);
+            if (it == index.end()) continue;
+            for (int32_t j : it->second) {
+              if (seen_stamp[j] == static_cast<int32_t>(i)) continue;
+              seen_stamp[j] = static_cast<int32_t>(i);
+              // Verify with the exact similarity.
+              double sim;
+              if (cosine) {
+                sim = CosineSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
+              } else {
+                sim = JaccardSimilarity(left_tokens[i], right_tokens[static_cast<size_t>(j)]);
+              }
+              if (sim >= threshold) {
+                out.push_back({static_cast<int32_t>(i), j, sim});
+              }
+            }
+          }
         }
-        if (sim >= threshold) {
-          out.push_back({static_cast<int32_t>(i), j, sim});
-        }
-      }
-    }
-  }
-  return out;
+      },
+      options.num_threads);
+  return ConcatChunks(std::move(chunk_out));
 }
 
 std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
                                       const std::vector<std::string>& right,
-                                      double threshold) {
+                                      double threshold,
+                                      const SimJoinOptions& options) {
   // Candidate generation: the length filter (|len(a)-len(b)| <= tau) always
-  // applies; the shared-2-gram filter applies only when the count bound
+  // applies and is served by a length-bucketed index, so only
+  // length-compatible right records are visited per left record; the
+  // shared-2-gram filter applies only when the count bound
   // (max_len - 1) - 2*tau is positive — strings within tau edits then must
   // share at least one 2-gram. At permissive thresholds the bound can be
   // non-positive, in which case we verify the pair directly (banded
@@ -160,47 +226,94 @@ std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
   for (size_t j = 0; j < right.size(); ++j) right_lower[j] = ToLower(right[j]);
 
   std::unordered_map<std::string, std::vector<int32_t>> index;
+  size_t max_right_len = 0;
   for (size_t j = 0; j < right.size(); ++j) {
+    max_right_len = std::max(max_right_len, right_lower[j].size());
     for (const auto& gram : QGramSet(right_lower[j], 2)) {
       index[gram].push_back(static_cast<int32_t>(j));
     }
   }
-
-  std::vector<SimPair> out;
-  std::vector<int32_t> shared_stamp(right.size(), -1);
-  for (size_t i = 0; i < left.size(); ++i) {
-    const std::string& a = left_lower[i];
-    for (const auto& gram : QGramSet(a, 2)) {
-      auto it = index.find(gram);
-      if (it == index.end()) continue;
-      for (int32_t j : it->second) shared_stamp[j] = static_cast<int32_t>(i);
-    }
-    for (size_t j = 0; j < right.size(); ++j) {
-      const std::string& b = right_lower[j];
-      size_t max_len = std::max(a.size(), b.size());
-      if (max_len == 0) {
-        out.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j), 1.0});
-        continue;
-      }
-      auto max_dist = static_cast<size_t>(
-          std::floor((1.0 - threshold) * static_cast<double>(max_len)));
-      size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
-      if (diff > max_dist) continue;
-      bool gram_filter_applies =
-          static_cast<int64_t>(max_len) - 1 - 2 * static_cast<int64_t>(max_dist) > 0;
-      if (gram_filter_applies && shared_stamp[j] != static_cast<int32_t>(i)) {
-        continue;
-      }
-      size_t dist = BoundedEditDistance(a, b, max_dist);
-      if (dist <= max_dist) {
-        double sim = 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
-        if (sim >= threshold) {
-          out.push_back({static_cast<int32_t>(i), static_cast<int32_t>(j), sim});
-        }
-      }
-    }
+  // Length-bucketed candidate index: by_len[L] lists the right records of
+  // length L in ascending order.
+  std::vector<std::vector<int32_t>> by_len(max_right_len + 1);
+  for (size_t j = 0; j < right.size(); ++j) {
+    by_len[right_lower[j].size()].push_back(static_cast<int32_t>(j));
   }
-  return out;
+
+  // Right lengths L compatible with a left string of length n at threshold t:
+  // for L <= n the pair's max_len is n, so L >= n - floor((1-t) * n); for
+  // L > n the max_len is L, so L - floor((1-t) * L) <= n — the left side of
+  // which is nondecreasing in L, so the upper bound is found by scanning up.
+  auto length_range = [&](size_t n) -> std::pair<size_t, size_t> {
+    size_t slack =
+        static_cast<size_t>(std::floor((1.0 - threshold) * static_cast<double>(n)));
+    size_t lo = n > slack ? n - slack : 0;
+    size_t hi = std::min(n, max_right_len);
+    for (size_t L = n + 1; L <= max_right_len; ++L) {
+      size_t max_dist = static_cast<size_t>(
+          std::floor((1.0 - threshold) * static_cast<double>(L)));
+      if (L - n > max_dist) break;
+      hi = L;
+    }
+    return {lo, hi};
+  };
+
+  const int64_t grain = ProbeGrain(left.size(), options.num_threads);
+  const int64_t num_chunks =
+      left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
+  std::vector<std::vector<SimPair>> chunk_out(static_cast<size_t>(num_chunks));
+  ParallelFor(
+      0, static_cast<int64_t>(left.size()), grain,
+      [&](int64_t begin, int64_t end, int chunk) {
+        std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        std::vector<int32_t> shared_stamp(right.size(), -1);
+        std::vector<int32_t> candidates;
+        for (int64_t li = begin; li < end; ++li) {
+          size_t i = static_cast<size_t>(li);
+          const std::string& a = left_lower[i];
+          for (const auto& gram : QGramSet(a, 2)) {
+            auto it = index.find(gram);
+            if (it == index.end()) continue;
+            for (int32_t j : it->second) shared_stamp[j] = static_cast<int32_t>(i);
+          }
+          // Gather length-compatible candidates, restoring ascending-j order
+          // across buckets so the output matches a full scan's ordering.
+          auto [len_lo, len_hi] = length_range(a.size());
+          candidates.clear();
+          for (size_t L = len_lo; L <= len_hi && L < by_len.size(); ++L) {
+            candidates.insert(candidates.end(), by_len[L].begin(), by_len[L].end());
+          }
+          std::sort(candidates.begin(), candidates.end());
+          for (int32_t cj : candidates) {
+            size_t j = static_cast<size_t>(cj);
+            const std::string& b = right_lower[j];
+            size_t max_len = std::max(a.size(), b.size());
+            if (max_len == 0) {
+              out.push_back({static_cast<int32_t>(i), cj, 1.0});
+              continue;
+            }
+            auto max_dist = static_cast<size_t>(
+                std::floor((1.0 - threshold) * static_cast<double>(max_len)));
+            size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+            if (diff > max_dist) continue;
+            bool gram_filter_applies =
+                static_cast<int64_t>(max_len) - 1 - 2 * static_cast<int64_t>(max_dist) > 0;
+            if (gram_filter_applies && shared_stamp[j] != static_cast<int32_t>(i)) {
+              continue;
+            }
+            size_t dist = BoundedEditDistance(a, b, max_dist);
+            if (dist <= max_dist) {
+              double sim =
+                  1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+              if (sim >= threshold) {
+                out.push_back({static_cast<int32_t>(i), cj, sim});
+              }
+            }
+          }
+        }
+      },
+      options.num_threads);
+  return ConcatChunks(std::move(chunk_out));
 }
 
 std::vector<SimPair> CrossProduct(size_t n_left, size_t n_right, double sim) {
@@ -249,17 +362,18 @@ size_t BoundedEditDistance(const std::string& a, const std::string& b,
 
 std::vector<SimPair> SimilarityJoin(const std::vector<std::string>& left,
                                     const std::vector<std::string>& right,
-                                    SimilarityFunction fn, double threshold) {
+                                    SimilarityFunction fn, double threshold,
+                                    const SimJoinOptions& options) {
   switch (fn) {
     case SimilarityFunction::kNoSim:
       if (threshold <= 0.5) return CrossProduct(left.size(), right.size(), 0.5);
       return {};
     case SimilarityFunction::kEditDistance:
-      return EditDistanceJoin(left, right, threshold);
+      return EditDistanceJoin(left, right, threshold, options);
     case SimilarityFunction::kWordJaccard:
     case SimilarityFunction::kQGramJaccard:
     case SimilarityFunction::kQGramCosine:
-      return TokenPrefixJoin(left, right, fn, threshold);
+      return TokenPrefixJoin(left, right, fn, threshold, options);
   }
   return {};
 }

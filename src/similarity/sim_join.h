@@ -25,13 +25,23 @@ struct SimPair {
   double sim = 0.0;
 };
 
+struct SimJoinOptions {
+  // Threads for candidate verification (the left relation is partitioned
+  // into chunks probing a shared read-only index): <= 0 uses all hardware
+  // threads, 1 runs serially. Output is bit-identical at every thread count —
+  // chunk results are concatenated in chunk order, which is left-index order.
+  int num_threads = 0;
+};
+
 // Returns all pairs (i, j) with ComputeSimilarity(fn, left[i], right[j]) >=
 // threshold. Exact (verification recomputes the true similarity); the filter
 // only prunes. For kNoSim every pair has similarity 0.5, so the result is the
-// full cross product when threshold <= 0.5 and empty otherwise.
+// full cross product when threshold <= 0.5 and empty otherwise. Pairs are
+// emitted in ascending (left, right) order.
 std::vector<SimPair> SimilarityJoin(const std::vector<std::string>& left,
                                     const std::vector<std::string>& right,
-                                    SimilarityFunction fn, double threshold);
+                                    SimilarityFunction fn, double threshold,
+                                    const SimJoinOptions& options = {});
 
 // One-vs-many variant used for CROWDEQUAL selection predicates: returns the
 // indexes i (with similarity) such that sim(values[i], query) >= threshold.

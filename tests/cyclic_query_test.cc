@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_util/metrics.h"
+#include "common/logging.h"
 #include "cql/parser.h"
 #include "exec/executor.h"
 #include "graph/pruning.h"
