@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdb {
+namespace internal_logging {
+
+void CheckFail(const char* file, int line, const char* expr,
+               std::string_view msg) {
+  if (msg.empty()) {
+    std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  } else {
+    std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s (%.*s)\n", file, line,
+                 expr, static_cast<int>(msg.size()), msg.data());
+  }
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace cdb

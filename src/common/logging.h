@@ -1,33 +1,93 @@
 // Minimal check macros used for internal invariants. CDB_CHECK is always on;
 // CDB_DCHECK compiles out in NDEBUG builds. These are for programmer errors,
 // not data errors — data errors flow through Status.
+//
+// All failure paths funnel through cdb::internal_logging::CheckFail, the one
+// sanctioned process-abort in the codebase (tools/cdb_lint.py rejects naked
+// std::abort outside src/common/).
 #ifndef CDB_COMMON_LOGGING_H_
 #define CDB_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
 
-#define CDB_CHECK(cond)                                                     \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
+namespace cdb {
+namespace internal_logging {
+
+// Prints "CDB_CHECK failed at <file>:<line>: <expr> (<msg>)" to stderr and
+// aborts. `msg` may be empty, a C string, a std::string, or a string_view.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            std::string_view msg);
+
+// Renders an operand for CDB_CHECK_{EQ,NE,...} failure messages. Streamable
+// types go through operator<<; anything else degrades to a placeholder so the
+// comparison macros stay usable on opaque types.
+template <typename T>
+std::string FormatOperand(const T& v) {
+  if constexpr (requires(std::ostream& os, const T& t) { os << t; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFail(const char* file, int line, const char* expr,
+                              const A& a, const B& b) {
+  CheckFail(file, line, expr,
+            "left=" + FormatOperand(a) + " right=" + FormatOperand(b));
+}
+
+}  // namespace internal_logging
+}  // namespace cdb
+
+#define CDB_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::cdb::internal_logging::CheckFail(__FILE__, __LINE__, #cond, {});  \
+    }                                                                     \
   } while (false)
 
+// `msg` may be any string-ish value: literal, const char*, std::string, or
+// std::string_view.
 #define CDB_CHECK_MSG(cond, msg)                                            \
   do {                                                                      \
     if (!(cond)) {                                                          \
-      std::fprintf(stderr, "CDB_CHECK failed at %s:%d: %s (%s)\n",          \
-                   __FILE__, __LINE__, #cond, msg);                         \
-      std::abort();                                                         \
+      ::cdb::internal_logging::CheckFail(__FILE__, __LINE__, #cond, (msg)); \
     }                                                                       \
   } while (false)
 
+// Binary comparison checks that print both operand values on failure:
+//   CDB_CHECK_EQ(rows.size(), expected);
+//   -> CDB_CHECK failed at t.cc:12: rows.size() == expected (left=3 right=4)
+#define CDB_CHECK_OP_(op, a, b)                                              \
+  do {                                                                       \
+    auto&& cdb_check_lhs_ = (a);                                             \
+    auto&& cdb_check_rhs_ = (b);                                             \
+    if (!(cdb_check_lhs_ op cdb_check_rhs_)) {                               \
+      ::cdb::internal_logging::CheckOpFail(__FILE__, __LINE__,               \
+                                           #a " " #op " " #b, cdb_check_lhs_, \
+                                           cdb_check_rhs_);                  \
+    }                                                                        \
+  } while (false)
+
+#define CDB_CHECK_EQ(a, b) CDB_CHECK_OP_(==, a, b)
+#define CDB_CHECK_NE(a, b) CDB_CHECK_OP_(!=, a, b)
+#define CDB_CHECK_LT(a, b) CDB_CHECK_OP_(<, a, b)
+#define CDB_CHECK_LE(a, b) CDB_CHECK_OP_(<=, a, b)
+#define CDB_CHECK_GT(a, b) CDB_CHECK_OP_(>, a, b)
+#define CDB_CHECK_GE(a, b) CDB_CHECK_OP_(>=, a, b)
+
 #ifdef NDEBUG
-#define CDB_DCHECK(cond) \
-  do {                   \
+// The condition must stay syntactically alive even when the check compiles
+// out: sizeof in an unevaluated context "uses" every variable the condition
+// mentions, so dcheck-only variables do not trip -Werror=unused under NDEBUG.
+#define CDB_DCHECK(cond)       \
+  do {                         \
+    (void)sizeof((cond));      \
   } while (false)
 #else
 #define CDB_DCHECK(cond) CDB_CHECK(cond)

@@ -36,7 +36,7 @@ class Rng {
   }
 
   // True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p) {
+  [[nodiscard]] bool Bernoulli(double p) {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return Uniform() < p;

@@ -31,8 +31,12 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the success path (no message
-// allocation).
-class Status {
+// allocation). The class itself is [[nodiscard]]: any function returning a
+// Status forces callers to consume it (CDB_RETURN_IF_ERROR, an ok() branch,
+// or an explicit (void) cast with a comment explaining why the error is
+// ignorable). tests/status_nodiscard_test.cc probes that this attribute
+// actually fires under -Werror.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -65,12 +69,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // "OK" or "<CODE>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -78,17 +82,18 @@ class Status {
 };
 
 // A value-or-error. Access to value() on an error aborts the process, so
-// callers must check ok() (or use the CDB_ASSIGN_OR_RETURN macro).
+// callers must check ok() (or use the CDB_ASSIGN_OR_RETURN macro). Like
+// Status, the class is [[nodiscard]].
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error Status keeps call sites
   // terse: `return value;` / `return Status::NotFound(...)`.
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {}                // NOLINT
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     AbortIfError();

@@ -32,11 +32,11 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
 // True if `s` starts with / ends with the given prefix/suffix.
-bool StartsWith(std::string_view s, std::string_view prefix);
-bool EndsWith(std::string_view s, std::string_view suffix);
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
 
 // Case-insensitive equality for ASCII strings (keyword matching in CQL).
-bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+[[nodiscard]] bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
 // Collapses internal whitespace runs to single spaces and trims; used to
 // normalize crowd-collected strings before comparison.

@@ -14,13 +14,17 @@ class EntityOracle : public CrowdOracle {
   // `dataset` is borrowed and must outlive the oracle.
   explicit EntityOracle(const GeneratedDataset* dataset) : dataset_(dataset) {}
 
-  bool JoinMatches(const std::string& left_table, const std::string& left_column,
-                   int64_t left_row, const std::string& right_table,
-                   const std::string& right_column,
-                   int64_t right_row) const override;
+  [[nodiscard]] bool JoinMatches(const std::string& left_table,
+                                 const std::string& left_column,
+                                 int64_t left_row,
+                                 const std::string& right_table,
+                                 const std::string& right_column,
+                                 int64_t right_row) const override;
 
-  bool SelectionMatches(const std::string& table, const std::string& column,
-                        int64_t row, const std::string& constant) const override;
+  [[nodiscard]] bool SelectionMatches(const std::string& table,
+                                      const std::string& column, int64_t row,
+                                      const std::string& constant)
+      const override;
 
   // Fill truth: the entity id rendered as a stable string when the column
   // has entity links, else a deterministic per-cell value; the wrong pool

@@ -28,16 +28,17 @@ class CrowdOracle {
   virtual ~CrowdOracle() = default;
 
   // Would a perfect worker say these two cells refer to the same thing?
-  virtual bool JoinMatches(const std::string& left_table,
-                           const std::string& left_column, int64_t left_row,
-                           const std::string& right_table,
-                           const std::string& right_column,
-                           int64_t right_row) const = 0;
+  [[nodiscard]] virtual bool JoinMatches(const std::string& left_table,
+                                         const std::string& left_column,
+                                         int64_t left_row,
+                                         const std::string& right_table,
+                                         const std::string& right_column,
+                                         int64_t right_row) const = 0;
 
   // Would a perfect worker say this cell satisfies `CROWDEQUAL constant`?
-  virtual bool SelectionMatches(const std::string& table,
-                                const std::string& column, int64_t row,
-                                const std::string& constant) const = 0;
+  [[nodiscard]] virtual bool SelectionMatches(
+      const std::string& table, const std::string& column, int64_t row,
+      const std::string& constant) const = 0;
 
   // The true value of a CNULL cell, plus plausible wrong answers.
   virtual FillTaskSpec FillTruth(const std::string& table,

@@ -51,7 +51,7 @@ int64_t MaxFlow::Dfs(int v, int t, int64_t limit) {
 }
 
 int64_t MaxFlow::Compute(int s, int t) {
-  CDB_CHECK(s != t);
+  CDB_CHECK_NE(s, t);
   int64_t flow = 0;
   while (Bfs(s, t)) {
     iter_ = head_;

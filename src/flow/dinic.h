@@ -48,7 +48,7 @@ class MaxFlow {
     int64_t original_capacity = 0;
   };
 
-  bool Bfs(int s, int t);
+  [[nodiscard]] bool Bfs(int s, int t);
   int64_t Dfs(int v, int t, int64_t limit);
 
   std::vector<Arc> arcs_;

@@ -26,7 +26,7 @@ struct LayerPair {
 ChainSelection ChainMinCutSelection(const QueryGraph& graph,
                                     const ChainPlan& plan,
                                     const std::vector<EdgeColor>& colors) {
-  CDB_CHECK(colors.size() == static_cast<size_t>(graph.num_edges()));
+  CDB_CHECK_EQ(colors.size(), static_cast<size_t>(graph.num_edges()));
   const size_t m = plan.occ_rel.size();
   ChainSelection out;
   if (m < 2) return out;

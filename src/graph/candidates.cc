@@ -30,8 +30,9 @@ std::vector<int> RelationOrder(const QueryGraph& graph, int root) {
       }
     }
   }
-  CDB_CHECK_MSG(order.size() == static_cast<size_t>(graph.num_relations()),
-                "predicate graph is disconnected");
+  // Every relation must be reachable: a disconnected predicate graph has no
+  // connected candidate covering all relations.
+  CDB_CHECK_EQ(order.size(), static_cast<size_t>(graph.num_relations()));
   return order;
 }
 
@@ -126,7 +127,7 @@ std::vector<EdgeId> AssignmentEdges(const QueryGraph& graph,
     const PredicateInfo& info = graph.predicate(p);
     EdgeId e = FindEdgeBetween(graph, assignment[info.left_rel],
                                assignment[info.right_rel], p);
-    CDB_CHECK_MSG(e != kNoEdge, "assignment is not a candidate");
+    CDB_CHECK_NE(e, kNoEdge);
     out.push_back(e);
   }
   return out;
@@ -135,7 +136,7 @@ std::vector<EdgeId> AssignmentEdges(const QueryGraph& graph,
 bool ExistsCandidate(const QueryGraph& graph,
                      const std::vector<VertexId>& fixed,
                      const std::function<bool(const GraphEdge&)>& edge_ok) {
-  CDB_CHECK(fixed.size() == static_cast<size_t>(graph.num_relations()));
+  CDB_CHECK_EQ(fixed.size(), static_cast<size_t>(graph.num_relations()));
   std::vector<int> order = RelationOrder(graph, ChooseRoot(graph, fixed));
   Assignment assignment(graph.num_relations(), kNoVertex);
   bool found = false;

@@ -30,19 +30,19 @@ std::vector<EdgeId> AssignmentEdges(const QueryGraph& graph,
 // True iff a candidate exists all of whose edges satisfy `edge_ok`,
 // respecting `fixed` (kNoVertex entries are free; others are pinned).
 // Exact for any predicate-graph shape (backtracking search).
-bool ExistsCandidate(const QueryGraph& graph,
-                     const std::vector<VertexId>& fixed,
-                     const std::function<bool(const GraphEdge&)>& edge_ok);
+[[nodiscard]] bool ExistsCandidate(
+    const QueryGraph& graph, const std::vector<VertexId>& fixed,
+    const std::function<bool(const GraphEdge&)>& edge_ok);
 
 // True iff edge `e` lies on at least one candidate whose edges are all
 // non-RED. This is the exact form of Definition 3 (Pruner::EdgeValid is the
 // fast arc-consistency form, identical on acyclic group graphs).
-bool EdgeValidExact(const QueryGraph& graph, EdgeId e);
+[[nodiscard]] bool EdgeValidExact(const QueryGraph& graph, EdgeId e);
 
 // True iff e1 and e2 can appear in the same surviving (non-RED) candidate —
 // the "conflict" test of Section 5.2. Edges touching two different tuples of
 // the same relation are never in conflict.
-bool EdgesConflict(const QueryGraph& graph, EdgeId e1, EdgeId e2);
+[[nodiscard]] bool EdgesConflict(const QueryGraph& graph, EdgeId e1, EdgeId e2);
 
 // All answers: assignments whose every predicate edge is BLUE.
 std::vector<Assignment> FindAnswers(const QueryGraph& graph);
@@ -60,8 +60,8 @@ struct ScoredCandidate {
   Assignment assignment;
   double probability = 0.0;
 };
-std::optional<ScoredCandidate> BestCandidate(const QueryGraph& graph,
-                                             bool require_unknown);
+[[nodiscard]] std::optional<ScoredCandidate> BestCandidate(
+    const QueryGraph& graph, bool require_unknown);
 
 }  // namespace cdb
 

@@ -35,10 +35,10 @@ class Pruner {
   // Recomputes aliveness from the graph's current edge colors. O(V + E).
   void Recompute();
 
-  bool VertexAlive(VertexId v) const { return alive_[v]; }
+  [[nodiscard]] bool VertexAlive(VertexId v) const { return alive_[v]; }
 
   // True iff `e` is non-RED and participates in >= 1 surviving candidate.
-  bool EdgeValid(EdgeId e) const;
+  [[nodiscard]] bool EdgeValid(EdgeId e) const;
 
   // Valid, uncolored crowd edges: the remaining task pool.
   std::vector<EdgeId> RemainingTasks() const;

@@ -24,7 +24,7 @@ class Catalog {
   // Registers a table; fails if a table with the same name exists.
   Status AddTable(Table table);
 
-  bool HasTable(const std::string& name) const;
+  [[nodiscard]] bool HasTable(const std::string& name) const;
   Result<const Table*> GetTable(const std::string& name) const;
   Result<Table*> GetMutableTable(const std::string& name);
 

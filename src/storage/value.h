@@ -67,7 +67,7 @@ class Value {
   // SQL-style equality: missing values compare unequal to everything
   // (including other missing values). Numeric cross-type comparison promotes
   // ints to double.
-  bool SqlEquals(const Value& other) const;
+  [[nodiscard]] bool SqlEquals(const Value& other) const;
 
   // Exact structural equality (type and payload), used by tests and maps.
   friend bool operator==(const Value& a, const Value& b);

@@ -1,0 +1,519 @@
+#!/usr/bin/env python3
+"""cdb_lint: fast, AST-free checker for CDB-specific repo invariants.
+
+These are the rules generic tools (compiler warnings, clang-tidy) cannot
+express because they encode *this* repo's determinism and error-handling
+contracts:
+
+  rng-outside-common      All randomness flows through src/common/random.*
+                          (seeded, stream-splittable cdb::Rng). Direct use of
+                          rand()/srand(), std::random_device, standard engines
+                          (mt19937, default_random_engine), or wall-clock
+                          time() as an entropy/seed source anywhere else makes
+                          runs irreproducible and breaks the bit-identical
+                          parallel==serial guarantee.
+
+  unordered-iteration     No range-for or iterator loops over
+                          std::unordered_{map,set,multimap,multiset} in the
+                          optimizer decision paths (src/cost, src/graph,
+                          src/latency, src/exec). Unordered iteration order is
+                          implementation- and seed-dependent; iterating it in
+                          a decision path silently reorders tie-breaks and
+                          changes which task order the optimizer picks.
+
+  naked-abort             std::abort()/abort() only inside src/common/. All
+                          other code must fail through CDB_CHECK* (which
+                          funnels into cdb::internal_logging::CheckFail) or
+                          return a Status, so every crash has a file:line and
+                          every recoverable error is visible to callers.
+
+  include-guard           Every header under src/ uses the canonical guard
+                          CDB_<DIR>_<FILE>_H_ (e.g. src/cost/sampling.h ->
+                          CDB_COST_SAMPLING_H_), keeping guards collision-free
+                          as directories grow.
+
+  cc-owned-by-cmake       Every .cc under src/ is listed in a CMake target in
+                          src/CMakeLists.txt. An orphaned .cc compiles in
+                          nobody's build and silently rots.
+
+Suppression: append  // cdb-lint: disable=<rule>  (with a reason) to the
+offending line. Suppressions without a rule name are invalid.
+
+Usage:
+  tools/cdb_lint.py [--repo-root DIR]   lint the repo, exit 1 on findings
+  tools/cdb_lint.py --self-test         run rule fixtures, exit 1 on failure
+
+Wired into ctest as `ctest -L lint` (see tools/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, Iterator, List, NamedTuple, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Framework
+# --------------------------------------------------------------------------
+
+
+class Finding(NamedTuple):
+    path: str  # repo-relative
+    line: int  # 1-based; 0 for file-level findings
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+SUPPRESS_RE = re.compile(r"//\s*cdb-lint:\s*disable=([\w-]+)")
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = SUPPRESS_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals.
+
+    Purely line-local (block comments spanning lines are handled by callers
+    passing pre-stripped text). Good enough for token-level rules; this is a
+    linter for invariants, not a parser.
+    """
+    out: List[str] = []
+    i, n = 0, len(line)
+    in_str: Optional[str] = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+                out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_code_lines(text: str) -> Iterator[Tuple[int, str, str]]:
+    """Yields (lineno, raw_line, code_line) with comments/strings stripped.
+
+    Handles /* */ block comments across lines.
+    """
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield lineno, raw, ""
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Strip any block comments that open (and maybe close) on this line.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " + line[end + 2:]
+        yield lineno, raw, strip_comments_and_strings(line)
+
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+
+def repo_files(root: str, subdirs: Tuple[str, ...]) -> List[str]:
+    out: List[str] = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(out)
+
+
+# --------------------------------------------------------------------------
+# Rule: rng-outside-common
+# --------------------------------------------------------------------------
+
+RNG_ALLOWED = ("src/common/random.h", "src/common/random.cc")
+RNG_PATTERNS = [
+    (re.compile(r"\bs?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "direct std::mt19937 engine"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(nullptr|NULL|0)?\s*\)"),
+     "wall-clock time() as entropy"),
+]
+
+
+def check_rng(path: str, text: str) -> List[Finding]:
+    if path.replace(os.sep, "/") in RNG_ALLOWED:
+        return []
+    findings = []
+    for lineno, raw, code in iter_code_lines(text):
+        for pattern, what in RNG_PATTERNS:
+            if pattern.search(code) and not suppressed(raw, "rng-outside-common"):
+                findings.append(Finding(
+                    path, lineno, "rng-outside-common",
+                    f"{what} outside src/common/random.*; use cdb::Rng so "
+                    "runs stay reproducible"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: unordered-iteration
+# --------------------------------------------------------------------------
+
+DECISION_DIRS = ("src/cost", "src/graph", "src/latency", "src/exec")
+
+# `for (auto& kv : container)` — capture the container expression.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:()]*:\s*([^){]+)\)")
+# `x.begin()` / `x.cbegin()` — iterator-loop entry points.
+BEGIN_CALL_RE = re.compile(r"([\w\.\->]+)\s*\.\s*c?begin\s*\(")
+
+
+def _unordered_names(text: str) -> set:
+    """Names of variables/members declared with an unordered container type.
+
+    Textual heuristic: a declaration line mentions unordered_xxx< and ends
+    with an identifier before ; = { or (. Tracks across the whole file, which
+    over-approximates scopes — acceptable for a determinism gate (false
+    positives are suppressible with a reasoned disable comment).
+    """
+    names = set()
+    decl_re = re.compile(
+        r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*&?\s*"
+        r"(\w+)\s*(?:[;={(]|$)")
+    for _lineno, _raw, code in iter_code_lines(text):
+        if "unordered_" not in code:
+            continue
+        for m in decl_re.finditer(code):
+            names.add(m.group(1))
+    return names
+
+
+def check_unordered_iteration(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not any(norm.startswith(d + "/") for d in DECISION_DIRS):
+        return []
+    findings = []
+    names = _unordered_names(text)
+    for lineno, raw, code in iter_code_lines(text):
+        if suppressed(raw, "unordered-iteration"):
+            continue
+        hit = None
+        m = RANGE_FOR_RE.search(code)
+        if m:
+            target = m.group(1).strip()
+            base = re.split(r"[.\-\[(]", target)[0].strip()
+            if "unordered_" in target or base in names:
+                hit = f"range-for over unordered container '{target}'"
+        if hit is None and "begin" in code:
+            b = BEGIN_CALL_RE.search(code)
+            if b:
+                base = re.split(r"[.\-\[(]", b.group(1))[0].strip()
+                if base in names:
+                    hit = (f"iterator loop over unordered container "
+                           f"'{b.group(1)}'")
+        if hit:
+            findings.append(Finding(
+                path, lineno, "unordered-iteration",
+                f"{hit} in an optimizer decision path; iteration order is "
+                "nondeterministic — iterate a sorted key list or an ordered "
+                "index instead"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: naked-abort
+# --------------------------------------------------------------------------
+
+
+def check_naked_abort(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not norm.startswith("src/") or norm.startswith("src/common/"):
+        return []
+    findings = []
+    abort_re = re.compile(r"(?:\bstd::|(?<![\w:.]))abort\s*\(")
+    for lineno, raw, code in iter_code_lines(text):
+        if abort_re.search(code) and not suppressed(raw, "naked-abort"):
+            findings.append(Finding(
+                path, lineno, "naked-abort",
+                "std::abort outside src/common/; fail through CDB_CHECK* or "
+                "return a Status so the crash carries context"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: include-guard
+# --------------------------------------------------------------------------
+
+
+def expected_guard(path: str) -> str:
+    norm = path.replace(os.sep, "/")
+    assert norm.startswith("src/") and norm.endswith(".h")
+    stem = norm[len("src/"):-len(".h")]
+    return "CDB_" + re.sub(r"[/.]", "_", stem).upper() + "_H_"
+
+
+IFNDEF_RE = re.compile(r"^\s*#ifndef\s+(\w+)", re.MULTILINE)
+DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)", re.MULTILINE)
+
+
+def check_include_guard(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not (norm.startswith("src/") and norm.endswith(".h")):
+        return []
+    want = expected_guard(path)
+    ifndef = IFNDEF_RE.search(text)
+    if not ifndef:
+        return [Finding(path, 0, "include-guard",
+                        f"missing include guard; expected #ifndef {want}")]
+    got = ifndef.group(1)
+    lineno = text[:ifndef.start()].count("\n") + 1
+    if got != want:
+        return [Finding(path, lineno, "include-guard",
+                        f"guard '{got}' does not match canonical '{want}'")]
+    define = DEFINE_RE.search(text, ifndef.end())
+    if not define or define.group(1) != want:
+        return [Finding(path, lineno, "include-guard",
+                        f"#ifndef {want} not followed by matching #define")]
+    return []
+
+
+# --------------------------------------------------------------------------
+# Rule: cc-owned-by-cmake
+# --------------------------------------------------------------------------
+
+
+def check_cmake_ownership(root: str) -> List[Finding]:
+    cmake_path = os.path.join(root, "src", "CMakeLists.txt")
+    try:
+        with open(cmake_path, encoding="utf-8") as f:
+            cmake = f.read()
+    except OSError:
+        return [Finding("src/CMakeLists.txt", 0, "cc-owned-by-cmake",
+                        "src/CMakeLists.txt is missing")]
+    listed = set(re.findall(r"([\w/\-]+\.cc)\b", cmake))
+    findings = []
+    for rel in repo_files(root, ("src",)):
+        norm = rel.replace(os.sep, "/")
+        if not norm.endswith(".cc"):
+            continue
+        in_src = norm[len("src/"):]
+        if in_src not in listed:
+            findings.append(Finding(
+                rel, 0, "cc-owned-by-cmake",
+                f"{in_src} is not listed in any target in src/CMakeLists.txt "
+                "— it is built by nothing"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
+    check_rng,
+    check_unordered_iteration,
+    check_naked_abort,
+    check_include_guard,
+]
+
+LINT_SUBDIRS = ("src", "tests", "bench", "examples")
+
+
+def lint_repo(root: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel in repo_files(root, LINT_SUBDIRS):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            findings.append(Finding(rel, 0, "io", f"unreadable: {e}"))
+            continue
+        for rule in PER_FILE_RULES:
+            findings.extend(rule(rel, text))
+    findings.extend(check_cmake_ownership(root))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test fixtures: for every rule, at least one snippet that must trigger
+# it (positive) and one that must not (negative). Run via --self-test; wired
+# into ctest as cdb_lint_selftest.
+# --------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (description, path, snippet, rule, expect_finding)
+    ("rand() in exec", "src/exec/foo.cc",
+     "int x = rand();\n", "rng-outside-common", True),
+    ("srand in bench", "bench/b.cc",
+     "srand(42);\n", "rng-outside-common", True),
+    ("random_device in tests", "tests/t.cc",
+     "std::random_device rd;\n", "rng-outside-common", True),
+    ("mt19937 outside common", "src/cost/c.cc",
+     "std::mt19937 gen(7);\n", "rng-outside-common", True),
+    ("time(nullptr) seed", "src/graph/g.cc",
+     "auto seed = time(nullptr);\n", "rng-outside-common", True),
+    ("allowed in common/random", "src/common/random.cc",
+     "std::mt19937_64 engine_;\n", "rng-outside-common", False),
+    ("Rng use is fine", "src/exec/foo.cc",
+     "double d = rng.Uniform01();\n", "rng-outside-common", False),
+    ("rand in comment ignored", "src/exec/foo.cc",
+     "// seeded, never rand()\n", "rng-outside-common", False),
+    ("rand in string ignored", "src/exec/foo.cc",
+     'const char* s = "rand()";\n', "rng-outside-common", False),
+    ("ElapsedTime() not time()", "src/exec/foo.cc",
+     "double t = ElapsedTime();\n", "rng-outside-common", False),
+    ("steady_clock fine", "bench/b.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "rng-outside-common", False),
+    ("suppressed with reason", "src/exec/foo.cc",
+     "int x = rand();  // cdb-lint: disable=rng-outside-common legacy shim\n",
+     "rng-outside-common", False),
+
+    ("range-for over unordered decl", "src/cost/c.cc",
+     "std::unordered_map<int, double> m;\n"
+     "for (const auto& kv : m) {\n}\n", "unordered-iteration", True),
+    ("range-for over inline unordered expr", "src/graph/g.cc",
+     "for (auto& v : state.unordered_set_of_ids()) {\n}\n",
+     "unordered-iteration", True),
+    ("iterator loop over unordered", "src/exec/e.cc",
+     "std::unordered_set<int> seen;\n"
+     "for (auto it = seen.begin(); it != seen.end(); ++it) {\n}\n",
+     "unordered-iteration", True),
+    ("range-for over vector fine", "src/cost/c.cc",
+     "std::vector<int> order;\nfor (int v : order) {\n}\n",
+     "unordered-iteration", False),
+    ("unordered lookup fine", "src/cost/c.cc",
+     "std::unordered_map<int, double> m;\n"
+     "auto it = m.find(3);\n", "unordered-iteration", False),
+    ("unordered iteration outside decision path", "src/storage/s.cc",
+     "std::unordered_map<int, int> m;\nfor (auto& kv : m) {\n}\n",
+     "unordered-iteration", False),
+    ("suppressed sorted-after loop", "src/latency/l.cc",
+     "std::unordered_map<int, int> m;\n"
+     "for (auto& kv : m) {  // cdb-lint: disable=unordered-iteration "
+     "keys sorted below\n}\n",
+     "unordered-iteration", False),
+
+    ("std::abort in exec", "src/exec/e.cc",
+     "if (bad) std::abort();\n", "naked-abort", True),
+    ("bare abort in graph", "src/graph/g.cc",
+     "abort();\n", "naked-abort", True),
+    ("abort fine in common", "src/common/logging.cc",
+     "std::abort();\n", "naked-abort", False),
+    ("CheckFail call fine", "src/exec/e.cc",
+     "::cdb::internal_logging::CheckFail(__FILE__, __LINE__, c, {});\n",
+     "naked-abort", False),
+    ("member .abort() fine", "src/exec/e.cc",
+     "controller.abort();\n", "naked-abort", False),
+    ("abort in tests out of scope", "tests/t.cc",
+     "std::abort();\n", "naked-abort", False),
+
+    ("canonical guard ok", "src/cost/sampling.h",
+     "#ifndef CDB_COST_SAMPLING_H_\n#define CDB_COST_SAMPLING_H_\n#endif\n",
+     "include-guard", False),
+    ("wrong guard name", "src/cost/sampling.h",
+     "#ifndef SAMPLING_H\n#define SAMPLING_H\n#endif\n",
+     "include-guard", True),
+    ("missing guard", "src/cost/sampling.h",
+     "int x;\n", "include-guard", True),
+    ("ifndef without matching define", "src/cost/sampling.h",
+     "#ifndef CDB_COST_SAMPLING_H_\n#define WRONG_H_\n#endif\n",
+     "include-guard", True),
+]
+
+
+def run_self_test() -> int:
+    failures = 0
+    for desc, path, snippet, rule, expect in SELF_TEST_CASES:
+        found = []
+        for check in PER_FILE_RULES:
+            found.extend(f for f in check(path, snippet) if f.rule == rule)
+        ok = bool(found) == expect
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failures += 1
+            detail = "; ".join(f.render() for f in found) or "no findings"
+            print(f"[{status}] {desc}: expected "
+                  f"{'a finding' if expect else 'no findings'}, got {detail}")
+        else:
+            print(f"[{status}] {desc}")
+
+    # cc-owned-by-cmake fixture: a fake repo in a temp dir with one orphan.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src", "util"))
+        with open(os.path.join(tmp, "src", "CMakeLists.txt"), "w",
+                  encoding="utf-8") as f:
+            f.write("add_library(x util/owned.cc)\n")
+        for name in ("owned.cc", "orphan.cc"):
+            with open(os.path.join(tmp, "src", "util", name), "w",
+                      encoding="utf-8") as f:
+                f.write("int v;\n")
+        got = check_cmake_ownership(tmp)
+        orphan_flagged = (len(got) == 1
+                          and got[0].path.endswith("orphan.cc")
+                          and got[0].rule == "cc-owned-by-cmake")
+        status = "PASS" if orphan_flagged else "FAIL"
+        if not orphan_flagged:
+            failures += 1
+        print(f"[{status}] cmake ownership flags only the orphan .cc")
+
+    total = len(SELF_TEST_CASES) + 1
+    print(f"self-test: {total - failures}/{total} cases passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in rule fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+
+    root = args.repo_root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = lint_repo(root)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"cdb_lint: {len(findings)} finding(s)")
+        return 1
+    print("cdb_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies every C++ file under src/, tests/,
+# bench/, examples/ matches .clang-format. Never rewrites files.
+#
+# Exit codes: 0 clean or clang-format unavailable (skipped with a notice);
+# 1 files need formatting.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FMT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "${FMT}" >/dev/null 2>&1; then
+  echo "check_format: ${FMT} not found on PATH; skipping (install" \
+       "clang-format, or set CLANG_FORMAT, to enable the format gate)" >&2
+  exit 0
+fi
+
+status=0
+while IFS= read -r f; do
+  if ! "${FMT}" --style=file --dry-run --Werror "${f}" 2>/dev/null; then
+    echo "check_format: needs formatting: ${f#"${ROOT}"/}"
+    status=1
+  fi
+done < <(find "${ROOT}/src" "${ROOT}/tests" "${ROOT}/bench" \
+              "${ROOT}/examples" \
+              -name '*.cc' -o -name '*.h' -o -name '*.cpp' | sort)
+
+if [ "${status}" -eq 0 ]; then
+  echo "check_format: clean"
+fi
+exit "${status}"

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Compile-fail probe for the [[nodiscard]] error-handling policy: a TU that
+# silently discards a Status or Result<T> must NOT compile under
+# -Werror=unused-result, and a TU that consumes them properly must. This is
+# the negative half of tests/status_nodiscard_test.cc (which, by compiling
+# under the repo-wide -Werror wall, is the positive half).
+#
+# Usage: tools/check_nodiscard.sh <c++-compiler> <src-include-dir>
+set -u -o pipefail
+
+CXX="${1:?usage: check_nodiscard.sh <c++-compiler> <src-include-dir>}"
+INC="${2:?usage: check_nodiscard.sh <c++-compiler> <src-include-dir>}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+cat > "${TMP}/discard.cc" <<'EOF'
+#include "common/status.h"
+cdb::Status MakeStatus();
+cdb::Result<int> MakeResult();
+void Discards() {
+  MakeStatus();  // discarded Status: must be a hard error
+  MakeResult();  // discarded Result: must be a hard error
+}
+EOF
+
+if "${CXX}" -std=c++20 -I"${INC}" -fsyntax-only -Werror=unused-result \
+    "${TMP}/discard.cc" 2> "${TMP}/discard.err"; then
+  echo "FAIL: a TU discarding Status/Result compiled cleanly —" \
+       "[[nodiscard]] is not firing" >&2
+  exit 1
+fi
+if ! grep -q 'nodiscard\|unused-result' "${TMP}/discard.err"; then
+  echo "FAIL: discard probe failed to compile, but not because of" \
+       "[[nodiscard]]:" >&2
+  cat "${TMP}/discard.err" >&2
+  exit 1
+fi
+
+cat > "${TMP}/consume.cc" <<'EOF'
+#include "common/status.h"
+cdb::Status MakeStatus();
+cdb::Result<int> MakeResult();
+cdb::Status Propagates() {
+  CDB_RETURN_IF_ERROR(MakeStatus());
+  CDB_ASSIGN_OR_RETURN(int v, MakeResult());
+  (void)v;
+  (void)MakeStatus();  // explicit, visible discard stays legal
+  return cdb::Status::Ok();
+}
+EOF
+
+if ! "${CXX}" -std=c++20 -I"${INC}" -fsyntax-only -Werror=unused-result \
+    "${TMP}/consume.cc" 2> "${TMP}/consume.err"; then
+  echo "FAIL: a TU consuming Status/Result through the sanctioned patterns" \
+       "did not compile:" >&2
+  cat "${TMP}/consume.err" >&2
+  exit 1
+fi
+
+echo "PASS: [[nodiscard]] on Status/Result fires under -Werror=unused-result"
+exit 0

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in the compile database.
+#
+# Usage: tools/run_tidy.sh [build-dir]   (default: ./build)
+#
+# Exit codes: 0 clean or clang-tidy unavailable (skipped with a notice, so
+# machines without LLVM — like the minimal CI image — do not hard-fail);
+# 1 findings; 2 usage/configuration error.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "run_tidy: ${TIDY} not found on PATH; skipping (install clang-tidy," \
+       "or set CLANG_TIDY, to enable the tidy wall)" >&2
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_tidy: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "  configure first: cmake -B ${BUILD_DIR} -S ${ROOT}" >&2
+  exit 2
+fi
+
+# Prefer the parallel runner that ships with LLVM; fall back to a serial
+# loop over the compile database so the script works with bare clang-tidy.
+RUNNER="${RUN_CLANG_TIDY:-run-clang-tidy}"
+if command -v "${RUNNER}" >/dev/null 2>&1; then
+  exec "${RUNNER}" -clang-tidy-binary "${TIDY}" -p "${BUILD_DIR}" -quiet \
+      "${ROOT}/(src|tests|bench|examples)/.*"
+fi
+
+status=0
+# compile_commands.json entries: one "file": "<abs path>" per TU.
+while IFS= read -r tu; do
+  case "${tu}" in
+    "${ROOT}"/src/*|"${ROOT}"/tests/*|"${ROOT}"/bench/*|"${ROOT}"/examples/*)
+      echo "== clang-tidy ${tu#"${ROOT}"/}"
+      "${TIDY}" -p "${BUILD_DIR}" --quiet "${tu}" || status=1
+      ;;
+  esac
+done < <(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' \
+             "${BUILD_DIR}/compile_commands.json" | sort -u)
+exit "${status}"
