@@ -15,6 +15,7 @@
 #include "cost/known_color.h"
 #include "cost/sampling.h"
 #include "cql/parser.h"
+#include "crowd/platform.h"
 #include "datagen/paper_dataset.h"
 #include "flow/min_cut.h"
 #include "graph/pruning.h"
@@ -180,6 +181,48 @@ void BM_EmTruthInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmTruthInference)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// --- Fault-layer overhead pair: the same crowd round with the fault
+// profile off (state.range(0) == 0, legacy clean loop) vs on (hostile
+// profile, tick-driven lease simulation). The clean member must stay within
+// a few percent of the pre-fault-layer simulator — FaultProfile::Active()
+// gates the whole lease machinery behind one branch. ---
+
+void BM_CrowdRound(benchmark::State& state) {
+  PlatformOptions options;
+  options.redundancy = 5;
+  options.num_workers = 50;
+  options.seed = 11;
+  if (state.range(0) == 1) {
+    options.fault.abandon_prob = 0.3;
+    options.fault.straggler_prob = 0.2;
+    options.fault.straggler_delay_ticks = 5;
+    options.fault.duplicate_prob = 0.1;
+    options.fault.no_show_prob = 0.2;
+    options.fault.task_deadline_ticks = 8;
+  }
+  TruthProvider truth = [](const Task&) {
+    TaskTruth t;
+    t.correct_choice = 0;
+    return t;
+  };
+  std::vector<Task> tasks;
+  for (int i = 0; i < 200; ++i) {
+    Task task;
+    task.id = i;
+    task.type = TaskType::kSingleChoice;
+    task.question = "match?";
+    task.choices = {"yes", "no"};
+    task.payload = i;
+    tasks.push_back(std::move(task));
+  }
+  for (auto _ : state) {
+    CrowdPlatform platform(options, truth);
+    benchmark::DoNotOptimize(platform.ExecuteRound(tasks).value());
+    benchmark::DoNotOptimize(platform.TakeLateAnswers());
+  }
+}
+BENCHMARK(BM_CrowdRound)->Arg(0)->Arg(1);
 
 void BM_SelectParallelRound(benchmark::State& state) {
   ResolvedQuery query = ThreeJoinQuery();

@@ -75,7 +75,7 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
     task.question = "budget-baseline pair check";
     task.choices = {"yes", "no"};
     task.payload = e;
-    std::vector<Answer> answers = platform.ExecuteRound({task});
+    std::vector<Answer> answers = platform.ExecuteRound({task}).value();
     for (const Answer& answer : answers) {
       observations.push_back(
           ChoiceObservation{answer.task, answer.worker, answer.choice});

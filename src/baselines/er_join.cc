@@ -149,7 +149,7 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
         task.payload = e;
         tasks.push_back(std::move(task));
       }
-      std::vector<Answer> answers = platform.ExecuteRound(tasks);
+      std::vector<Answer> answers = platform.ExecuteRound(tasks).value();
       // Majority voting is memoryless: infer from this round's answers only
       // (re-running over the full history made long ER runs quadratic).
       std::vector<ChoiceObservation> round_observations;

@@ -79,7 +79,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
       asked_edges.push_back(e);
     }
     if (!tasks.empty()) {
-      std::vector<Answer> answers = platform.ExecuteRound(tasks);
+      std::vector<Answer> answers = platform.ExecuteRound(tasks).value();
       for (const Answer& answer : answers) {
         observations.push_back(
             ChoiceObservation{answer.task, answer.worker, answer.choice});

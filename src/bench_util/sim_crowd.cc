@@ -1,0 +1,166 @@
+#include "bench_util/sim_crowd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <variant>
+
+#include "bench_util/metrics.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "graph/pruning.h"
+
+namespace cdb {
+namespace {
+
+void Violate(std::vector<std::string>* violations, std::string message) {
+  violations->push_back(std::move(message));
+}
+
+std::string FormatInt(const char* what, int64_t a, int64_t b) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%s: %lld vs %lld", what,
+                static_cast<long long>(a), static_cast<long long>(b));
+  return buffer;
+}
+
+}  // namespace
+
+Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
+  GeneratedDataset dataset = MakeMiniPaperExample();
+  CDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(kMiniExampleQuery));
+  CDB_ASSIGN_OR_RETURN(
+      ResolvedQuery query,
+      AnalyzeSelect(std::get<SelectStatement>(stmt), dataset.catalog));
+
+  ExecutorOptions options;
+  options.cost_method = config.cost_method;
+  options.quality_control = config.quality_control;
+  options.num_threads = config.num_threads;
+  options.budget = config.budget;
+  options.retry = config.retry;
+  options.platform.seed = config.seed;
+  options.platform.num_workers = config.num_workers;
+  options.platform.redundancy = config.redundancy;
+  options.platform.worker_quality_mean = config.worker_quality_mean;
+  options.platform.worker_quality_stddev = config.worker_quality_stddev;
+  options.platform.fault = config.fault;
+
+  EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+  CdbExecutor executor(&query, options, truth);
+  CDB_ASSIGN_OR_RETURN(ExecutionResult result, executor.Run());
+
+  SimCrowdReport report;
+  report.result = result;
+  const ExecutionStats& stats = result.stats;
+  const PlatformStats& ps = stats.platform;
+  report.stats_dump = PlatformStatsDump(ps);
+  std::vector<std::string>* v = &report.violations;
+
+  // Canonical edge-color dump (the graph's edge order is deterministic).
+  const QueryGraph& graph = executor.graph();
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    char line[32];
+    char c = graph.edge(e).color == EdgeColor::kBlue
+                 ? 'B'
+                 : graph.edge(e).color == EdgeColor::kRed ? 'R' : 'U';
+    std::snprintf(line, sizeof(line), "%d=%c\n", e, c);
+    report.color_dump += line;
+  }
+
+  // --- Termination: the executor must leave no valid edge uncolored.
+  // Budget mode legitimately stops early (Section 5.1.3 returns the best
+  // partial result), so the check applies only to unbounded runs. ---
+  if (!config.budget) {
+    Pruner pruner(const_cast<QueryGraph*>(&graph));
+    if (!pruner.RemainingTasks().empty()) {
+      Violate(v,
+              FormatInt("uncolored valid edges remain",
+                        static_cast<int64_t>(pruner.RemainingTasks().size()),
+                        0));
+    }
+  }
+
+  // --- No double-spend: pricing is a pure function of HITs. ---
+  double expected_dollars =
+      static_cast<double>(ps.hits_published) * options.platform.price_per_hit;
+  if (std::abs(ps.dollars_spent - expected_dollars) > 1e-9) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "double-spend: dollars_spent %.6f != hits %lld * price %.6f",
+                  ps.dollars_spent, static_cast<long long>(ps.hits_published),
+                  options.platform.price_per_hit);
+    Violate(v, buffer);
+  }
+
+  // --- Lease conservation (fault layer only; the clean path leases
+  // nothing). Every granted lease is settled exactly once: an on-time
+  // non-duplicate delivery, an abandonment, or a late delivery. ---
+  if (config.fault.Active()) {
+    int64_t settled =
+        (ps.answers_collected - ps.duplicates) + ps.abandons + ps.late_answers;
+    if (ps.leases_granted != settled) {
+      Violate(v, FormatInt("lease conservation: granted vs settled",
+                           ps.leases_granted, settled));
+    }
+    if (ps.expiries > ps.abandons + ps.late_answers) {
+      Violate(v, FormatInt("expiries exceed abandons + late answers",
+                           ps.expiries, ps.abandons + ps.late_answers));
+    }
+    if (ps.dead_lettered < static_cast<int64_t>(0)) {
+      Violate(v, FormatInt("negative dead-letter count", ps.dead_lettered, 0));
+    }
+  }
+
+  // --- Redundancy floor: every asked task must have reached the effective
+  // redundancy unless the executor explicitly recorded it as starved (the
+  // retry budget ran out) or never retried at all. ---
+  if (config.retry.enabled) {
+    int64_t floor = std::min(static_cast<int64_t>(config.redundancy),
+                             static_cast<int64_t>(config.num_workers));
+    for (const auto& [task, count] : stats.unique_answers_per_task) {
+      if (task < 0) continue;  // Golden warm-up tasks.
+      bool starved =
+          std::find(stats.starved_task_ids.begin(),
+                    stats.starved_task_ids.end(),
+                    task) != stats.starved_task_ids.end();
+      if (!starved && count < floor) {
+        Violate(v, FormatInt("task below effective redundancy", task, count));
+      }
+    }
+  }
+
+  // --- Budget bounds: published tasks (first posts + reposts) and dollars
+  // never exceed the task budget. Golden warm-up tasks are outside it. ---
+  if (config.budget) {
+    int64_t cap = *config.budget;
+    if (ps.tasks_published > cap) {
+      Violate(v, FormatInt("tasks published exceed budget", ps.tasks_published,
+                           cap));
+    }
+    double dollar_cap =
+        static_cast<double>(cap) * options.platform.price_per_hit;
+    if (ps.dollars_spent > dollar_cap + 1e-9) {
+      char buffer[160];
+      std::snprintf(buffer, sizeof(buffer),
+                    "dollars %.6f exceed budget cap %.6f", ps.dollars_spent,
+                    dollar_cap);
+      Violate(v, buffer);
+    }
+  }
+
+  // --- Answer accounting: the executor's observation counts can never
+  // exceed what the platform says it delivered. ---
+  int64_t unique_total = 0;
+  for (const auto& [task, count] : stats.unique_answers_per_task) {
+    unique_total += count;
+  }
+  if (unique_total > ps.answers_collected + ps.late_answers) {
+    Violate(v, FormatInt("unique observations exceed deliveries", unique_total,
+                         ps.answers_collected + ps.late_answers));
+  }
+
+  return report;
+}
+
+}  // namespace cdb

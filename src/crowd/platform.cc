@@ -2,10 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "common/logging.h"
 
 namespace cdb {
+namespace {
+
+// Salts separating the fault-schedule Rng streams from every other consumer
+// of the platform seed. Fault draws are pure functions of (seed, counter), so
+// a given seed's fault schedule is bit-identical no matter what else runs.
+constexpr uint64_t kLeaseFaultSalt = 0xfa1716c0de5a1dULL;
+constexpr uint64_t kNoShowSalt = 0x0a05b0a7d5a17e2dULL;
+
+constexpr int64_t kNeverTick = std::numeric_limits<int64_t>::max();
+
+}  // namespace
+
+std::string PlatformStatsDump(const PlatformStats& stats) {
+  char dollars[64];
+  std::snprintf(dollars, sizeof(dollars), "%.6f", stats.dollars_spent);
+  std::string out;
+  auto line = [&out](const char* key, int64_t value) {
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("tasks_published", stats.tasks_published);
+  line("answers_collected", stats.answers_collected);
+  line("hits_published", stats.hits_published);
+  out += "dollars_spent=";
+  out += dollars;
+  out += '\n';
+  line("ticks", stats.ticks);
+  line("leases_granted", stats.leases_granted);
+  line("no_shows", stats.no_shows);
+  line("abandons", stats.abandons);
+  line("expiries", stats.expiries);
+  line("reposts", stats.reposts);
+  line("dead_lettered", stats.dead_lettered);
+  line("late_answers", stats.late_answers);
+  line("duplicates", stats.duplicates);
+  return out;
+}
 
 CrowdPlatform::CrowdPlatform(const PlatformOptions& options, TruthProvider truth)
     : options_(options), truth_(std::move(truth)), rng_(options.seed) {
@@ -15,23 +56,55 @@ CrowdPlatform::CrowdPlatform(const PlatformOptions& options, TruthProvider truth
                             options_.worker_quality_stddev, rng_);
 }
 
-std::vector<Answer> CrowdPlatform::ExecuteRound(const std::vector<Task>& tasks,
-                                                const AssignmentPolicy* policy,
-                                                const AnswerObserver* observer) {
-  std::vector<Answer> answers;
-  if (tasks.empty()) return answers;
+int CrowdPlatform::EffectiveRedundancy(const Task& task) const {
+  int want = task.redundancy_override > 0 ? task.redundancy_override
+                                          : options_.redundancy;
+  return std::min(want, static_cast<int>(workers_.size()));
+}
 
-  stats_.tasks_published += static_cast<int64_t>(tasks.size());
-  int64_t hits = (static_cast<int64_t>(tasks.size()) + options_.tasks_per_hit - 1) /
-                 options_.tasks_per_hit;
+void CrowdPlatform::ChargeForTasks(int64_t num_tasks) {
+  stats_.tasks_published += num_tasks;
+  int64_t hits =
+      (num_tasks + options_.tasks_per_hit - 1) / options_.tasks_per_hit;
   stats_.hits_published += hits;
   stats_.dollars_spent += static_cast<double>(hits) * options_.price_per_hit;
+}
 
-  const int redundancy =
-      std::min(options_.redundancy, static_cast<int>(workers_.size()));
-  std::vector<int> need(tasks.size(), redundancy);
+Result<std::vector<Answer>> CrowdPlatform::ExecuteRound(
+    const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+    const AnswerObserver* observer) {
+  if (tasks.empty()) return std::vector<Answer>();
+  const FaultProfile& fault = options_.fault;
+  if (fault.Active()) {
+    if ((fault.abandon_prob > 0.0 || fault.straggler_prob > 0.0) &&
+        fault.task_deadline_ticks <= 0) {
+      return Status::InvalidArgument(
+          "FaultProfile: abandon/straggler faults require a positive "
+          "task_deadline_ticks, or expired leases would never be reposted");
+    }
+    if (fault.straggler_prob > 0.0 && fault.straggler_delay_ticks <= 0) {
+      return Status::InvalidArgument(
+          "FaultProfile: straggler_prob > 0 requires straggler_delay_ticks "
+          ">= 1");
+    }
+    return FaultyRound(tasks, policy, observer);
+  }
+  return CleanRound(tasks, policy, observer);
+}
+
+Result<std::vector<Answer>> CrowdPlatform::CleanRound(
+    const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+    const AnswerObserver* observer) {
+  std::vector<Answer> answers;
+  ChargeForTasks(static_cast<int64_t>(tasks.size()));
+
+  std::vector<int> need(tasks.size());
+  int64_t remaining = 0;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    need[ti] = EffectiveRedundancy(tasks[ti]);
+    remaining += need[ti];
+  }
   std::vector<std::vector<int>> answered_by(tasks.size());
-  int64_t remaining = static_cast<int64_t>(tasks.size()) * redundancy;
 
   const bool use_policy =
       policy != nullptr && options_.requester_controls_assignment;
@@ -77,26 +150,313 @@ std::vector<Answer> CrowdPlatform::ExecuteRound(const std::vector<Task>& tasks,
       cursor = (cursor + options_.tasks_per_request) % tasks.size();
     }
 
-    if (chosen.empty()) {
-      // This worker has nothing left; guard against livelock when every
-      // remaining task was already answered by every worker.
-      if (++idle_arrivals > static_cast<int64_t>(workers_.size()) * 4) break;
-      continue;
-    }
-    idle_arrivals = 0;
-
+    bool progressed = false;
     for (size_t ti : chosen) {
       if (need[ti] <= 0 || worker_did(ti)) continue;
       Answer answer = worker.AnswerTask(tasks[ti], truth_(tasks[ti]), rng_);
+      answer.tick = tick_;
       answered_by[ti].push_back(worker.id());
       --need[ti];
       --remaining;
       ++stats_.answers_collected;
+      progressed = true;
       if (observer != nullptr) (*observer)(answer);
       answers.push_back(std::move(answer));
     }
+
+    if (progressed) {
+      idle_arrivals = 0;
+      continue;
+    }
+    // No answer was recorded this arrival — either the worker had nothing
+    // left or the policy kept picking tasks the worker already answered.
+    // Before this guard covered only empty picks, so a policy repeatedly
+    // returning already-answered tasks spun forever; now sustained
+    // no-progress is a typed error instead of a livelock or a silent
+    // partial round.
+    if (++idle_arrivals > static_cast<int64_t>(workers_.size()) * 4) {
+      int64_t unmet = 0;
+      for (int n : need) unmet += n > 0 ? 1 : 0;
+      return Status::FailedPrecondition(
+          "crowd exhausted: " + std::to_string(unmet) + " of " +
+          std::to_string(tasks.size()) +
+          " tasks still need answers but no arriving worker can make "
+          "progress");
+    }
   }
   return answers;
+}
+
+Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
+    const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+    const AnswerObserver* observer) {
+  std::vector<Answer> answers;
+  ChargeForTasks(static_cast<int64_t>(tasks.size()));
+  const FaultProfile& fault = options_.fault;
+
+  struct TaskState {
+    int need = 0;         // Answers still wanted.
+    int outstanding = 0;  // Active leases not yet delivered/expired.
+    int expiries = 0;     // Expired leases so far (dead-letter cap input).
+    bool dead = false;
+    std::vector<int> attempted;  // Workers that ever leased this task.
+  };
+  // A lease either delivers on time, delivers late, or is abandoned; the
+  // fate plus any straggler delay are drawn once at grant time from the
+  // lease's own (seed, lease_seq) Rng stream.
+  struct Lease {
+    size_t ti = 0;
+    int64_t deadline = kNeverTick;
+    int64_t deliver_tick = kNeverTick;  // kNeverTick = abandoned.
+    bool duplicate = false;
+    bool expired = false;
+    bool settled = false;  // Delivered (on time or late).
+    Answer answer;
+  };
+
+  std::vector<TaskState> state(tasks.size());
+  int64_t unresolved = 0;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    state[ti].need = EffectiveRedundancy(tasks[ti]);
+    unresolved += state[ti].need > 0 ? 1 : 0;
+  }
+  std::vector<Lease> leases;
+  // (tick -> lease index) queues, processed in deterministic order.
+  std::multimap<int64_t, size_t> deliveries;
+  std::multimap<int64_t, size_t> expiries;
+
+  const bool use_policy =
+      policy != nullptr && options_.requester_controls_assignment;
+  size_t cursor = 0;
+  int64_t idle_arrivals = 0;
+
+  auto resolve_task = [&](size_t ti) {
+    if (state[ti].need <= 0 && !state[ti].dead) --unresolved;
+  };
+  auto dead_letter_task = [&](size_t ti) {
+    if (state[ti].dead || state[ti].need <= 0) return;
+    state[ti].dead = true;
+    dead_letter_.push_back(tasks[ti].id);
+    ++stats_.dead_lettered;
+    --unresolved;
+  };
+  auto deliver = [&](Lease& lease, bool on_time) {
+    lease.settled = true;
+    Answer answer = lease.answer;
+    answer.tick = tick_;
+    if (on_time) {
+      --state[lease.ti].need;
+      ++delivered_per_task_[answer.task];
+      ++stats_.answers_collected;
+      if (observer != nullptr) (*observer)(answer);
+      answers.push_back(answer);
+      if (lease.duplicate) {
+        // Platform glitch: the same assignment is delivered twice; the
+        // requester must de-duplicate by (task, worker).
+        ++stats_.duplicates;
+        ++stats_.answers_collected;
+        if (observer != nullptr) (*observer)(answer);
+        answers.push_back(answer);
+      }
+      resolve_task(lease.ti);
+    } else {
+      answer.late = true;
+      ++stats_.late_answers;
+      late_answers_.push_back(std::move(answer));
+    }
+  };
+
+  while (unresolved > 0 || !deliveries.empty()) {
+    ++tick_;
+    ++stats_.ticks;
+
+    // 1. Expire leases whose deadline has passed without delivery. The slot
+    // returns to the pool (a platform-side repost) until the task hits the
+    // dead-letter cap.
+    while (!expiries.empty() && expiries.begin()->first < tick_) {
+      Lease& lease = leases[expiries.begin()->second];
+      expiries.erase(expiries.begin());
+      if (lease.settled || lease.expired) continue;
+      lease.expired = true;
+      TaskState& ts = state[lease.ti];
+      --ts.outstanding;
+      ++ts.expiries;
+      ++stats_.expiries;
+      if (lease.deliver_tick == kNeverTick) ++stats_.abandons;
+      if (!ts.dead && ts.need > 0) {
+        if (ts.expiries > fault.max_task_expiries) {
+          dead_letter_task(lease.ti);
+        } else {
+          ++stats_.reposts;
+        }
+      }
+    }
+
+    // 2. Deliver answers due this tick. A delivery is on time iff its lease
+    // has not expired and its task still wants answers; otherwise it goes to
+    // the late buffer.
+    while (!deliveries.empty() && deliveries.begin()->first <= tick_) {
+      Lease& lease = leases[deliveries.begin()->second];
+      deliveries.erase(deliveries.begin());
+      if (lease.settled) continue;
+      TaskState& ts = state[lease.ti];
+      bool on_time = !lease.expired && !ts.dead && ts.need > 0;
+      if (!lease.expired) --ts.outstanding;
+      deliver(lease, on_time);
+      idle_arrivals = 0;
+    }
+
+    if (unresolved == 0) continue;  // Drain remaining in-flight deliveries.
+
+    // 3. Starvation check: a task with open slots that every worker has
+    // already attempted can never complete — dead-letter it now.
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      TaskState& ts = state[ti];
+      if (!ts.dead && ts.need > ts.outstanding &&
+          ts.attempted.size() >= workers_.size()) {
+        dead_letter_task(ti);
+      }
+    }
+    if (unresolved == 0) continue;
+
+    // 4. One worker arrival per tick.
+    const SimulatedWorker& worker = workers_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(workers_.size()) - 1))];
+    if (Rng(options_.seed ^ kNoShowSalt, static_cast<uint64_t>(tick_))
+            .Bernoulli(fault.no_show_prob)) {
+      ++stats_.no_shows;
+      ++idle_arrivals;
+      continue;
+    }
+    auto worker_attempted = [&](size_t ti) {
+      return std::find(state[ti].attempted.begin(), state[ti].attempted.end(),
+                       worker.id()) != state[ti].attempted.end();
+    };
+    auto leasable = [&](size_t ti) {
+      return !state[ti].dead && state[ti].need > state[ti].outstanding &&
+             !worker_attempted(ti);
+    };
+
+    std::vector<size_t> chosen;
+    if (use_policy) {
+      std::vector<TaskId> available_ids;
+      std::vector<size_t> available_idx;
+      for (size_t ti = 0; ti < tasks.size(); ++ti) {
+        if (leasable(ti)) {
+          available_ids.push_back(tasks[ti].id);
+          available_idx.push_back(ti);
+        }
+      }
+      if (!available_ids.empty()) {
+        std::vector<size_t> picks =
+            (*policy)(worker, available_ids, options_.tasks_per_request);
+        for (size_t p : picks) {
+          CDB_CHECK(p < available_idx.size());
+          chosen.push_back(available_idx[p]);
+        }
+      }
+    } else {
+      for (size_t step = 0;
+           step < tasks.size() &&
+           chosen.size() < static_cast<size_t>(options_.tasks_per_request);
+           ++step) {
+        size_t ti = (cursor + step) % tasks.size();
+        if (leasable(ti)) chosen.push_back(ti);
+      }
+      cursor = (cursor + options_.tasks_per_request) % tasks.size();
+    }
+
+    bool granted = false;
+    for (size_t ti : chosen) {
+      if (!leasable(ti)) continue;
+      TaskState& ts = state[ti];
+      ts.attempted.push_back(worker.id());
+      ++stats_.leases_granted;
+      ++lease_seq_;
+      granted = true;
+
+      // The lease's fate comes from its own Rng stream: a pure function of
+      // (platform seed, lease sequence number).
+      Rng fault_rng(options_.seed ^ kLeaseFaultSalt,
+                    static_cast<uint64_t>(lease_seq_));
+      bool abandoned = fault_rng.Bernoulli(fault.abandon_prob);
+      int64_t delay = 0;
+      if (!abandoned && fault_rng.Bernoulli(fault.straggler_prob)) {
+        delay = fault_rng.UniformInt(1, 2 * fault.straggler_delay_ticks);
+      }
+      bool duplicate = !abandoned && fault_rng.Bernoulli(fault.duplicate_prob);
+
+      Lease lease;
+      lease.ti = ti;
+      lease.deadline = fault.task_deadline_ticks > 0
+                           ? tick_ + fault.task_deadline_ticks
+                           : kNeverTick;
+      lease.duplicate = duplicate;
+      if (abandoned) {
+        lease.deliver_tick = kNeverTick;
+        ++ts.outstanding;
+        leases.push_back(std::move(lease));
+        expiries.insert({leases.back().deadline, leases.size() - 1});
+        continue;
+      }
+      lease.answer = worker.AnswerTask(tasks[ti], truth_(tasks[ti]), rng_);
+      lease.deliver_tick = tick_ + delay;
+      if (delay == 0) {
+        leases.push_back(std::move(lease));
+        deliver(leases.back(), /*on_time=*/true);
+      } else {
+        ++ts.outstanding;
+        leases.push_back(std::move(lease));
+        deliveries.insert({leases.back().deliver_tick, leases.size() - 1});
+        if (leases.back().deadline != kNeverTick) {
+          expiries.insert({leases.back().deadline, leases.size() - 1});
+        }
+      }
+    }
+
+    if (granted) {
+      idle_arrivals = 0;
+    } else if (++idle_arrivals >
+                   static_cast<int64_t>(workers_.size()) * 8 &&
+               deliveries.empty()) {
+      // Sustained no-progress (e.g. a policy that never picks a leasable
+      // task) with nothing in flight: give the remaining tasks up to the
+      // dead-letter queue instead of spinning. The requester's retry policy
+      // decides whether to repost them.
+      for (size_t ti = 0; ti < tasks.size(); ++ti) dead_letter_task(ti);
+    }
+  }
+
+  // Drain: abandoned leases still active when the round resolves would have
+  // expired eventually; settle them now so the conservation law
+  // (leases == on-time + late + abandons) holds at every round boundary.
+  for (Lease& lease : leases) {
+    if (lease.settled || lease.expired) continue;
+    CDB_CHECK(lease.deliver_tick == kNeverTick);
+    lease.expired = true;
+    --state[lease.ti].outstanding;
+    ++stats_.expiries;
+    ++stats_.abandons;
+  }
+  return answers;
+}
+
+std::vector<Answer> CrowdPlatform::TakeLateAnswers() {
+  std::vector<Answer> out;
+  out.swap(late_answers_);
+  return out;
+}
+
+std::vector<TaskId> CrowdPlatform::TakeDeadLetters() {
+  std::vector<TaskId> out;
+  out.swap(dead_letter_);
+  return out;
+}
+
+void CrowdPlatform::AdvanceTicks(int64_t ticks) {
+  CDB_CHECK(ticks >= 0);
+  tick_ += ticks;
+  stats_.ticks += ticks;
 }
 
 MultiMarket::MultiMarket(std::vector<PlatformOptions> markets,
@@ -108,9 +468,9 @@ MultiMarket::MultiMarket(std::vector<PlatformOptions> markets,
   }
 }
 
-std::vector<Answer> MultiMarket::ExecuteRound(const std::vector<Task>& tasks,
-                                              const AssignmentPolicy* policy,
-                                              const AnswerObserver* observer) {
+Result<std::vector<Answer>> MultiMarket::ExecuteRound(
+    const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+    const AnswerObserver* observer) {
   // Partition tasks round-robin across markets and merge the answers with
   // per-market worker-id offsets.
   std::vector<std::vector<Task>> partitions(platforms_.size());
@@ -127,8 +487,11 @@ std::vector<Answer> MultiMarket::ExecuteRound(const std::vector<Task>& tasks,
         (*observer)(shifted);
       }
     };
-    std::vector<Answer> part = platforms_[m].ExecuteRound(
-        partitions[m], policy, observer != nullptr ? &offset_observer : nullptr);
+    CDB_ASSIGN_OR_RETURN(
+        std::vector<Answer> part,
+        platforms_[m].ExecuteRound(
+            partitions[m], policy,
+            observer != nullptr ? &offset_observer : nullptr));
     for (Answer& a : part) {
       a.worker += offset;
       merged.push_back(std::move(a));
@@ -137,13 +500,48 @@ std::vector<Answer> MultiMarket::ExecuteRound(const std::vector<Task>& tasks,
   return merged;
 }
 
+std::vector<Answer> MultiMarket::TakeLateAnswers() {
+  std::vector<Answer> merged;
+  for (size_t m = 0; m < platforms_.size(); ++m) {
+    const int offset = worker_id_offset(m);
+    for (Answer& a : platforms_[m].TakeLateAnswers()) {
+      a.worker += offset;
+      merged.push_back(std::move(a));
+    }
+  }
+  return merged;
+}
+
+std::vector<TaskId> MultiMarket::TakeDeadLetters() {
+  std::vector<TaskId> merged;
+  for (CrowdPlatform& platform : platforms_) {
+    for (TaskId id : platform.TakeDeadLetters()) merged.push_back(id);
+  }
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+void MultiMarket::AdvanceTicks(int64_t ticks) {
+  for (CrowdPlatform& platform : platforms_) platform.AdvanceTicks(ticks);
+}
+
 PlatformStats MultiMarket::CombinedStats() const {
   PlatformStats total;
   for (const CrowdPlatform& platform : platforms_) {
-    total.tasks_published += platform.stats().tasks_published;
-    total.answers_collected += platform.stats().answers_collected;
-    total.hits_published += platform.stats().hits_published;
-    total.dollars_spent += platform.stats().dollars_spent;
+    const PlatformStats& s = platform.stats();
+    total.tasks_published += s.tasks_published;
+    total.answers_collected += s.answers_collected;
+    total.hits_published += s.hits_published;
+    total.dollars_spent += s.dollars_spent;
+    total.ticks += s.ticks;
+    total.leases_granted += s.leases_granted;
+    total.no_shows += s.no_shows;
+    total.abandons += s.abandons;
+    total.expiries += s.expiries;
+    total.reposts += s.reposts;
+    total.dead_lettered += s.dead_lettered;
+    total.late_answers += s.late_answers;
+    total.duplicates += s.duplicates;
   }
   return total;
 }

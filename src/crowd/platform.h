@@ -7,18 +7,62 @@
 // model) an AssignmentPolicy picks which tasks each arriving worker gets —
 // this is where CDB+'s online task assignment plugs in; in
 // platform-controlled mode (CrowdFlower) tasks are handed out round-robin.
+//
+// Fault layer: a FaultProfile turns the fair-weather simulator into an
+// unreliable crowd — workers abandon leased tasks, straggle past deadlines,
+// no-show on arrival, and answers get duplicated or delivered late. Tasks are
+// leased with a per-task deadline; expired leases are reposted by the
+// platform up to a cap, after which the task lands in a dead-letter queue for
+// the requester to handle (see ExecutorOptions::retry). Every fault decision
+// is drawn from a cdb::Rng stream split off (seed, counter) alone, so the
+// fault schedule of a given seed is bit-identical across runs and across the
+// executor's thread counts.
 #ifndef CDB_CROWD_PLATFORM_H_
 #define CDB_CROWD_PLATFORM_H_
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "crowd/task.h"
 #include "crowd/worker.h"
 
 namespace cdb {
+
+// Unreliability knobs, all off by default (the clean simulator). Probabilities
+// are per-lease (abandon/straggle/duplicate) or per-arrival (no-show). See
+// README's fault-model table for the paper-deployment analogue of each knob.
+struct FaultProfile {
+  // Probability an arriving worker browses the task list but takes nothing.
+  double no_show_prob = 0.0;
+  // Probability a worker who leased a task never submits an answer; the lease
+  // expires after `task_deadline_ticks` and the platform reposts the slot.
+  double abandon_prob = 0.0;
+  // Probability an answer is delayed. The delay is drawn uniformly from
+  // [1, 2 * straggler_delay_ticks] virtual ticks; if it pushes delivery past
+  // the lease deadline the answer arrives late (out of band).
+  double straggler_prob = 0.0;
+  int64_t straggler_delay_ticks = 4;
+  // Probability an on-time answer is delivered twice (platform-side glitch;
+  // requesters must de-duplicate by (task, worker)).
+  double duplicate_prob = 0.0;
+  // Lease length in virtual ticks (one worker arrival per tick). Must be > 0
+  // whenever any fault probability is, or abandoned leases would never free
+  // their slot.
+  int64_t task_deadline_ticks = 0;
+  // Platform-side repost cap: after this many expired leases a task is
+  // dead-lettered and the round stops waiting for it.
+  int max_task_expiries = 4;
+
+  // True when any knob deviates from the clean simulator.
+  [[nodiscard]] bool Active() const {
+    return no_show_prob > 0.0 || abandon_prob > 0.0 || straggler_prob > 0.0 ||
+           duplicate_prob > 0.0 || task_deadline_ticks > 0;
+  }
+};
 
 struct PlatformOptions {
   std::string market_name = "SimAMT";
@@ -31,6 +75,7 @@ struct PlatformOptions {
   int tasks_per_request = 5;           // Tasks a worker takes per arrival.
   bool requester_controls_assignment = true;
   uint64_t seed = 42;
+  FaultProfile fault;
 };
 
 // Chooses up to `count` tasks (indexes into `available`) for the arriving
@@ -47,13 +92,33 @@ using AnswerObserver = std::function<void(const Answer&)>;
 // Supplies ground truth for a task when a worker answers it.
 using TruthProvider = std::function<TaskTruth(const Task&)>;
 
-// Accumulated accounting across rounds.
+// Accumulated accounting across rounds. With faults enabled the counters obey
+// the conservation law checked by the DST harness:
+//   leases_granted == (answers_collected - duplicates) + abandons
+//                     + late_answers
+// (every lease delivers on time, delivers late, or is abandoned), and
+//   expiries <= abandons + late_answers,
+//   dollars_spent == hits_published * price_per_hit (no double-spend).
 struct PlatformStats {
   int64_t tasks_published = 0;
-  int64_t answers_collected = 0;
+  int64_t answers_collected = 0;  // On-time deliveries, duplicates included.
   int64_t hits_published = 0;
   double dollars_spent = 0.0;
+  // Fault-layer counters (all zero with the clean simulator).
+  int64_t ticks = 0;             // Virtual clock advanced so far.
+  int64_t leases_granted = 0;    // Task slots handed to workers.
+  int64_t no_shows = 0;          // Arrivals that took nothing.
+  int64_t abandons = 0;          // Leases that never produced an answer.
+  int64_t expiries = 0;          // Leases whose deadline passed undelivered.
+  int64_t reposts = 0;           // Expired slots returned to the pool.
+  int64_t dead_lettered = 0;     // Tasks given up on by the platform.
+  int64_t late_answers = 0;      // Answers delivered out of band.
+  int64_t duplicates = 0;        // Extra copies of on-time answers.
 };
+
+// Canonical byte dump of the stats, one `key=value` per line; the seeded
+// determinism tests compare these byte-for-byte across runs/thread counts.
+std::string PlatformStatsDump(const PlatformStats& stats);
 
 class CrowdPlatform {
  public:
@@ -62,10 +127,32 @@ class CrowdPlatform {
   // Publishes `tasks` and simulates worker arrivals until each task has
   // `redundancy` answers (capped by the number of distinct workers). The
   // policy is consulted only in requester-controlled mode; pass nullptr for
-  // the default (round-robin by need). Returns all answers of this round.
-  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
-                                   const AssignmentPolicy* policy = nullptr,
-                                   const AnswerObserver* observer = nullptr);
+  // the default (round-robin by need). Returns the on-time answers of this
+  // round (late answers accumulate in TakeLateAnswers, tasks the platform
+  // gave up on in TakeDeadLetters). Fails with kFailedPrecondition when the
+  // worker pool is exhausted but redundancy is unmet and faults are off (with
+  // faults on, such tasks are dead-lettered instead), and with
+  // kInvalidArgument for an unsatisfiable FaultProfile.
+  Result<std::vector<Answer>> ExecuteRound(
+      const std::vector<Task>& tasks, const AssignmentPolicy* policy = nullptr,
+      const AnswerObserver* observer = nullptr);
+
+  // Drains answers that arrived after their lease expired or their task was
+  // already resolved. The requester reconciles these into quality control.
+  std::vector<Answer> TakeLateAnswers();
+
+  // Drains the dead-letter queue: tasks the platform stopped reposting.
+  std::vector<TaskId> TakeDeadLetters();
+
+  // Advances the virtual clock without simulating arrivals — the requester's
+  // retry backoff "waits" this many ticks.
+  void AdvanceTicks(int64_t ticks);
+
+  // Cumulative on-time (non-duplicate) deliveries per task across rounds;
+  // ordered map so iteration is deterministic for invariant checks.
+  const std::map<TaskId, int64_t>& delivered_per_task() const {
+    return delivered_per_task_;
+  }
 
   const std::vector<SimulatedWorker>& workers() const { return workers_; }
   const PlatformStats& stats() const { return stats_; }
@@ -73,11 +160,28 @@ class CrowdPlatform {
   Rng& rng() { return rng_; }
 
  private:
+  // The pre-fault simulation loop: every leased task is answered immediately.
+  Result<std::vector<Answer>> CleanRound(const std::vector<Task>& tasks,
+                                         const AssignmentPolicy* policy,
+                                         const AnswerObserver* observer);
+  // The tick-driven lease/expiry/dead-letter simulation used when
+  // options_.fault.Active().
+  Result<std::vector<Answer>> FaultyRound(const std::vector<Task>& tasks,
+                                          const AssignmentPolicy* policy,
+                                          const AnswerObserver* observer);
+  int EffectiveRedundancy(const Task& task) const;
+  void ChargeForTasks(int64_t num_tasks);
+
   PlatformOptions options_;
   TruthProvider truth_;
   Rng rng_;
   std::vector<SimulatedWorker> workers_;
   PlatformStats stats_;
+  int64_t tick_ = 0;       // Virtual clock; persists across rounds.
+  int64_t lease_seq_ = 0;  // Stream index for per-lease fault draws.
+  std::vector<Answer> late_answers_;
+  std::vector<TaskId> dead_letter_;
+  std::map<TaskId, int64_t> delivered_per_task_;
 };
 
 // Cross-market deployment (Section 2.2 "task deployment"): a set of
@@ -87,9 +191,14 @@ class MultiMarket {
  public:
   explicit MultiMarket(std::vector<PlatformOptions> markets, TruthProvider truth);
 
-  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
-                                   const AssignmentPolicy* policy = nullptr,
-                                   const AnswerObserver* observer = nullptr);
+  Result<std::vector<Answer>> ExecuteRound(
+      const std::vector<Task>& tasks, const AssignmentPolicy* policy = nullptr,
+      const AnswerObserver* observer = nullptr);
+
+  // Fault-layer passthroughs, merged across markets (worker ids offset).
+  std::vector<Answer> TakeLateAnswers();
+  std::vector<TaskId> TakeDeadLetters();
+  void AdvanceTicks(int64_t ticks);
 
   const std::vector<CrowdPlatform>& platforms() const { return platforms_; }
   PlatformStats CombinedStats() const;

@@ -28,6 +28,10 @@ struct Task {
   std::string question;
   std::vector<std::string> choices;  // Choice tasks only.
   int64_t payload = -1;  // Caller-defined link (e.g. the EdgeId of a query edge).
+  // Per-task redundancy override for requester-side reposts: when > 0 the
+  // platform collects this many answers instead of PlatformOptions.redundancy
+  // (still capped by the worker-pool size). 0 keeps the platform default.
+  int redundancy_override = 0;
 };
 
 // One worker's answer to one task. Only the field matching the task type is
@@ -38,6 +42,12 @@ struct Answer {
   int choice = -1;                 // Single-choice.
   std::vector<int> choice_set;     // Multi-choice.
   std::string text;                // Fill-in-blank / collection.
+  // Simulated-platform delivery metadata (fault layer): the virtual tick the
+  // answer arrived at, and whether it arrived after its lease expired or its
+  // task was already resolved (a "late" answer, delivered out of band via
+  // CrowdPlatform::TakeLateAnswers instead of the round result).
+  int64_t tick = 0;
+  bool late = false;
 };
 
 // The simulator's ground truth for one task: what a perfectly accurate

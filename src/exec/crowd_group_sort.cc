@@ -135,7 +135,8 @@ CrowdGroupResult CrowdGroupBy(const std::vector<std::string>& values,
       batch_pairs.push_back(pair);
       tasks.push_back(std::move(task));
     }
-    std::map<TaskId, int> majority = MajorityPerTask(platform.ExecuteRound(tasks));
+    std::map<TaskId, int> majority =
+        MajorityPerTask(platform.ExecuteRound(tasks).value());
     for (size_t t = 0; t < tasks.size(); ++t) {
       const SimPair& pair = batch_pairs[t];
       if (majority[tasks[t].id] == 0) {
@@ -230,7 +231,8 @@ CrowdSortResult CrowdOrderBy(size_t n, const CrowdSortOptions& options,
         tasks.push_back(std::move(task));
       }
       if (tasks.empty()) break;
-      std::map<TaskId, int> majority = MajorityPerTask(platform.ExecuteRound(tasks));
+      std::map<TaskId, int> majority =
+          MajorityPerTask(platform.ExecuteRound(tasks).value());
       for (size_t t = 0; t < tasks.size(); ++t) {
         const PendingComparison& cmp = pending[static_cast<size_t>(tasks[t].payload)];
         Merge& merge = merges[cmp.merge_index];

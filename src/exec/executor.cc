@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "cost/budget.h"
@@ -35,11 +38,43 @@ class MarketFront {
     }
   }
 
-  std::vector<Answer> ExecuteRound(const std::vector<Task>& tasks,
-                                   const AssignmentPolicy* policy,
-                                   const AnswerObserver* observer) {
+  Result<std::vector<Answer>> ExecuteRound(const std::vector<Task>& tasks,
+                                           const AssignmentPolicy* policy,
+                                           const AnswerObserver* observer) {
     return single_ ? single_->ExecuteRound(tasks, policy, observer)
                    : multi_->ExecuteRound(tasks, policy, observer);
+  }
+
+  std::vector<Answer> TakeLateAnswers() {
+    return single_ ? single_->TakeLateAnswers() : multi_->TakeLateAnswers();
+  }
+
+  std::vector<TaskId> TakeDeadLetters() {
+    return single_ ? single_->TakeDeadLetters() : multi_->TakeDeadLetters();
+  }
+
+  void AdvanceTicks(int64_t ticks) {
+    if (single_) {
+      single_->AdvanceTicks(ticks);
+    } else {
+      multi_->AdvanceTicks(ticks);
+    }
+  }
+
+  // The redundancy a task can actually reach: the configured redundancy
+  // capped by the worker-pool size (min across markets for a deployment).
+  int effective_redundancy() const {
+    if (single_) {
+      return std::min(single_->options().redundancy,
+                      static_cast<int>(single_->workers().size()));
+    }
+    int lowest = std::numeric_limits<int>::max();
+    for (const CrowdPlatform& platform : multi_->platforms()) {
+      lowest = std::min(lowest,
+                        std::min(platform.options().redundancy,
+                                 static_cast<int>(platform.workers().size())));
+    }
+    return lowest;
   }
 
   PlatformStats stats() const {
@@ -148,12 +183,71 @@ Result<ExecutionResult> CdbExecutor::Run() {
       golden.push_back(std::move(task));
     }
     std::vector<ChoiceObservation> golden_observations;
-    for (const Answer& answer : platform.ExecuteRound(golden, nullptr, nullptr)) {
+    CDB_ASSIGN_OR_RETURN(std::vector<Answer> golden_answers,
+                         platform.ExecuteRound(golden, nullptr, nullptr));
+    for (const Answer& answer : golden_answers) {
       golden_observations.push_back(
           ChoiceObservation{answer.task, answer.worker, answer.choice});
     }
     worker_quality = QualityFromGoldenTasks(golden_observations, golden_truths);
   }
+
+  // Unique-(task, worker) guard: the fault layer can deliver duplicate and
+  // late copies of an answer, and requester reposts can reach workers that
+  // already answered; inference must see each observation once.
+  std::set<std::pair<TaskId, int>> seen_observations;
+  auto absorb = [&](const std::vector<Answer>& batch) {
+    int64_t added = 0;
+    for (const Answer& answer : batch) {
+      if (!seen_observations.insert({answer.task, answer.worker}).second) {
+        continue;
+      }
+      all_observations.push_back(
+          ChoiceObservation{answer.task, answer.worker, answer.choice});
+      ++stats.unique_answers_per_task[answer.task];
+      ++added;
+    }
+    return added;
+  };
+  auto infer_all = [&]() {
+    InferenceResult inference;
+    if (options_.quality_control) {
+      EmOptions em;
+      em.num_choices = 2;
+      em.quality_priors = worker_quality;
+      em.num_threads = options_.num_threads;
+      inference = InferSingleChoiceEm(all_observations, em);
+      worker_quality = inference.worker_quality;
+    } else {
+      inference = InferSingleChoiceMajority(all_observations, 2);
+    }
+    return inference;
+  };
+
+  // Late-answer reconciliation: answers that arrived after their lease
+  // expired (or their task was resolved) still carry signal. Fold them into
+  // the observation set, re-infer, and flip any already-colored edge whose
+  // majority/EM truth changed.
+  auto reconcile_late = [&]() {
+    std::vector<Answer> late = platform.TakeLateAnswers();
+    if (late.empty()) return;
+    stats.late_answers += static_cast<int64_t>(late.size());
+    if (absorb(late) == 0) return;
+    InferenceResult inference = infer_all();
+    bool flipped = false;
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (graph_.edge(e).color == EdgeColor::kUnknown) continue;
+      int truth_choice = inference.Truth(e);
+      if (truth_choice < 0) continue;
+      EdgeColor want = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+      if (graph_.edge(e).color != want) {
+        graph_.RecolorEdge(e, want);
+        ++stats.recolored_edges;
+        flipped = true;
+      }
+    }
+    if (flipped) pruner.Recompute();
+  };
 
   // Sampling order is computed once (the paper fixes the sample-derived order
   // and consumes it with pruning).
@@ -169,6 +263,8 @@ Result<ExecutionResult> CdbExecutor::Run() {
 
   int64_t budget_left = options_.budget.value_or(0);
   while (true) {
+    reconcile_late();
+
     // --- Cost control: pick the tasks of this round. ---
     Clock::time_point start = Clock::now();
     std::vector<EdgeId> round_edges;
@@ -177,6 +273,9 @@ Result<ExecutionResult> CdbExecutor::Run() {
       if (static_cast<int64_t>(round_edges.size()) > budget_left) {
         round_edges.resize(static_cast<size_t>(budget_left));
       }
+      // Deduct up front so requester-side reposts draw from the same budget
+      // (every published task is a spend).
+      budget_left -= static_cast<int64_t>(round_edges.size());
     } else {
       std::vector<EdgeId> ordered;
       if (options_.cost_method == CostMethod::kExpectation) {
@@ -215,31 +314,79 @@ Result<ExecutionResult> CdbExecutor::Run() {
         posteriors[task.id] = {w, 1.0 - w};  // Similarity as the prior.
       }
     }
-    std::vector<Answer> answers = platform.ExecuteRound(
-        tasks, options_.quality_control ? &policy : nullptr,
-        options_.quality_control ? &observer : nullptr);
+    const AssignmentPolicy* round_policy =
+        options_.quality_control ? &policy : nullptr;
+    const AnswerObserver* round_observer =
+        options_.quality_control ? &observer : nullptr;
+    CDB_ASSIGN_OR_RETURN(std::vector<Answer> answers,
+                         platform.ExecuteRound(tasks, round_policy,
+                                               round_observer));
+    absorb(answers);
 
-    for (const Answer& answer : answers) {
-      all_observations.push_back(
-          ChoiceObservation{answer.task, answer.worker, answer.choice});
+    // --- Requester-side timeout/repost: top up tasks the platform returned
+    // short (abandoned, expired, dead-lettered) with capped exponential
+    // backoff. Each repost publishes only the shortfall, and in budget mode
+    // draws down the same task budget as first-time publishes. ---
+    if (options_.retry.enabled) {
+      const int effective_redundancy = platform.effective_redundancy();
+      for (int attempt = 1; attempt <= options_.retry.max_reposts; ++attempt) {
+        (void)platform.TakeDeadLetters();  // Shortfall recomputed below.
+        std::vector<Task> reposts;
+        for (const Task& task : tasks) {
+          auto it = stats.unique_answers_per_task.find(task.id);
+          int64_t have = it == stats.unique_answers_per_task.end() ? 0
+                                                                   : it->second;
+          if (have >= effective_redundancy) continue;
+          Task repost = task;
+          repost.redundancy_override =
+              static_cast<int>(effective_redundancy - have);
+          reposts.push_back(std::move(repost));
+        }
+        if (reposts.empty()) break;
+        if (options_.budget) {
+          if (budget_left <= 0) break;  // Flush partial: no budget to retry.
+          if (static_cast<int64_t>(reposts.size()) > budget_left) {
+            reposts.resize(static_cast<size_t>(budget_left));
+          }
+          budget_left -= static_cast<int64_t>(reposts.size());
+        }
+        int64_t backoff = std::min(
+            options_.retry.backoff_base_ticks << (attempt - 1),
+            options_.retry.backoff_max_ticks);
+        platform.AdvanceTicks(backoff);
+        CDB_ASSIGN_OR_RETURN(std::vector<Answer> more,
+                             platform.ExecuteRound(reposts, round_policy,
+                                                   round_observer));
+        stats.reposted_tasks += static_cast<int64_t>(reposts.size());
+        absorb(more);
+      }
+      for (const Task& task : tasks) {
+        auto it = stats.unique_answers_per_task.find(task.id);
+        int64_t have = it == stats.unique_answers_per_task.end() ? 0
+                                                                 : it->second;
+        if (have < effective_redundancy) {
+          stats.starved_task_ids.push_back(task.id);
+        }
+      }
     }
 
     // --- Quality control: infer the truth of this round's tasks. ---
-    InferenceResult inference;
-    if (options_.quality_control) {
-      EmOptions em;
-      em.num_choices = 2;
-      em.quality_priors = worker_quality;
-      em.num_threads = options_.num_threads;
-      inference = InferSingleChoiceEm(all_observations, em);
-      worker_quality = inference.worker_quality;
-    } else {
-      inference = InferSingleChoiceMajority(all_observations, 2);
-    }
+    InferenceResult inference = infer_all();
     for (EdgeId e : round_edges) {
       int truth_choice = inference.Truth(e);
-      CDB_CHECK(truth_choice >= 0);
-      graph_.SetColor(e, truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed);
+      EdgeColor color;
+      if (truth_choice >= 0) {
+        color = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+      } else {
+        // Graceful degradation: no answers ever arrived for this edge (task
+        // starved or budget exhausted mid-round). Color by the
+        // majority-so-far — with zero observations that is the similarity
+        // prior — instead of aborting the query.
+        ++stats.fallback_colored;
+        color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
+                                             : EdgeColor::kRed;
+      }
+      graph_.SetColor(e, color);
     }
 
     pruner.Recompute();
@@ -247,19 +394,24 @@ Result<ExecutionResult> CdbExecutor::Run() {
     stats.round_sizes.push_back(static_cast<int64_t>(round_edges.size()));
     ++stats.rounds;
 
-    if (options_.budget) {
-      budget_left -= static_cast<int64_t>(round_edges.size());
-      if (budget_left <= 0) break;
-    }
+    if (options_.budget && budget_left <= 0) break;
     if (options_.round_limit &&
         stats.rounds >= static_cast<int64_t>(*options_.round_limit)) {
       break;
     }
   }
 
-  stats.worker_answers = platform.stats().answers_collected;
-  stats.hits_published = platform.stats().hits_published;
-  stats.dollars_spent = platform.stats().dollars_spent;
+  // Fold in any straggler answers still in flight after the last round.
+  reconcile_late();
+  std::sort(stats.starved_task_ids.begin(), stats.starved_task_ids.end());
+  stats.starved_task_ids.erase(
+      std::unique(stats.starved_task_ids.begin(), stats.starved_task_ids.end()),
+      stats.starved_task_ids.end());
+
+  stats.platform = platform.stats();
+  stats.worker_answers = stats.platform.answers_collected;
+  stats.hits_published = stats.platform.hits_published;
+  stats.dollars_spent = stats.platform.dollars_spent;
   result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
   return result;
 }

@@ -15,6 +15,7 @@
 #define CDB_EXEC_EXECUTOR_H_
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,19 @@ using EdgeTruthFn = std::function<bool(const QueryGraph&, EdgeId)>;
 enum class CostMethod {
   kExpectation,  // Eq. 1 scores (the CDB default).
   kSampling,     // Sample-based min-cut greedy (the MinCut method).
+};
+
+// Requester-side robustness policy against an unreliable crowd (see
+// PlatformOptions::fault): when a round comes back short — tasks
+// dead-lettered by the platform or below the effective redundancy — the
+// executor reposts the shortfall with capped exponential backoff (the
+// backoff advances the platform's virtual clock, modeling the requester
+// waiting before republishing).
+struct RetryOptions {
+  bool enabled = true;
+  int max_reposts = 3;             // Repost attempts per round.
+  int64_t backoff_base_ticks = 2;  // Backoff before attempt k: base << (k-1),
+  int64_t backoff_max_ticks = 64;  // capped here.
 };
 
 struct ExecutorOptions {
@@ -57,6 +71,7 @@ struct ExecutorOptions {
   int num_threads = 0;
   std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
   std::optional<int> round_limit;    // Figure-22 latency constraint.
+  RetryOptions retry;                // Timeout/repost policy under faults.
 };
 
 struct ExecutionStats {
@@ -67,6 +82,23 @@ struct ExecutionStats {
   double dollars_spent = 0.0;
   double selection_ms = 0.0;  // Time in task selection + round scheduling.
   std::vector<int64_t> round_sizes;
+  // Fault-robustness accounting (all zero with a clean crowd).
+  int64_t reposted_tasks = 0;    // Requester-side reposts published.
+  int64_t late_answers = 0;      // Late answers reconciled into inference.
+  int64_t recolored_edges = 0;   // Colors flipped by late-answer evidence.
+  int64_t fallback_colored = 0;  // Edges colored by majority-so-far/prior
+                                 // because inference had no answers for them.
+  // Tasks that stayed below effective redundancy after the retry budget ran
+  // out (sorted, unique). The DST harness exempts these from the
+  // answers-per-task invariant.
+  std::vector<int64_t> starved_task_ids;
+  // Unique (task, worker) observations per published task id; lets tests
+  // relate result quality to the evidence inference actually saw.
+  std::map<int64_t, int64_t> unique_answers_per_task;
+  // Final platform-side accounting (combined across markets); the DST
+  // harness checks its conservation laws and byte-dumps it for determinism
+  // comparisons.
+  PlatformStats platform;
 };
 
 // One result tuple: the row index per base relation.

@@ -63,6 +63,11 @@ void QueryGraph::SetColor(EdgeId e, EdgeColor color) {
   edge.color = color;
 }
 
+void QueryGraph::RecolorEdge(EdgeId e, EdgeColor color) {
+  CDB_CHECK_MSG(color != EdgeColor::kUnknown, "cannot uncolor an edge");
+  edges_[e].color = color;
+}
+
 int64_t QueryGraph::CountEdges(EdgeColor color) const {
   int64_t count = 0;
   for (const GraphEdge& edge : edges_) {

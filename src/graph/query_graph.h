@@ -132,6 +132,12 @@ class QueryGraph {
   // colored edge with a different color is a programmer error.
   void SetColor(EdgeId e, EdgeColor color);
 
+  // Flips an already-colored edge when new evidence changes the inferred
+  // truth (late-answer reconciliation under an unreliable crowd). Callers
+  // must re-run pruning afterwards — aliveness derived from the old color is
+  // stale.
+  void RecolorEdge(EdgeId e, EdgeColor color);
+
   // Convenience counters.
   int64_t CountEdges(EdgeColor color) const;
 

@@ -12,6 +12,7 @@
 #include <tuple>
 #include <vector>
 
+#include "bench_util/sim_crowd.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "cost/sampling.h"
@@ -251,6 +252,46 @@ TEST(ParallelDeterminismTest, TruthInferenceIdenticalAcrossThreadCounts) {
     ASSERT_EQ(got.worker_quality.size(), expected.worker_quality.size());
     for (const auto& [worker, quality] : expected.worker_quality) {
       EXPECT_EQ(got.worker_quality.at(worker), quality);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, FaultyExecutionIdenticalAcrossThreadCounts) {
+  // End-to-end seed sweep with the fault layer on: the fault schedule is
+  // drawn from (seed, counter) streams and the platform interaction is
+  // serial, so a whole faulty query run — PlatformStats byte dump and final
+  // edge coloring included — must be bit-identical at every optimizer
+  // thread count. Quality control + sampling exercise both parallel stages
+  // (EM inference and the min-cut sampler).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string reference_stats;
+    std::string reference_colors;
+    for (int threads : kThreadCounts) {
+      SimCrowdConfig config;
+      config.seed = seed;
+      config.quality_control = true;
+      config.cost_method = CostMethod::kSampling;
+      config.num_threads = threads;
+      config.fault.abandon_prob = 0.3;
+      config.fault.straggler_prob = 0.2;
+      config.fault.straggler_delay_ticks = 5;
+      config.fault.duplicate_prob = 0.1;
+      config.fault.no_show_prob = 0.15;
+      config.fault.task_deadline_ticks = 7;
+      SimCrowdReport report = RunSimCrowd(config).value();
+      for (const std::string& violation : report.violations) {
+        ADD_FAILURE() << "seed " << seed << " threads " << threads << ": "
+                      << violation;
+      }
+      if (threads == kThreadCounts.front()) {
+        reference_stats = report.stats_dump;
+        reference_colors = report.color_dump;
+      } else {
+        EXPECT_EQ(report.stats_dump, reference_stats)
+            << "seed " << seed << " threads " << threads;
+        EXPECT_EQ(report.color_dump, reference_colors)
+            << "seed " << seed << " threads " << threads;
+      }
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "bench_util/sim_crowd.h"
 #include "common/random.h"
 #include "cost/known_color.h"
 #include "flow/min_cut.h"
@@ -197,6 +198,85 @@ TEST_P(EmCalibrationTest, EmTracksWorkerQuality) {
 
 INSTANTIATE_TEST_SUITE_P(QualityLevels, EmCalibrationTest,
                          ::testing::Values(0.6, 0.7, 0.8, 0.9));
+
+// Fault-robustness property: with perfect workers, a faulty crowd changes
+// the answer *schedule* but not the answer *content* — so whenever every
+// asked task still reached the effective redundancy (nothing starved,
+// nothing fallback-colored), the query result must equal the fault-free
+// run's result. When tasks do starve the run must still terminate cleanly
+// with all DST invariants intact.
+class FaultRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultRobustnessTest, FaultyResultMatchesCleanWhenEvidenceSuffices) {
+  const uint64_t seed = GetParam();
+
+  SimCrowdConfig clean;
+  clean.seed = seed;
+  SimCrowdReport clean_report = RunSimCrowd(clean).value();
+  ASSERT_TRUE(clean_report.violations.empty());
+
+  // Rotate through three fault regimes keyed off the seed.
+  SimCrowdConfig faulty = clean;
+  switch (seed % 3) {
+    case 0:  // Abandonment-heavy.
+      faulty.fault.abandon_prob = 0.3;
+      faulty.fault.task_deadline_ticks = 8;
+      break;
+    case 1:  // Straggler-heavy: most answers delayed, many past deadline.
+      faulty.fault.straggler_prob = 0.5;
+      faulty.fault.straggler_delay_ticks = 6;
+      faulty.fault.task_deadline_ticks = 5;
+      break;
+    default:  // Everything at once.
+      faulty.fault.abandon_prob = 0.25;
+      faulty.fault.straggler_prob = 0.25;
+      faulty.fault.straggler_delay_ticks = 4;
+      faulty.fault.duplicate_prob = 0.2;
+      faulty.fault.no_show_prob = 0.3;
+      faulty.fault.task_deadline_ticks = 6;
+      break;
+  }
+  SimCrowdReport faulty_report = RunSimCrowd(faulty).value();
+  for (const std::string& violation : faulty_report.violations) {
+    ADD_FAILURE() << "seed " << seed << ": " << violation;
+  }
+
+  const ExecutionStats& stats = faulty_report.result.stats;
+  if (stats.starved_task_ids.empty() && stats.fallback_colored == 0) {
+    // Full evidence: perfect workers answered every task at least
+    // effective-redundancy times, so inference must land on the truth both
+    // times and the tuple sets coincide.
+    EXPECT_EQ(faulty_report.result.answers, clean_report.result.answers)
+        << "seed " << seed;
+    EXPECT_EQ(faulty_report.color_dump, clean_report.color_dump)
+        << "seed " << seed;
+  }
+}
+
+TEST_P(FaultRobustnessTest, NoisyWorkersNeverCrash) {
+  SimCrowdConfig config;
+  config.seed = GetParam();
+  config.worker_quality_mean = 0.75;
+  config.worker_quality_stddev = 0.1;
+  config.quality_control = (GetParam() % 2) == 0;
+  config.fault.abandon_prob = 0.35;
+  config.fault.straggler_prob = 0.3;
+  config.fault.straggler_delay_ticks = 5;
+  config.fault.duplicate_prob = 0.15;
+  config.fault.no_show_prob = 0.25;
+  config.fault.task_deadline_ticks = 5;
+  config.fault.max_task_expiries = 3;
+  Result<SimCrowdReport> report = RunSimCrowd(config);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  // Inference over noisy answers may disagree with the clean run; only the
+  // structural invariants must hold.
+  for (const std::string& violation : report->violations) {
+    ADD_FAILURE() << violation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultRobustnessTest,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace cdb

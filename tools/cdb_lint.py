@@ -36,6 +36,16 @@ contracts:
                           src/CMakeLists.txt. An orphaned .cc compiles in
                           nobody's build and silently rots.
 
+  fault-rng-stream        Fault-injection decisions in the crowd simulator
+                          (src/crowd/) must come from explicit split streams
+                          — Rng(seed ^ salt, counter) — never from the
+                          platform's shared sequential rng_ or from
+                          Rng::Fork(), whose draws depend on how much
+                          randomness earlier code consumed. A fault schedule
+                          on the shared stream stops being a pure function of
+                          (seed, counter) and silently breaks the
+                          bit-identical determinism the DST harness asserts.
+
 Suppression: append  // cdb-lint: disable=<rule>  (with a reason) to the
 offending line. Suppressions without a rule name are invalid.
 
@@ -335,6 +345,75 @@ def check_cmake_ownership(root: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: fault-rng-stream
+# --------------------------------------------------------------------------
+
+# A line is "fault context" when it touches a FaultProfile knob.
+FAULT_TOKEN_RE = re.compile(
+    r"\bfault\s*\.|abandon_prob|straggler_prob|straggler_delay|no_show_prob|"
+    r"duplicate_prob|task_deadline_ticks")
+# The platform's shared sequential generator (member `rng_`).
+SHARED_RNG_RE = re.compile(r"(?<![\w.])rng_\s*\.")
+FORK_RE = re.compile(r"\.\s*Fork\s*\(")
+# Any Rng construction on the line: `Rng(...)` temporary or `Rng name(...)`
+# declaration. The argument text is scanned for a top-level comma — one
+# argument means no stream index was passed.
+RNG_CTOR_RE = re.compile(r"\bRng\s+(?:\w+\s*)?\(|\bRng\s*\(")
+
+
+def _single_arg_rng_ctor(code: str) -> bool:
+    for m in RNG_CTOR_RE.finditer(code):
+        depth = 1
+        top_level_comma = False
+        closed = False
+        for c in code[m.end():]:
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    closed = True
+                    break
+            elif c == "," and depth == 1:
+                top_level_comma = True
+        if closed and not top_level_comma:
+            return True
+    return False
+
+
+def check_fault_rng_stream(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not norm.startswith("src/crowd/"):
+        return []
+    findings = []
+    for lineno, raw, code in iter_code_lines(text):
+        if suppressed(raw, "fault-rng-stream"):
+            continue
+        if FORK_RE.search(code):
+            findings.append(Finding(
+                path, lineno, "fault-rng-stream",
+                "Rng::Fork() in the crowd simulator; forked streams depend "
+                "on consumption order — split an explicit "
+                "Rng(seed ^ salt, counter) stream instead"))
+            continue
+        if not FAULT_TOKEN_RE.search(code):
+            continue
+        if SHARED_RNG_RE.search(code):
+            findings.append(Finding(
+                path, lineno, "fault-rng-stream",
+                "fault decision drawn from the shared sequential rng_; the "
+                "fault schedule must be a pure function of (seed, counter) "
+                "— use a split Rng(seed ^ salt, counter) stream"))
+        elif _single_arg_rng_ctor(code):
+            findings.append(Finding(
+                path, lineno, "fault-rng-stream",
+                "single-argument Rng construction in fault logic; pass a "
+                "stream index (Rng(seed ^ salt, counter)) so the draw is "
+                "independent of every other consumer"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -343,6 +422,7 @@ PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
     check_unordered_iteration,
     check_naked_abort,
     check_include_guard,
+    check_fault_rng_stream,
 ]
 
 LINT_SUBDIRS = ("src", "tests", "bench", "examples")
@@ -436,6 +516,31 @@ SELF_TEST_CASES = [
      "controller.abort();\n", "naked-abort", False),
     ("abort in tests out of scope", "tests/t.cc",
      "std::abort();\n", "naked-abort", False),
+
+    ("fault draw from shared rng_", "src/crowd/platform.cc",
+     "if (rng_.Bernoulli(fault.abandon_prob)) {\n}\n",
+     "fault-rng-stream", True),
+    ("Fork in crowd simulator", "src/crowd/platform.cc",
+     "Rng child = rng_.Fork();\n", "fault-rng-stream", True),
+    ("single-arg Rng in fault logic", "src/crowd/platform.cc",
+     "Rng r(options_.seed); bool x = r.Bernoulli(fault.straggler_prob);\n",
+     "fault-rng-stream", True),
+    ("split-stream draw is fine", "src/crowd/platform.cc",
+     "bool abandoned = Rng(options_.seed ^ kSalt, lease_seq_)"
+     ".Bernoulli(fault.abandon_prob);\n",
+     "fault-rng-stream", False),
+    ("named split-stream rng is fine", "src/crowd/platform.cc",
+     "bool dup = fault_rng.Bernoulli(fault.duplicate_prob);\n",
+     "fault-rng-stream", False),
+    ("shared rng_ for worker arrival fine", "src/crowd/platform.cc",
+     "size_t w = rng_.UniformInt(0, n - 1);\n", "fault-rng-stream", False),
+    ("fault draws outside src/crowd out of scope", "src/exec/e.cc",
+     "if (rng_.Bernoulli(fault.abandon_prob)) {\n}\n",
+     "fault-rng-stream", False),
+    ("suppressed fault draw", "src/crowd/platform.cc",
+     "if (rng_.Bernoulli(fault.abandon_prob)) {  "
+     "// cdb-lint: disable=fault-rng-stream documented legacy knob\n}\n",
+     "fault-rng-stream", False),
 
     ("canonical guard ok", "src/cost/sampling.h",
      "#ifndef CDB_COST_SAMPLING_H_\n#define CDB_COST_SAMPLING_H_\n#endif\n",
