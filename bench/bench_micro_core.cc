@@ -218,7 +218,9 @@ void BM_CrowdRound(benchmark::State& state) {
   }
   for (auto _ : state) {
     CrowdPlatform platform(options, truth);
-    benchmark::DoNotOptimize(platform.ExecuteRound(tasks).value());
+    // Measures the raw simulator loop, deliberately below the publish path.
+    benchmark::DoNotOptimize(platform.ExecuteRound(  // cdb-lint: disable=single-publish-path
+        tasks).value());
     benchmark::DoNotOptimize(platform.TakeLateAnswers());
   }
 }

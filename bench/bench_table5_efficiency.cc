@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
   entries.push_back({"paper", MakePaper(args), PaperQueries()});
   entries.push_back({"award", MakeAward(args), AwardQueries()});
   const int hw = ThreadPool::HardwareConcurrency();
+  ExecutionStats sample;  // Last query of the last dataset, serial run.
+  std::string sample_label;
   for (Entry& entry : entries) {
     for (int threads : {1, hw}) {
       std::vector<std::string> row = {entry.name, std::to_string(threads)};
@@ -35,11 +37,31 @@ int main(int argc, char** argv) {
         config.num_threads = threads;
         RunOutcome out = MustRun(Method::kCdb, entry.dataset, query.cql, config);
         row.push_back(FormatDouble(out.selection_ms, 1));
+        if (threads == 1) {
+          sample = out.sample_stats;
+          sample_label = std::string(entry.name) + " / " + query.label;
+        }
       }
       printer.AddRow(std::move(row));
       if (hw == 1) break;  // A 1-core host would print the same row twice.
     }
   }
   printer.Print();
+
+  // Where the session spends its steps: per-phase counters of one run show
+  // the Algorithm-1 loop structure (selection phases step once per round;
+  // publish/collect carry the task and answer volume).
+  std::printf("\nSession phase breakdown (%s, threads 1)\n",
+              sample_label.c_str());
+  TablePrinter phases({"phase", "steps", "tasks", "answers"});
+  for (int p = 0; p < kNumSessionPhases; ++p) {
+    const PhaseCounters& c = sample.phases[static_cast<size_t>(p)];
+    phases.AddRow({SessionPhaseName(static_cast<SessionPhase>(p)),
+                   std::to_string(c.steps), std::to_string(c.tasks),
+                   std::to_string(c.answers)});
+  }
+  phases.Print();
+  std::printf("scheduler dedup: %lld tasks saved (solo runs always 0)\n",
+              static_cast<long long>(sample.dedup_tasks_saved));
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/session.h"
 #include "graph/candidates.h"
 #include "quality/truth_inference.h"
 
@@ -56,7 +57,7 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
   ExecutionResult result;
   ExecutionStats& stats = result.stats;
 
-  CrowdPlatform platform(options_.platform, [this](const Task& task) {
+  PlatformPublisher publisher(options_.platform, [this](const Task& task) {
     TaskTruth truth;
     truth.correct_choice =
         truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
@@ -75,7 +76,7 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
     task.question = "budget-baseline pair check";
     task.choices = {"yes", "no"};
     task.payload = e;
-    std::vector<Answer> answers = platform.ExecuteRound({task}).value();
+    std::vector<Answer> answers = publisher.Publish({task}, nullptr, nullptr).value();
     for (const Answer& answer : answers) {
       observations.push_back(
           ChoiceObservation{answer.task, answer.worker, answer.choice});
@@ -160,9 +161,9 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
     if (!extend(1)) break;
   }
 
-  stats.worker_answers = platform.stats().answers_collected;
-  stats.hits_published = platform.stats().hits_published;
-  stats.dollars_spent = platform.stats().dollars_spent;
+  stats.worker_answers = publisher.stats().answers_collected;
+  stats.hits_published = publisher.stats().hits_published;
+  stats.dollars_spent = publisher.stats().dollars_spent;
   result.answers = AssignmentsToAnswers(graph_, found);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "exec/session.h"
 #include "quality/truth_inference.h"
 
 namespace cdb {
@@ -71,7 +72,7 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
   ExecutionResult result;
   ExecutionStats& stats = result.stats;
 
-  CrowdPlatform platform(options_.platform, [this](const Task& task) {
+  PlatformPublisher publisher(options_.platform, [this](const Task& task) {
     TaskTruth truth;
     truth.correct_choice =
         truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
@@ -149,7 +150,7 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
         task.payload = e;
         tasks.push_back(std::move(task));
       }
-      std::vector<Answer> answers = platform.ExecuteRound(tasks).value();
+      std::vector<Answer> answers = publisher.Publish(tasks, nullptr, nullptr).value();
       // Majority voting is memoryless: infer from this round's answers only
       // (re-running over the full history made long ER runs quadratic).
       std::vector<ChoiceObservation> round_observations;
@@ -183,9 +184,9 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
     active = ActiveVertices(graph_, executed, edge_blue);
   }
 
-  stats.worker_answers = platform.stats().answers_collected;
-  stats.hits_published = platform.stats().hits_published;
-  stats.dollars_spent = platform.stats().dollars_spent;
+  stats.worker_answers = publisher.stats().answers_collected;
+  stats.hits_published = publisher.stats().hits_published;
+  stats.dollars_spent = publisher.stats().dollars_spent;
   result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
   return result;
 }

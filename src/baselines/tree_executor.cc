@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "exec/session.h"
 #include "quality/truth_inference.h"
 
 namespace cdb {
@@ -27,7 +28,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
   ExecutionResult result;
   ExecutionStats& stats = result.stats;
 
-  CrowdPlatform platform(options_.platform, [this](const Task& task) {
+  PlatformPublisher publisher(options_.platform, [this](const Task& task) {
     TaskTruth truth;
     truth.correct_choice =
         truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
@@ -79,7 +80,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
       asked_edges.push_back(e);
     }
     if (!tasks.empty()) {
-      std::vector<Answer> answers = platform.ExecuteRound(tasks).value();
+      std::vector<Answer> answers = publisher.Publish(tasks, nullptr, nullptr).value();
       for (const Answer& answer : answers) {
         observations.push_back(
             ChoiceObservation{answer.task, answer.worker, answer.choice});
@@ -104,9 +105,9 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
     active = ActiveVertices(graph_, executed, edge_blue);
   }
 
-  stats.worker_answers = platform.stats().answers_collected;
-  stats.hits_published = platform.stats().hits_published;
-  stats.dollars_spent = platform.stats().dollars_spent;
+  stats.worker_answers = publisher.stats().answers_collected;
+  stats.hits_published = publisher.stats().hits_published;
+  stats.dollars_spent = publisher.stats().dollars_spent;
   result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
   return result;
 }

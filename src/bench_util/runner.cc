@@ -125,6 +125,7 @@ Result<RunOutcome> RunMethod(Method method, const GeneratedDataset& dataset,
     total.f1 += pr.f1;
     total.selection_ms += result.stats.selection_ms;
     total.answers += static_cast<double>(result.answers.size());
+    if (rep + 1 == config.repetitions) total.sample_stats = result.stats;
   }
   const double n = static_cast<double>(config.repetitions);
   total.tasks /= n;

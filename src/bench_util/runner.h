@@ -11,6 +11,7 @@
 #include "bench_util/metrics.h"
 #include "common/status.h"
 #include "datagen/dataset.h"
+#include "exec/session.h"
 #include "graph/query_graph.h"
 #include "latency/scheduler.h"
 
@@ -56,6 +57,9 @@ struct RunOutcome {
   double f1 = 0.0;
   double selection_ms = 0.0;
   double answers = 0.0;
+  // Full stats of the last repetition — per-phase counters and platform
+  // accounting for benches that break the run down by session phase.
+  ExecutionStats sample_stats;
 };
 
 // Parses + analyzes `cql` against the dataset's catalog and executes it with

@@ -1,0 +1,26 @@
+#include "cost/ledger.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cdb {
+
+BudgetLedger::BudgetLedger(std::optional<int64_t> limit) : limit_(limit) {
+  if (limit_) CDB_CHECK(*limit_ >= 0);
+}
+
+int64_t BudgetLedger::remaining() const {
+  if (!limit_) return std::numeric_limits<int64_t>::max();
+  return std::max<int64_t>(0, *limit_ - spent_);
+}
+
+int64_t BudgetLedger::TryDebit(int64_t want) {
+  CDB_CHECK(want >= 0);
+  int64_t granted = std::min(want, remaining());
+  spent_ += granted;
+  return granted;
+}
+
+}  // namespace cdb

@@ -1,0 +1,38 @@
+// Shared task-budget accounting (Section 5.1.3). A BudgetLedger is the one
+// place budget is debited: a QuerySession draws its per-round publishes and
+// retry reposts from its own ledger, and MultiQueryScheduler drives a global
+// ledger shared by every session so concurrent queries cannot overspend a
+// common budget. A ledger without a limit grants everything.
+#ifndef CDB_COST_LEDGER_H_
+#define CDB_COST_LEDGER_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace cdb {
+
+class BudgetLedger {
+ public:
+  // No limit: every debit is granted in full.
+  BudgetLedger() = default;
+  explicit BudgetLedger(std::optional<int64_t> limit);
+
+  [[nodiscard]] bool limited() const { return limit_.has_value(); }
+
+  // Tasks still grantable; INT64_MAX when unlimited.
+  [[nodiscard]] int64_t remaining() const;
+
+  // Grants min(want, remaining()) tasks, records the spend, and returns the
+  // granted count. `want` must be >= 0.
+  int64_t TryDebit(int64_t want);
+
+  [[nodiscard]] int64_t spent() const { return spent_; }
+
+ private:
+  std::optional<int64_t> limit_;
+  int64_t spent_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COST_LEDGER_H_

@@ -33,6 +33,7 @@ std::string PlatformStatsDump(const PlatformStats& stats) {
   line("tasks_published", stats.tasks_published);
   line("answers_collected", stats.answers_collected);
   line("hits_published", stats.hits_published);
+  line("shared_hits", stats.shared_hits);
   out += "dollars_spent=";
   out += dollars;
   out += '\n';
@@ -62,12 +63,32 @@ int CrowdPlatform::EffectiveRedundancy(const Task& task) const {
   return std::min(want, static_cast<int>(workers_.size()));
 }
 
-void CrowdPlatform::ChargeForTasks(int64_t num_tasks) {
+void CrowdPlatform::ChargeForTasks(const std::vector<Task>& tasks) {
+  const int64_t num_tasks = static_cast<int64_t>(tasks.size());
   stats_.tasks_published += num_tasks;
   int64_t hits =
       (num_tasks + options_.tasks_per_hit - 1) / options_.tasks_per_hit;
   stats_.hits_published += hits;
   stats_.dollars_spent += static_cast<double>(hits) * options_.price_per_hit;
+  // HITs are packed in publish order, tasks_per_hit at a time; a HIT mixing
+  // batch tags is a shared (multi-query) HIT.
+  for (size_t start = 0; start < tasks.size();
+       start += static_cast<size_t>(options_.tasks_per_hit)) {
+    size_t end = std::min(tasks.size(),
+                          start + static_cast<size_t>(options_.tasks_per_hit));
+    int first_tag = std::numeric_limits<int>::min();
+    bool mixed = false;
+    for (size_t i = start; i < end; ++i) {
+      if (tasks[i].batch_tag < 0) continue;
+      if (first_tag == std::numeric_limits<int>::min()) {
+        first_tag = tasks[i].batch_tag;
+      } else if (tasks[i].batch_tag != first_tag) {
+        mixed = true;
+        break;
+      }
+    }
+    if (mixed) ++stats_.shared_hits;
+  }
 }
 
 Result<std::vector<Answer>> CrowdPlatform::ExecuteRound(
@@ -96,7 +117,7 @@ Result<std::vector<Answer>> CrowdPlatform::CleanRound(
     const std::vector<Task>& tasks, const AssignmentPolicy* policy,
     const AnswerObserver* observer) {
   std::vector<Answer> answers;
-  ChargeForTasks(static_cast<int64_t>(tasks.size()));
+  ChargeForTasks(tasks);
 
   std::vector<int> need(tasks.size());
   int64_t remaining = 0;
@@ -191,7 +212,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
     const std::vector<Task>& tasks, const AssignmentPolicy* policy,
     const AnswerObserver* observer) {
   std::vector<Answer> answers;
-  ChargeForTasks(static_cast<int64_t>(tasks.size()));
+  ChargeForTasks(tasks);
   const FaultProfile& fault = options_.fault;
 
   struct TaskState {
@@ -532,6 +553,7 @@ PlatformStats MultiMarket::CombinedStats() const {
     total.tasks_published += s.tasks_published;
     total.answers_collected += s.answers_collected;
     total.hits_published += s.hits_published;
+    total.shared_hits += s.shared_hits;
     total.dollars_spent += s.dollars_spent;
     total.ticks += s.ticks;
     total.leases_granted += s.leases_granted;

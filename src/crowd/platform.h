@@ -103,6 +103,9 @@ struct PlatformStats {
   int64_t tasks_published = 0;
   int64_t answers_collected = 0;  // On-time deliveries, duplicates included.
   int64_t hits_published = 0;
+  // HITs whose tasks carry >= 2 distinct batch_tags: multi-query HITs packed
+  // by MultiQueryScheduler's merged rounds (0 for single-query runs).
+  int64_t shared_hits = 0;
   double dollars_spent = 0.0;
   // Fault-layer counters (all zero with the clean simulator).
   int64_t ticks = 0;             // Virtual clock advanced so far.
@@ -170,7 +173,7 @@ class CrowdPlatform {
                                           const AssignmentPolicy* policy,
                                           const AnswerObserver* observer);
   int EffectiveRedundancy(const Task& task) const;
-  void ChargeForTasks(int64_t num_tasks);
+  void ChargeForTasks(const std::vector<Task>& tasks);
 
   PlatformOptions options_;
   TruthProvider truth_;

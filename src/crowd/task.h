@@ -32,6 +32,10 @@ struct Task {
   // platform collects this many answers instead of PlatformOptions.redundancy
   // (still capped by the worker-pool size). 0 keeps the platform default.
   int redundancy_override = 0;
+  // Which session/batch the task came from when rounds are merged across
+  // queries (MultiQueryScheduler): a HIT whose tasks carry more than one tag
+  // is a shared HIT (counted in PlatformStats::shared_hits). -1 = untagged.
+  int batch_tag = -1;
 };
 
 // One worker's answer to one task. Only the field matching the task type is

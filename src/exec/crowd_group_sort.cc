@@ -5,27 +5,22 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "exec/session.h"
 #include "quality/truth_inference.h"
 #include "similarity/sim_join.h"
 
 namespace cdb {
 namespace {
 
-// Majority answer per task from one round of answers.
-std::map<TaskId, int> MajorityPerTask(const std::vector<Answer>& answers) {
-  std::map<TaskId, std::pair<int, int>> votes;  // yes, no.
+// Majority truth per task from one round of answers, via the shared
+// truth-inference module (ties resolve to choice 0, "yes"/"first").
+InferenceResult MajorityPerRound(const std::vector<Answer>& answers) {
+  std::vector<ChoiceObservation> obs;
+  obs.reserve(answers.size());
   for (const Answer& answer : answers) {
-    if (answer.choice == 0) {
-      ++votes[answer.task].first;
-    } else {
-      ++votes[answer.task].second;
-    }
+    obs.push_back({answer.task, answer.worker, answer.choice});
   }
-  std::map<TaskId, int> majority;
-  for (const auto& [task, counts] : votes) {
-    majority[task] = counts.first >= counts.second ? 0 : 1;
-  }
-  return majority;
+  return InferSingleChoiceMajority(obs, 2);
 }
 
 class UnionFind {
@@ -63,8 +58,9 @@ CrowdGroupResult CrowdGroupBy(const std::vector<std::string>& values,
   std::stable_sort(pairs.begin(), pairs.end(),
                    [](const SimPair& a, const SimPair& b) { return a.sim > b.sim; });
 
-  // Tasks are identified by their index in `pairs`.
-  CrowdPlatform platform(options.platform, [&](const Task& task) {
+  // Tasks are identified by their index in `pairs`. All rounds go through
+  // the session publish path.
+  PlatformPublisher publisher(options.platform, [&](const Task& task) {
     const SimPair& pair = pairs[static_cast<size_t>(task.payload)];
     TaskTruth t;
     t.correct_choice = truth(static_cast<size_t>(pair.left),
@@ -135,11 +131,11 @@ CrowdGroupResult CrowdGroupBy(const std::vector<std::string>& values,
       batch_pairs.push_back(pair);
       tasks.push_back(std::move(task));
     }
-    std::map<TaskId, int> majority =
-        MajorityPerTask(platform.ExecuteRound(tasks).value());
+    InferenceResult majority =
+        MajorityPerRound(publisher.Publish(tasks, nullptr, nullptr).value());
     for (size_t t = 0; t < tasks.size(); ++t) {
       const SimPair& pair = batch_pairs[t];
-      if (majority[tasks[t].id] == 0) {
+      if (majority.Truth(tasks[t].id) == 0) {
         clusters.Union(pair.left, pair.right);
       } else {
         non_matches.push_back({pair.left, pair.right});
@@ -186,7 +182,7 @@ CrowdSortResult CrowdOrderBy(size_t n, const CrowdSortOptions& options,
     size_t right;
   };
   std::vector<PendingComparison> pending;
-  CrowdPlatform platform(options.platform, [&](const Task& task) {
+  PlatformPublisher publisher(options.platform, [&](const Task& task) {
     const PendingComparison& cmp = pending[static_cast<size_t>(task.payload)];
     TaskTruth t;
     t.correct_choice = truth(cmp.left, cmp.right) ? 0 : 1;
@@ -231,12 +227,12 @@ CrowdSortResult CrowdOrderBy(size_t n, const CrowdSortOptions& options,
         tasks.push_back(std::move(task));
       }
       if (tasks.empty()) break;
-      std::map<TaskId, int> majority =
-          MajorityPerTask(platform.ExecuteRound(tasks).value());
+      InferenceResult majority =
+          MajorityPerRound(publisher.Publish(tasks, nullptr, nullptr).value());
       for (size_t t = 0; t < tasks.size(); ++t) {
         const PendingComparison& cmp = pending[static_cast<size_t>(tasks[t].payload)];
         Merge& merge = merges[cmp.merge_index];
-        if (majority[tasks[t].id] == 0) {
+        if (majority.Truth(tasks[t].id) == 0) {
           merge.out.push_back(merge.a[merge.ia++]);
         } else {
           merge.out.push_back(merge.b[merge.ib++]);

@@ -1,436 +1,23 @@
 #include "exec/executor.h"
 
-#include <algorithm>
-#include <chrono>
-#include <limits>
-#include <map>
-#include <memory>
-#include <set>
-#include <utility>
-
 #include "common/logging.h"
-#include "cost/budget.h"
-#include "cost/expectation.h"
-#include "cost/sampling.h"
-#include "graph/pruning.h"
-#include "latency/scheduler.h"
-#include "quality/task_assignment.h"
-#include "quality/truth_inference.h"
 
 namespace cdb {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-// Uniform front for a single simulated platform or a cross-market deployment
-// (Section 2.2): the executor only sees ExecuteRound + stats.
-class MarketFront {
- public:
-  MarketFront(const ExecutorOptions& options, TruthProvider truth) {
-    if (options.markets.empty()) {
-      single_ = std::make_unique<CrowdPlatform>(options.platform, std::move(truth));
-    } else {
-      multi_ = std::make_unique<MultiMarket>(options.markets, std::move(truth));
-    }
-  }
-
-  Result<std::vector<Answer>> ExecuteRound(const std::vector<Task>& tasks,
-                                           const AssignmentPolicy* policy,
-                                           const AnswerObserver* observer) {
-    return single_ ? single_->ExecuteRound(tasks, policy, observer)
-                   : multi_->ExecuteRound(tasks, policy, observer);
-  }
-
-  std::vector<Answer> TakeLateAnswers() {
-    return single_ ? single_->TakeLateAnswers() : multi_->TakeLateAnswers();
-  }
-
-  std::vector<TaskId> TakeDeadLetters() {
-    return single_ ? single_->TakeDeadLetters() : multi_->TakeDeadLetters();
-  }
-
-  void AdvanceTicks(int64_t ticks) {
-    if (single_) {
-      single_->AdvanceTicks(ticks);
-    } else {
-      multi_->AdvanceTicks(ticks);
-    }
-  }
-
-  // The redundancy a task can actually reach: the configured redundancy
-  // capped by the worker-pool size (min across markets for a deployment).
-  int effective_redundancy() const {
-    if (single_) {
-      return std::min(single_->options().redundancy,
-                      static_cast<int>(single_->workers().size()));
-    }
-    int lowest = std::numeric_limits<int>::max();
-    for (const CrowdPlatform& platform : multi_->platforms()) {
-      lowest = std::min(lowest,
-                        std::min(platform.options().redundancy,
-                                 static_cast<int>(platform.workers().size())));
-    }
-    return lowest;
-  }
-
-  PlatformStats stats() const {
-    return single_ ? single_->stats() : multi_->CombinedStats();
-  }
-
- private:
-  std::unique_ptr<CrowdPlatform> single_;
-  std::unique_ptr<MultiMarket> multi_;
-};
-
-// Marker payload for golden warm-up tasks: strictly negative; the known
-// truth is parity of the id.
-int GoldenTruthChoice(int64_t payload) {
-  return static_cast<int>((-payload) % 2);
-}
-
-}  // namespace
 
 CdbExecutor::CdbExecutor(const ResolvedQuery* query,
                          const ExecutorOptions& options, EdgeTruthFn truth)
     : query_(query), options_(options), truth_(std::move(truth)) {}
 
-std::string CdbExecutor::EdgeValueString(VertexId v, int pred) const {
-  const Vertex& vertex = graph_.vertex(v);
-  if (vertex.rel < graph_.num_base_relations()) {
-    const Table* table = query_->tables[vertex.rel];
-    const PredicateInfo& info = graph_.predicate(pred);
-    size_t col;
-    if (pred < static_cast<int>(query_->joins.size())) {
-      const ResolvedJoin& join = query_->joins[pred];
-      col = info.left_rel == vertex.rel ? join.left_col : join.right_col;
-    } else {
-      col = query_->selections[pred - query_->joins.size()].col;
-    }
-    const Value& cell =
-        table->row(static_cast<size_t>(vertex.row))[col];
-    return cell.is_missing() ? std::string() : cell.ToString();
-  }
-  // Selection pseudo-vertex: the constant.
-  size_t sel = static_cast<size_t>(vertex.rel - graph_.num_base_relations());
-  return query_->selections[sel].value;
-}
-
-std::vector<Task> CdbExecutor::MakeTasks(const std::vector<EdgeId>& edges) const {
-  std::vector<Task> tasks;
-  tasks.reserve(edges.size());
-  for (EdgeId e : edges) {
-    const GraphEdge& edge = graph_.edge(e);
-    tasks.push_back(MakeEdgeTask(/*id=*/e, /*edge=*/e,
-                                 EdgeValueString(edge.u, edge.pred),
-                                 EdgeValueString(edge.v, edge.pred)));
-  }
-  return tasks;
-}
+CdbExecutor::~CdbExecutor() = default;
 
 Result<ExecutionResult> CdbExecutor::Run() {
-  CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, options_.graph));
-  Pruner pruner(&graph_);
-
-  ExecutionResult result;
-  ExecutionStats& stats = result.stats;
-
-  // The simulated crowd (single market or cross-market). TaskId == EdgeId by
-  // construction; negative payloads mark golden warm-up tasks.
-  MarketFront platform(options_, [this](const Task& task) {
-    TaskTruth truth;
-    if (task.payload < 0) {
-      truth.correct_choice = GoldenTruthChoice(task.payload);
-    } else {
-      truth.correct_choice =
-          truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
-    }
-    return truth;
-  });
-
-  // Quality-control state (CDB+): accumulated observations, EM worker
-  // qualities carried across rounds, and live posteriors for the assigner.
-  std::vector<ChoiceObservation> all_observations;
-  std::map<int, double> worker_quality;
-  std::map<TaskId, std::vector<double>> posteriors;
-  EntropyAssigner assigner(&posteriors, &worker_quality, /*num_choices=*/2);
-  AssignmentPolicy policy = assigner.AsPolicy();
-  AnswerObserver observer = [&](const Answer& answer) {
-    auto it = posteriors.find(answer.task);
-    if (it == posteriors.end()) return;
-    double q = 0.7;
-    auto wq = worker_quality.find(answer.worker);
-    if (wq != worker_quality.end()) q = wq->second;
-    it->second = PosteriorAfterAnswer(it->second, q, answer.choice);
-  };
-
-  // Golden warm-up (Appendix E): estimate worker qualities from known-truth
-  // tasks before any query task is assigned.
-  if (options_.quality_control && options_.golden_tasks > 0) {
-    std::vector<Task> golden;
-    std::map<TaskId, int> golden_truths;
-    for (int k = 0; k < options_.golden_tasks; ++k) {
-      Task task;
-      task.id = -(k + 1);
-      task.payload = -(k + 1);
-      task.type = TaskType::kSingleChoice;
-      task.question = "golden warm-up";
-      task.choices = {"yes", "no"};
-      golden_truths[task.id] = GoldenTruthChoice(task.payload);
-      golden.push_back(std::move(task));
-    }
-    std::vector<ChoiceObservation> golden_observations;
-    CDB_ASSIGN_OR_RETURN(std::vector<Answer> golden_answers,
-                         platform.ExecuteRound(golden, nullptr, nullptr));
-    for (const Answer& answer : golden_answers) {
-      golden_observations.push_back(
-          ChoiceObservation{answer.task, answer.worker, answer.choice});
-    }
-    worker_quality = QualityFromGoldenTasks(golden_observations, golden_truths);
-  }
-
-  // Unique-(task, worker) guard: the fault layer can deliver duplicate and
-  // late copies of an answer, and requester reposts can reach workers that
-  // already answered; inference must see each observation once.
-  std::set<std::pair<TaskId, int>> seen_observations;
-  auto absorb = [&](const std::vector<Answer>& batch) {
-    int64_t added = 0;
-    for (const Answer& answer : batch) {
-      if (!seen_observations.insert({answer.task, answer.worker}).second) {
-        continue;
-      }
-      all_observations.push_back(
-          ChoiceObservation{answer.task, answer.worker, answer.choice});
-      ++stats.unique_answers_per_task[answer.task];
-      ++added;
-    }
-    return added;
-  };
-  auto infer_all = [&]() {
-    InferenceResult inference;
-    if (options_.quality_control) {
-      EmOptions em;
-      em.num_choices = 2;
-      em.quality_priors = worker_quality;
-      em.num_threads = options_.num_threads;
-      inference = InferSingleChoiceEm(all_observations, em);
-      worker_quality = inference.worker_quality;
-    } else {
-      inference = InferSingleChoiceMajority(all_observations, 2);
-    }
-    return inference;
-  };
-
-  // Late-answer reconciliation: answers that arrived after their lease
-  // expired (or their task was resolved) still carry signal. Fold them into
-  // the observation set, re-infer, and flip any already-colored edge whose
-  // majority/EM truth changed.
-  auto reconcile_late = [&]() {
-    std::vector<Answer> late = platform.TakeLateAnswers();
-    if (late.empty()) return;
-    stats.late_answers += static_cast<int64_t>(late.size());
-    if (absorb(late) == 0) return;
-    InferenceResult inference = infer_all();
-    bool flipped = false;
-    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
-      if (graph_.edge(e).color == EdgeColor::kUnknown) continue;
-      int truth_choice = inference.Truth(e);
-      if (truth_choice < 0) continue;
-      EdgeColor want = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
-      if (graph_.edge(e).color != want) {
-        graph_.RecolorEdge(e, want);
-        ++stats.recolored_edges;
-        flipped = true;
-      }
-    }
-    if (flipped) pruner.Recompute();
-  };
-
-  // Sampling order is computed once (the paper fixes the sample-derived order
-  // and consumes it with pruning).
-  std::vector<EdgeId> sampling_order;
-  if (!options_.budget && options_.cost_method == CostMethod::kSampling) {
-    Clock::time_point start = Clock::now();
-    sampling_order = SampleMinCutOrder(
-        graph_, SamplingOptions{options_.sampling_samples,
-                                options_.platform.seed ^ 0x5eedULL,
-                                options_.num_threads});
-    stats.selection_ms += MsSince(start);
-  }
-
-  int64_t budget_left = options_.budget.value_or(0);
-  while (true) {
-    reconcile_late();
-
-    // --- Cost control: pick the tasks of this round. ---
-    Clock::time_point start = Clock::now();
-    std::vector<EdgeId> round_edges;
-    if (options_.budget) {
-      round_edges = BudgetNextBatch(graph_);
-      if (static_cast<int64_t>(round_edges.size()) > budget_left) {
-        round_edges.resize(static_cast<size_t>(budget_left));
-      }
-      // Deduct up front so requester-side reposts draw from the same budget
-      // (every published task is a spend).
-      budget_left -= static_cast<int64_t>(round_edges.size());
-    } else {
-      std::vector<EdgeId> ordered;
-      if (options_.cost_method == CostMethod::kExpectation) {
-        for (const ScoredEdge& se : ExpectationOrder(graph_, pruner)) {
-          ordered.push_back(se.edge);
-        }
-      } else {
-        for (EdgeId e : sampling_order) {
-          if (graph_.edge(e).color == EdgeColor::kUnknown && pruner.EdgeValid(e)) {
-            ordered.push_back(e);
-          }
-        }
-      }
-      if (ordered.empty()) {
-        stats.selection_ms += MsSince(start);
-        break;
-      }
-      if (options_.round_limit &&
-          stats.rounds >= static_cast<int64_t>(*options_.round_limit) - 1) {
-        // Last permitted round: flush everything that is left.
-        round_edges = ordered;
-      } else {
-        round_edges =
-            SelectParallelRound(graph_, pruner, ordered, options_.latency_mode,
-                                options_.greedy_round_fraction);
-      }
-    }
-    stats.selection_ms += MsSince(start);
-    if (round_edges.empty()) break;
-
-    // --- Publish to the crowd. ---
-    std::vector<Task> tasks = MakeTasks(round_edges);
-    if (options_.quality_control) {
-      for (const Task& task : tasks) {
-        double w = graph_.edge(static_cast<EdgeId>(task.payload)).weight;
-        posteriors[task.id] = {w, 1.0 - w};  // Similarity as the prior.
-      }
-    }
-    const AssignmentPolicy* round_policy =
-        options_.quality_control ? &policy : nullptr;
-    const AnswerObserver* round_observer =
-        options_.quality_control ? &observer : nullptr;
-    CDB_ASSIGN_OR_RETURN(std::vector<Answer> answers,
-                         platform.ExecuteRound(tasks, round_policy,
-                                               round_observer));
-    absorb(answers);
-
-    // --- Requester-side timeout/repost: top up tasks the platform returned
-    // short (abandoned, expired, dead-lettered) with capped exponential
-    // backoff. Each repost publishes only the shortfall, and in budget mode
-    // draws down the same task budget as first-time publishes. ---
-    if (options_.retry.enabled) {
-      const int effective_redundancy = platform.effective_redundancy();
-      for (int attempt = 1; attempt <= options_.retry.max_reposts; ++attempt) {
-        (void)platform.TakeDeadLetters();  // Shortfall recomputed below.
-        std::vector<Task> reposts;
-        for (const Task& task : tasks) {
-          auto it = stats.unique_answers_per_task.find(task.id);
-          int64_t have = it == stats.unique_answers_per_task.end() ? 0
-                                                                   : it->second;
-          if (have >= effective_redundancy) continue;
-          Task repost = task;
-          repost.redundancy_override =
-              static_cast<int>(effective_redundancy - have);
-          reposts.push_back(std::move(repost));
-        }
-        if (reposts.empty()) break;
-        if (options_.budget) {
-          if (budget_left <= 0) break;  // Flush partial: no budget to retry.
-          if (static_cast<int64_t>(reposts.size()) > budget_left) {
-            reposts.resize(static_cast<size_t>(budget_left));
-          }
-          budget_left -= static_cast<int64_t>(reposts.size());
-        }
-        int64_t backoff = std::min(
-            options_.retry.backoff_base_ticks << (attempt - 1),
-            options_.retry.backoff_max_ticks);
-        platform.AdvanceTicks(backoff);
-        CDB_ASSIGN_OR_RETURN(std::vector<Answer> more,
-                             platform.ExecuteRound(reposts, round_policy,
-                                                   round_observer));
-        stats.reposted_tasks += static_cast<int64_t>(reposts.size());
-        absorb(more);
-      }
-      for (const Task& task : tasks) {
-        auto it = stats.unique_answers_per_task.find(task.id);
-        int64_t have = it == stats.unique_answers_per_task.end() ? 0
-                                                                 : it->second;
-        if (have < effective_redundancy) {
-          stats.starved_task_ids.push_back(task.id);
-        }
-      }
-    }
-
-    // --- Quality control: infer the truth of this round's tasks. ---
-    InferenceResult inference = infer_all();
-    for (EdgeId e : round_edges) {
-      int truth_choice = inference.Truth(e);
-      EdgeColor color;
-      if (truth_choice >= 0) {
-        color = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
-      } else {
-        // Graceful degradation: no answers ever arrived for this edge (task
-        // starved or budget exhausted mid-round). Color by the
-        // majority-so-far — with zero observations that is the similarity
-        // prior — instead of aborting the query.
-        ++stats.fallback_colored;
-        color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
-                                             : EdgeColor::kRed;
-      }
-      graph_.SetColor(e, color);
-    }
-
-    pruner.Recompute();
-    stats.tasks_asked += static_cast<int64_t>(round_edges.size());
-    stats.round_sizes.push_back(static_cast<int64_t>(round_edges.size()));
-    ++stats.rounds;
-
-    if (options_.budget && budget_left <= 0) break;
-    if (options_.round_limit &&
-        stats.rounds >= static_cast<int64_t>(*options_.round_limit)) {
-      break;
-    }
-  }
-
-  // Fold in any straggler answers still in flight after the last round.
-  reconcile_late();
-  std::sort(stats.starved_task_ids.begin(), stats.starved_task_ids.end());
-  stats.starved_task_ids.erase(
-      std::unique(stats.starved_task_ids.begin(), stats.starved_task_ids.end()),
-      stats.starved_task_ids.end());
-
-  stats.platform = platform.stats();
-  stats.worker_answers = stats.platform.answers_collected;
-  stats.hits_published = stats.platform.hits_published;
-  stats.dollars_spent = stats.platform.dollars_spent;
-  result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
-  return result;
+  session_ = std::make_unique<QuerySession>(query_, options_, truth_);
+  return session_->RunToCompletion();
 }
 
-std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
-                                              const std::vector<Assignment>& as) {
-  std::vector<QueryAnswer> answers;
-  answers.reserve(as.size());
-  for (const Assignment& assignment : as) {
-    QueryAnswer answer;
-    answer.rows.reserve(graph.num_base_relations());
-    for (int rel = 0; rel < graph.num_base_relations(); ++rel) {
-      answer.rows.push_back(graph.vertex(assignment[rel]).row);
-    }
-    answers.push_back(std::move(answer));
-  }
-  std::sort(answers.begin(), answers.end());
-  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
-  return answers;
+const QueryGraph& CdbExecutor::graph() const {
+  CDB_CHECK_MSG(session_ != nullptr, "graph() before Run()");
+  return session_->graph();
 }
 
 }  // namespace cdb

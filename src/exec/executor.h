@@ -11,138 +11,39 @@
 // A task budget switches to the Section-5.1.3 budget-aware mode; round_limit
 // reproduces the Figure-22 latency-constraint protocol (optimize the first
 // r-1 rounds, flush everything in round r).
+//
+// CdbExecutor is a thin run-to-completion driver over QuerySession
+// (session.h), which owns the loop as an explicit phase machine; the option
+// and result types live there too.
 #ifndef CDB_EXEC_EXECUTOR_H_
 #define CDB_EXEC_EXECUTOR_H_
 
-#include <functional>
-#include <map>
-#include <optional>
-#include <vector>
+#include <memory>
 
-#include "common/status.h"
-#include "cql/analyzer.h"
-#include "crowd/platform.h"
-#include "graph/candidates.h"
-#include "graph/query_graph.h"
-#include "latency/scheduler.h"
+#include "exec/session.h"
 
 namespace cdb {
-
-// Simulation oracle: the true answer of an edge's yes/no task.
-using EdgeTruthFn = std::function<bool(const QueryGraph&, EdgeId)>;
-
-enum class CostMethod {
-  kExpectation,  // Eq. 1 scores (the CDB default).
-  kSampling,     // Sample-based min-cut greedy (the MinCut method).
-};
-
-// Requester-side robustness policy against an unreliable crowd (see
-// PlatformOptions::fault): when a round comes back short — tasks
-// dead-lettered by the platform or below the effective redundancy — the
-// executor reposts the shortfall with capped exponential backoff (the
-// backoff advances the platform's virtual clock, modeling the requester
-// waiting before republishing).
-struct RetryOptions {
-  bool enabled = true;
-  int max_reposts = 3;             // Repost attempts per round.
-  int64_t backoff_base_ticks = 2;  // Backoff before attempt k: base << (k-1),
-  int64_t backoff_max_ticks = 64;  // capped here.
-};
-
-struct ExecutorOptions {
-  CostMethod cost_method = CostMethod::kExpectation;
-  bool quality_control = false;  // CDB+: EM inference + entropy assignment.
-  LatencyMode latency_mode = LatencyMode::kVertexGreedy;
-  double greedy_round_fraction = 0.34;  // See SelectParallelRound.
-  GraphOptions graph;
-  PlatformOptions platform;
-  // Cross-market deployment (Section 2.2): when non-empty, tasks are
-  // partitioned across these simulated markets instead of `platform`.
-  std::vector<PlatformOptions> markets;
-  // Golden tasks (Appendix E): with quality_control on, publish this many
-  // known-truth warm-up tasks first and initialize worker qualities from the
-  // answers (instead of the flat 0.7 prior).
-  int golden_tasks = 0;
-  int sampling_samples = 100;
-  // Threads for the optimizer's parallel stages (sampling min-cut, EM truth
-  // inference; graph.num_threads covers the build-time similarity joins):
-  // <= 0 = all hardware threads, 1 = the exact serial path. Results are
-  // bit-identical at every setting.
-  int num_threads = 0;
-  std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
-  std::optional<int> round_limit;    // Figure-22 latency constraint.
-  RetryOptions retry;                // Timeout/repost policy under faults.
-};
-
-struct ExecutionStats {
-  int64_t tasks_asked = 0;
-  int64_t rounds = 0;
-  int64_t worker_answers = 0;
-  int64_t hits_published = 0;
-  double dollars_spent = 0.0;
-  double selection_ms = 0.0;  // Time in task selection + round scheduling.
-  std::vector<int64_t> round_sizes;
-  // Fault-robustness accounting (all zero with a clean crowd).
-  int64_t reposted_tasks = 0;    // Requester-side reposts published.
-  int64_t late_answers = 0;      // Late answers reconciled into inference.
-  int64_t recolored_edges = 0;   // Colors flipped by late-answer evidence.
-  int64_t fallback_colored = 0;  // Edges colored by majority-so-far/prior
-                                 // because inference had no answers for them.
-  // Tasks that stayed below effective redundancy after the retry budget ran
-  // out (sorted, unique). The DST harness exempts these from the
-  // answers-per-task invariant.
-  std::vector<int64_t> starved_task_ids;
-  // Unique (task, worker) observations per published task id; lets tests
-  // relate result quality to the evidence inference actually saw.
-  std::map<int64_t, int64_t> unique_answers_per_task;
-  // Final platform-side accounting (combined across markets); the DST
-  // harness checks its conservation laws and byte-dumps it for determinism
-  // comparisons.
-  PlatformStats platform;
-};
-
-// One result tuple: the row index per base relation.
-struct QueryAnswer {
-  std::vector<int64_t> rows;
-
-  friend bool operator==(const QueryAnswer& a, const QueryAnswer& b) {
-    return a.rows == b.rows;
-  }
-  friend bool operator<(const QueryAnswer& a, const QueryAnswer& b) {
-    return a.rows < b.rows;
-  }
-};
-
-struct ExecutionResult {
-  std::vector<QueryAnswer> answers;
-  ExecutionStats stats;
-};
 
 class CdbExecutor {
  public:
   // `query` (and the tables it borrows) must outlive the executor.
   CdbExecutor(const ResolvedQuery* query, const ExecutorOptions& options,
               EdgeTruthFn truth);
+  ~CdbExecutor();
 
-  // Runs the crowdsourcing loop to completion.
+  // Runs the crowdsourcing loop to completion (a fresh QuerySession stepped
+  // until done).
   Result<ExecutionResult> Run();
 
   // The graph after Run() — e.g. for inspecting colors in tests.
-  const QueryGraph& graph() const { return graph_; }
+  const QueryGraph& graph() const;
 
  private:
-  std::vector<Task> MakeTasks(const std::vector<EdgeId>& edges) const;
-  std::string EdgeValueString(VertexId v, int col_side_pred) const;
-
   const ResolvedQuery* query_;
   ExecutorOptions options_;
   EdgeTruthFn truth_;
-  QueryGraph graph_;
+  std::unique_ptr<QuerySession> session_;
 };
-
-// Converts graph assignments to base-relation row answers (sorted, unique).
-std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
-                                              const std::vector<Assignment>& as);
 
 }  // namespace cdb
 

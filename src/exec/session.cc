@@ -1,0 +1,549 @@
+#include "exec/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "cost/budget.h"
+#include "cost/expectation.h"
+#include "cost/sampling.h"
+
+namespace cdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Marker payload for golden warm-up tasks: strictly negative; the known
+// truth is parity of the id.
+int GoldenTruthChoice(int64_t payload) {
+  return static_cast<int>((-payload) % 2);
+}
+
+}  // namespace
+
+const char* SessionPhaseName(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kBuildGraph: return "build_graph";
+    case SessionPhase::kSelectTasks: return "select_tasks";
+    case SessionPhase::kBatchRound: return "batch_round";
+    case SessionPhase::kPublish: return "publish";
+    case SessionPhase::kCollect: return "collect";
+    case SessionPhase::kInfer: return "infer";
+    case SessionPhase::kColor: return "color";
+    case SessionPhase::kPrune: return "prune";
+    case SessionPhase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+PlatformPublisher::PlatformPublisher(const PlatformOptions& platform,
+                                     const std::vector<PlatformOptions>& markets,
+                                     TruthProvider truth) {
+  if (markets.empty()) {
+    single_ = std::make_unique<CrowdPlatform>(platform, std::move(truth));
+  } else {
+    multi_ = std::make_unique<MultiMarket>(markets, std::move(truth));
+  }
+}
+
+Result<std::vector<Answer>> PlatformPublisher::Publish(
+    const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+    const AnswerObserver* observer) {
+  return single_ ? single_->ExecuteRound(tasks, policy, observer)
+                 : multi_->ExecuteRound(tasks, policy, observer);
+}
+
+std::vector<Answer> PlatformPublisher::TakeLateAnswers() {
+  return single_ ? single_->TakeLateAnswers() : multi_->TakeLateAnswers();
+}
+
+std::vector<TaskId> PlatformPublisher::TakeDeadLetters() {
+  return single_ ? single_->TakeDeadLetters() : multi_->TakeDeadLetters();
+}
+
+void PlatformPublisher::AdvanceTicks(int64_t ticks) {
+  if (single_) {
+    single_->AdvanceTicks(ticks);
+  } else {
+    multi_->AdvanceTicks(ticks);
+  }
+}
+
+int PlatformPublisher::effective_redundancy() const {
+  if (single_) {
+    return std::min(single_->options().redundancy,
+                    static_cast<int>(single_->workers().size()));
+  }
+  int lowest = std::numeric_limits<int>::max();
+  for (const CrowdPlatform& platform : multi_->platforms()) {
+    lowest = std::min(lowest,
+                      std::min(platform.options().redundancy,
+                               static_cast<int>(platform.workers().size())));
+  }
+  return lowest;
+}
+
+PlatformStats PlatformPublisher::stats() const {
+  return single_ ? single_->stats() : multi_->CombinedStats();
+}
+
+QuerySession::QuerySession(const ResolvedQuery* query,
+                           const ExecutorOptions& options, EdgeTruthFn truth)
+    : QuerySession(query, options, std::move(truth), nullptr) {}
+
+QuerySession::QuerySession(const ResolvedQuery* query,
+                           const ExecutorOptions& options, EdgeTruthFn truth,
+                           TaskPublisher* publisher)
+    : query_(query),
+      options_(options),
+      truth_(std::move(truth)),
+      assigner_(&posteriors_, &worker_quality_, /*num_choices=*/2),
+      budget_(options.budget) {
+  policy_ = assigner_.AsPolicy();
+  observer_ = [this](const Answer& answer) {
+    auto it = posteriors_.find(answer.task);
+    if (it == posteriors_.end()) return;
+    double q = 0.7;
+    auto wq = worker_quality_.find(answer.worker);
+    if (wq != worker_quality_.end()) q = wq->second;
+    it->second = PosteriorAfterAnswer(it->second, q, answer.choice);
+  };
+  if (publisher != nullptr) {
+    publisher_ = publisher;
+    external_publish_ = true;
+  } else {
+    // TaskId == EdgeId by construction; negative payloads mark golden
+    // warm-up tasks.
+    owned_publisher_ = std::make_unique<PlatformPublisher>(
+        options_.platform, options_.markets,
+        [this](const Task& task) { return TaskTruthFor(task); });
+    publisher_ = owned_publisher_.get();
+  }
+}
+
+QuerySession::~QuerySession() = default;
+
+TaskTruth QuerySession::TaskTruthFor(const Task& task) const {
+  TaskTruth truth;
+  if (task.payload < 0) {
+    truth.correct_choice = GoldenTruthChoice(task.payload);
+  } else {
+    truth.correct_choice =
+        truth_(graph_, static_cast<EdgeId>(task.payload)) ? 0 : 1;
+  }
+  return truth;
+}
+
+bool QuerySession::waiting_for_answers() const {
+  return external_publish_ && phase_ == SessionPhase::kPublish;
+}
+
+Result<bool> QuerySession::Step() {
+  CDB_CHECK_MSG(!waiting_for_answers(),
+                "Step() while the scheduler owes this session a round of "
+                "answers; call DeliverAnswers() instead");
+  if (phase_ == SessionPhase::kDone) return false;
+  ++Counters().steps;
+  switch (phase_) {
+    case SessionPhase::kBuildGraph: return StepBuildGraph();
+    case SessionPhase::kSelectTasks: return StepSelectTasks();
+    case SessionPhase::kBatchRound: return StepBatchRound();
+    case SessionPhase::kPublish: return StepPublish();
+    case SessionPhase::kCollect: return StepCollect();
+    case SessionPhase::kInfer: return StepInfer();
+    case SessionPhase::kColor: return StepColor();
+    case SessionPhase::kPrune: return StepPrune();
+    case SessionPhase::kDone: return false;
+  }
+  return Status::Internal("unreachable session phase");
+}
+
+Result<ExecutionResult> QuerySession::RunToCompletion() {
+  CDB_CHECK_MSG(!external_publish_,
+                "RunToCompletion drives standalone sessions only; "
+                "scheduler-mode sessions are stepped by MultiQueryScheduler");
+  while (true) {
+    CDB_ASSIGN_OR_RETURN(bool more, Step());
+    if (!more) break;
+  }
+  return TakeResult();
+}
+
+ExecutionResult QuerySession::TakeResult() {
+  CDB_CHECK(done());
+  return std::move(result_);
+}
+
+Result<bool> QuerySession::StepBuildGraph() {
+  CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, options_.graph));
+  pruner_.emplace(&graph_);
+
+  // Golden warm-up (Appendix E): estimate worker qualities from known-truth
+  // tasks before any query task is assigned.
+  if (options_.quality_control && options_.golden_tasks > 0) {
+    std::vector<Task> golden;
+    std::map<TaskId, int> golden_truths;
+    for (int k = 0; k < options_.golden_tasks; ++k) {
+      Task task;
+      task.id = -(k + 1);
+      task.payload = -(k + 1);
+      task.type = TaskType::kSingleChoice;
+      task.question = "golden warm-up";
+      task.choices = {"yes", "no"};
+      golden_truths[task.id] = GoldenTruthChoice(task.payload);
+      golden.push_back(std::move(task));
+    }
+    std::vector<ChoiceObservation> golden_observations;
+    CDB_ASSIGN_OR_RETURN(std::vector<Answer> golden_answers,
+                         publisher_->Publish(golden, nullptr, nullptr));
+    Counters().tasks += static_cast<int64_t>(golden.size());
+    Counters().answers += static_cast<int64_t>(golden_answers.size());
+    answers_received_ += static_cast<int64_t>(golden_answers.size());
+    for (const Answer& answer : golden_answers) {
+      golden_observations.push_back(
+          ChoiceObservation{answer.task, answer.worker, answer.choice});
+    }
+    worker_quality_ = QualityFromGoldenTasks(golden_observations, golden_truths);
+  }
+
+  // Sampling order is computed once (the paper fixes the sample-derived order
+  // and consumes it with pruning).
+  if (!options_.budget && options_.cost_method == CostMethod::kSampling) {
+    Clock::time_point start = Clock::now();
+    sampling_order_ = SampleMinCutOrder(
+        graph_, SamplingOptions{options_.sampling_samples,
+                                options_.platform.seed ^ 0x5eedULL,
+                                options_.num_threads});
+    result_.stats.selection_ms += MsSince(start);
+  }
+
+  phase_ = SessionPhase::kSelectTasks;
+  return true;
+}
+
+Result<bool> QuerySession::StepSelectTasks() {
+  ReconcileLate();
+
+  // Cost control: order the tasks still worth asking.
+  Clock::time_point start = Clock::now();
+  ordered_.clear();
+  if (options_.budget) {
+    ordered_ = BudgetNextBatch(graph_);
+  } else if (options_.cost_method == CostMethod::kExpectation) {
+    for (const ScoredEdge& se : ExpectationOrder(graph_, *pruner_)) {
+      ordered_.push_back(se.edge);
+    }
+  } else {
+    for (EdgeId e : sampling_order_) {
+      if (graph_.edge(e).color == EdgeColor::kUnknown && pruner_->EdgeValid(e)) {
+        ordered_.push_back(e);
+      }
+    }
+  }
+  result_.stats.selection_ms += MsSince(start);
+
+  if (ordered_.empty()) return Finish();
+  phase_ = SessionPhase::kBatchRound;
+  return true;
+}
+
+Result<bool> QuerySession::StepBatchRound() {
+  // Latency control: pick this round's non-conflicting batch; in budget mode
+  // the whole candidate batch is taken but the ledger caps the spend up
+  // front, so requester-side reposts draw from the same budget (every
+  // published task is a spend).
+  Clock::time_point start = Clock::now();
+  round_edges_.clear();
+  if (options_.budget) {
+    round_edges_ = ordered_;
+    int64_t granted = budget_.TryDebit(static_cast<int64_t>(round_edges_.size()));
+    round_edges_.resize(static_cast<size_t>(granted));
+  } else if (options_.round_limit &&
+             result_.stats.rounds >=
+                 static_cast<int64_t>(*options_.round_limit) - 1) {
+    // Last permitted round: flush everything that is left.
+    round_edges_ = ordered_;
+  } else {
+    round_edges_ =
+        SelectParallelRound(graph_, *pruner_, ordered_, options_.latency_mode,
+                            options_.greedy_round_fraction);
+  }
+  result_.stats.selection_ms += MsSince(start);
+  if (round_edges_.empty()) return Finish();
+
+  round_tasks_ = MakeTasks(round_edges_);
+  if (options_.quality_control) {
+    for (const Task& task : round_tasks_) {
+      double w = graph_.edge(static_cast<EdgeId>(task.payload)).weight;
+      posteriors_[task.id] = {w, 1.0 - w};  // Similarity as the prior.
+    }
+  }
+  phase_ = SessionPhase::kPublish;
+  return true;
+}
+
+Result<bool> QuerySession::StepPublish() {
+  const AssignmentPolicy* round_policy =
+      options_.quality_control ? &policy_ : nullptr;
+  const AnswerObserver* round_observer =
+      options_.quality_control ? &observer_ : nullptr;
+  CDB_ASSIGN_OR_RETURN(
+      std::vector<Answer> answers,
+      publisher_->Publish(round_tasks_, round_policy, round_observer));
+  Counters().tasks += static_cast<int64_t>(round_tasks_.size());
+  Counters().answers += static_cast<int64_t>(answers.size());
+  answers_received_ += static_cast<int64_t>(answers.size());
+  Absorb(answers);
+  phase_ = SessionPhase::kCollect;
+  return true;
+}
+
+void QuerySession::DeliverAnswers(const std::vector<Answer>& answers) {
+  CDB_CHECK_MSG(waiting_for_answers(),
+                "DeliverAnswers on a session that is not parked at kPublish");
+  ++Counters().steps;
+  Counters().tasks += static_cast<int64_t>(round_tasks_.size());
+  Counters().answers += static_cast<int64_t>(answers.size());
+  answers_received_ += static_cast<int64_t>(answers.size());
+  if (options_.quality_control) {
+    // The shared platform assigns round-robin (the id spaces differ), so the
+    // posterior updates happen on delivery instead of per-arrival.
+    for (const Answer& answer : answers) observer_(answer);
+  }
+  Absorb(answers);
+  phase_ = SessionPhase::kCollect;
+}
+
+Result<bool> QuerySession::StepCollect() {
+  // Requester-side timeout/repost: top up tasks the platform returned short
+  // (abandoned, expired, dead-lettered) with capped exponential backoff.
+  // Each repost publishes only the shortfall. Reposts go straight to the
+  // publisher even in scheduler mode: a shortfall is private to the session
+  // that observed it.
+  const AssignmentPolicy* round_policy =
+      !external_publish_ && options_.quality_control ? &policy_ : nullptr;
+  const AnswerObserver* round_observer =
+      !external_publish_ && options_.quality_control ? &observer_ : nullptr;
+  ExecutionStats& stats = result_.stats;
+  if (options_.retry.enabled) {
+    const int effective_redundancy = publisher_->effective_redundancy();
+    for (int attempt = 1; attempt <= options_.retry.max_reposts; ++attempt) {
+      (void)publisher_->TakeDeadLetters();  // Shortfall recomputed below.
+      std::vector<Task> reposts;
+      for (const Task& task : round_tasks_) {
+        auto it = stats.unique_answers_per_task.find(task.id);
+        int64_t have = it == stats.unique_answers_per_task.end() ? 0
+                                                                 : it->second;
+        if (have >= effective_redundancy) continue;
+        Task repost = task;
+        repost.redundancy_override =
+            static_cast<int>(effective_redundancy - have);
+        reposts.push_back(std::move(repost));
+      }
+      if (reposts.empty()) break;
+      if (options_.budget) {
+        int64_t granted = budget_.TryDebit(static_cast<int64_t>(reposts.size()));
+        if (granted == 0) break;  // Flush partial: no budget to retry.
+        reposts.resize(static_cast<size_t>(granted));
+      }
+      int64_t backoff = std::min(
+          options_.retry.backoff_base_ticks << (attempt - 1),
+          options_.retry.backoff_max_ticks);
+      publisher_->AdvanceTicks(backoff);
+      CDB_ASSIGN_OR_RETURN(
+          std::vector<Answer> more,
+          publisher_->Publish(reposts, round_policy, round_observer));
+      stats.reposted_tasks += static_cast<int64_t>(reposts.size());
+      Counters().tasks += static_cast<int64_t>(reposts.size());
+      Counters().answers += static_cast<int64_t>(more.size());
+      answers_received_ += static_cast<int64_t>(more.size());
+      Absorb(more);
+    }
+    for (const Task& task : round_tasks_) {
+      auto it = stats.unique_answers_per_task.find(task.id);
+      int64_t have = it == stats.unique_answers_per_task.end() ? 0
+                                                               : it->second;
+      if (have < effective_redundancy) {
+        stats.starved_task_ids.push_back(task.id);
+      }
+    }
+  }
+  phase_ = SessionPhase::kInfer;
+  return true;
+}
+
+Result<bool> QuerySession::StepInfer() {
+  inference_ = InferAll();
+  phase_ = SessionPhase::kColor;
+  return true;
+}
+
+Result<bool> QuerySession::StepColor() {
+  for (EdgeId e : round_edges_) {
+    int truth_choice = inference_.Truth(e);
+    EdgeColor color;
+    if (truth_choice >= 0) {
+      color = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+    } else {
+      // Graceful degradation: no answers ever arrived for this edge (task
+      // starved or budget exhausted mid-round). Color by the
+      // majority-so-far — with zero observations that is the similarity
+      // prior — instead of aborting the query.
+      ++result_.stats.fallback_colored;
+      color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
+                                           : EdgeColor::kRed;
+    }
+    graph_.SetColor(e, color);
+  }
+  result_.stats.tasks_asked += static_cast<int64_t>(round_edges_.size());
+  result_.stats.round_sizes.push_back(static_cast<int64_t>(round_edges_.size()));
+  ++result_.stats.rounds;
+  phase_ = SessionPhase::kPrune;
+  return true;
+}
+
+Result<bool> QuerySession::StepPrune() {
+  pruner_->Recompute();
+  if (options_.budget && budget_.remaining() <= 0) return Finish();
+  if (options_.round_limit &&
+      result_.stats.rounds >= static_cast<int64_t>(*options_.round_limit)) {
+    return Finish();
+  }
+  phase_ = SessionPhase::kSelectTasks;
+  return true;
+}
+
+Result<bool> QuerySession::Finish() {
+  // Fold in any straggler answers still in flight after the last round.
+  ReconcileLate();
+  ExecutionStats& stats = result_.stats;
+  std::sort(stats.starved_task_ids.begin(), stats.starved_task_ids.end());
+  stats.starved_task_ids.erase(
+      std::unique(stats.starved_task_ids.begin(), stats.starved_task_ids.end()),
+      stats.starved_task_ids.end());
+
+  stats.platform = publisher_->stats();
+  // In scheduler mode the publisher's stats cover every co-scheduled
+  // session; this session's own delivery count is tracked separately.
+  stats.worker_answers =
+      external_publish_ ? answers_received_ : stats.platform.answers_collected;
+  stats.hits_published = stats.platform.hits_published;
+  stats.dollars_spent = stats.platform.dollars_spent;
+  result_.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
+  phase_ = SessionPhase::kDone;
+  return false;
+}
+
+int64_t QuerySession::Absorb(const std::vector<Answer>& batch) {
+  int64_t added = 0;
+  for (const Answer& answer : batch) {
+    if (!seen_observations_.insert({answer.task, answer.worker}).second) {
+      continue;
+    }
+    all_observations_.push_back(
+        ChoiceObservation{answer.task, answer.worker, answer.choice});
+    ++result_.stats.unique_answers_per_task[answer.task];
+    ++added;
+  }
+  return added;
+}
+
+InferenceResult QuerySession::InferAll() {
+  InferenceResult inference;
+  if (options_.quality_control) {
+    EmOptions em;
+    em.num_choices = 2;
+    em.quality_priors = worker_quality_;
+    em.num_threads = options_.num_threads;
+    inference = InferSingleChoiceEm(all_observations_, em);
+    worker_quality_ = inference.worker_quality;
+  } else {
+    inference = InferSingleChoiceMajority(all_observations_, 2);
+  }
+  return inference;
+}
+
+void QuerySession::ReconcileLate() {
+  // Late-answer reconciliation: answers that arrived after their lease
+  // expired (or their task was resolved) still carry signal. Fold them into
+  // the observation set, re-infer, and flip any already-colored edge whose
+  // majority/EM truth changed.
+  std::vector<Answer> late = publisher_->TakeLateAnswers();
+  if (late.empty()) return;
+  result_.stats.late_answers += static_cast<int64_t>(late.size());
+  Counters().answers += static_cast<int64_t>(late.size());
+  answers_received_ += static_cast<int64_t>(late.size());
+  if (Absorb(late) == 0) return;
+  InferenceResult inference = InferAll();
+  bool flipped = false;
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (graph_.edge(e).color == EdgeColor::kUnknown) continue;
+    int truth_choice = inference.Truth(e);
+    if (truth_choice < 0) continue;
+    EdgeColor want = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+    if (graph_.edge(e).color != want) {
+      graph_.RecolorEdge(e, want);
+      ++result_.stats.recolored_edges;
+      flipped = true;
+    }
+  }
+  if (flipped) pruner_->Recompute();
+}
+
+std::string QuerySession::EdgeValueString(VertexId v, int pred) const {
+  const Vertex& vertex = graph_.vertex(v);
+  if (vertex.rel < graph_.num_base_relations()) {
+    const Table* table = query_->tables[vertex.rel];
+    const PredicateInfo& info = graph_.predicate(pred);
+    size_t col;
+    if (pred < static_cast<int>(query_->joins.size())) {
+      const ResolvedJoin& join = query_->joins[pred];
+      col = info.left_rel == vertex.rel ? join.left_col : join.right_col;
+    } else {
+      col = query_->selections[pred - query_->joins.size()].col;
+    }
+    const Value& cell =
+        table->row(static_cast<size_t>(vertex.row))[col];
+    return cell.is_missing() ? std::string() : cell.ToString();
+  }
+  // Selection pseudo-vertex: the constant.
+  size_t sel = static_cast<size_t>(vertex.rel - graph_.num_base_relations());
+  return query_->selections[sel].value;
+}
+
+std::vector<Task> QuerySession::MakeTasks(const std::vector<EdgeId>& edges) const {
+  std::vector<Task> tasks;
+  tasks.reserve(edges.size());
+  for (EdgeId e : edges) {
+    const GraphEdge& edge = graph_.edge(e);
+    tasks.push_back(MakeEdgeTask(/*id=*/e, /*edge=*/e,
+                                 EdgeValueString(edge.u, edge.pred),
+                                 EdgeValueString(edge.v, edge.pred)));
+  }
+  return tasks;
+}
+
+std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
+                                              const std::vector<Assignment>& as) {
+  std::vector<QueryAnswer> answers;
+  answers.reserve(as.size());
+  for (const Assignment& assignment : as) {
+    QueryAnswer answer;
+    answer.rows.reserve(graph.num_base_relations());
+    for (int rel = 0; rel < graph.num_base_relations(); ++rel) {
+      answer.rows.push_back(graph.vertex(assignment[rel]).row);
+    }
+    answers.push_back(std::move(answer));
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace cdb

@@ -1,0 +1,341 @@
+// The phase-structured query session: Algorithm 1 (Appendix B) as an explicit
+// state machine instead of a run-to-completion loop.
+//
+// A QuerySession advances one phase per Step():
+//
+//   BuildGraph -> SelectTasks -> BatchRound -> Publish -> Collect
+//        ^                          |                        |
+//        |                          v (nothing left)         v
+//      Prune <- Color <- Infer <----+------------------------+
+//        |
+//        v (budget/rounds exhausted, or SelectTasks finds nothing)
+//      Done
+//
+// Because every platform interaction happens inside a phase and phases carry
+// their own state, a session can be paused between any two Step() calls,
+// resumed later, and interleaved with other sessions — the property
+// MultiQueryScheduler (scheduler.h) builds on. The phase bodies are the old
+// CdbExecutor::Run loop cut at its natural seams, preserving the exact
+// sequence of publishes, clock advances, and late-answer drains, so a
+// standalone session is byte-identical to the pre-session executor: same
+// tasks, same rounds, same PlatformStatsDump, at every thread count.
+//
+// All crowd traffic leaves through a TaskPublisher. PlatformPublisher is the
+// production implementation (one CrowdPlatform or a MultiMarket deployment)
+// and, together with the scheduler's shared-platform channel, the only code
+// allowed to call CrowdPlatform::ExecuteRound (the `single-publish-path`
+// lint rule enforces this).
+#ifndef CDB_EXEC_SESSION_H_
+#define CDB_EXEC_SESSION_H_
+
+#include <array>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/ledger.h"
+#include "cql/analyzer.h"
+#include "crowd/platform.h"
+#include "graph/candidates.h"
+#include "graph/pruning.h"
+#include "graph/query_graph.h"
+#include "latency/scheduler.h"
+#include "quality/task_assignment.h"
+#include "quality/truth_inference.h"
+
+namespace cdb {
+
+// Simulation oracle: the true answer of an edge's yes/no task.
+using EdgeTruthFn = std::function<bool(const QueryGraph&, EdgeId)>;
+
+enum class CostMethod {
+  kExpectation,  // Eq. 1 scores (the CDB default).
+  kSampling,     // Sample-based min-cut greedy (the MinCut method).
+};
+
+// Requester-side robustness policy against an unreliable crowd (see
+// PlatformOptions::fault): when a round comes back short — tasks
+// dead-lettered by the platform or below the effective redundancy — the
+// Collect phase reposts the shortfall with capped exponential backoff (the
+// backoff advances the platform's virtual clock, modeling the requester
+// waiting before republishing).
+struct RetryOptions {
+  bool enabled = true;
+  int max_reposts = 3;             // Repost attempts per round.
+  int64_t backoff_base_ticks = 2;  // Backoff before attempt k: base << (k-1),
+  int64_t backoff_max_ticks = 64;  // capped here.
+};
+
+struct ExecutorOptions {
+  CostMethod cost_method = CostMethod::kExpectation;
+  bool quality_control = false;  // CDB+: EM inference + entropy assignment.
+  LatencyMode latency_mode = LatencyMode::kVertexGreedy;
+  double greedy_round_fraction = 0.34;  // See SelectParallelRound.
+  GraphOptions graph;
+  PlatformOptions platform;
+  // Cross-market deployment (Section 2.2): when non-empty, tasks are
+  // partitioned across these simulated markets instead of `platform`.
+  std::vector<PlatformOptions> markets;
+  // Golden tasks (Appendix E): with quality_control on, publish this many
+  // known-truth warm-up tasks first and initialize worker qualities from the
+  // answers (instead of the flat 0.7 prior).
+  int golden_tasks = 0;
+  int sampling_samples = 100;
+  // Threads for the optimizer's parallel stages (sampling min-cut, EM truth
+  // inference; graph.num_threads covers the build-time similarity joins):
+  // <= 0 = all hardware threads, 1 = the exact serial path. Results are
+  // bit-identical at every setting.
+  int num_threads = 0;
+  std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
+  std::optional<int> round_limit;    // Figure-22 latency constraint.
+  RetryOptions retry;                // Timeout/repost policy under faults.
+};
+
+// The session phases, in Step() order. kDone is terminal.
+enum class SessionPhase : uint8_t {
+  kBuildGraph = 0,  // Graph + pruner + sampling order + golden warm-up.
+  kSelectTasks,     // Late-answer reconciliation + cost-control ordering.
+  kBatchRound,      // Latency-control round selection + budget debit.
+  kPublish,         // Hand the round's tasks to the TaskPublisher.
+  kCollect,         // Requester-side shortfall reposts (RetryOptions).
+  kInfer,           // Truth inference over all observations.
+  kColor,           // Color this round's edges (fallback: similarity prior).
+  kPrune,           // Pruner recompute + termination checks.
+  kDone,
+};
+
+inline constexpr int kNumSessionPhases = 9;
+
+const char* SessionPhaseName(SessionPhase phase);
+
+// Per-phase accounting: how often the phase ran, and the tasks handed to the
+// publisher / answers received (pre-dedup, late ones included) while it was
+// the active phase.
+struct PhaseCounters {
+  int64_t steps = 0;
+  int64_t tasks = 0;
+  int64_t answers = 0;
+};
+
+struct ExecutionStats {
+  int64_t tasks_asked = 0;
+  int64_t rounds = 0;
+  int64_t worker_answers = 0;
+  int64_t hits_published = 0;
+  double dollars_spent = 0.0;
+  double selection_ms = 0.0;  // Time in task selection + round scheduling.
+  std::vector<int64_t> round_sizes;
+  // Fault-robustness accounting (all zero with a clean crowd).
+  int64_t reposted_tasks = 0;    // Requester-side reposts published.
+  int64_t late_answers = 0;      // Late answers reconciled into inference.
+  int64_t recolored_edges = 0;   // Colors flipped by late-answer evidence.
+  int64_t fallback_colored = 0;  // Edges colored by majority-so-far/prior
+                                 // because inference had no answers for them.
+  // Tasks that stayed below effective redundancy after the retry budget ran
+  // out (sorted, unique). The DST harness exempts these from the
+  // answers-per-task invariant.
+  std::vector<int64_t> starved_task_ids;
+  // Unique (task, worker) observations per published task id; lets tests
+  // relate result quality to the evidence inference actually saw.
+  std::map<int64_t, int64_t> unique_answers_per_task;
+  // Per-phase step/task/answer counters, indexed by SessionPhase.
+  std::array<PhaseCounters, kNumSessionPhases> phases{};
+  // Tasks this session wanted that MultiQueryScheduler served from another
+  // session's identical ask instead of publishing again (0 standalone).
+  int64_t dedup_tasks_saved = 0;
+  // Final platform-side accounting (combined across markets); the DST
+  // harness checks its conservation laws and byte-dumps it for determinism
+  // comparisons.
+  PlatformStats platform;
+};
+
+// One result tuple: the row index per base relation.
+struct QueryAnswer {
+  std::vector<int64_t> rows;
+
+  friend bool operator==(const QueryAnswer& a, const QueryAnswer& b) {
+    return a.rows == b.rows;
+  }
+  friend bool operator<(const QueryAnswer& a, const QueryAnswer& b) {
+    return a.rows < b.rows;
+  }
+};
+
+struct ExecutionResult {
+  std::vector<QueryAnswer> answers;
+  ExecutionStats stats;
+};
+
+// Where a session's crowd traffic goes. Publish() blocks until the round
+// resolves and returns the on-time answers; the remaining calls mirror the
+// CrowdPlatform fault-layer surface.
+class TaskPublisher {
+ public:
+  virtual ~TaskPublisher() = default;
+
+  virtual Result<std::vector<Answer>> Publish(
+      const std::vector<Task>& tasks, const AssignmentPolicy* policy,
+      const AnswerObserver* observer) = 0;
+  virtual std::vector<Answer> TakeLateAnswers() = 0;
+  virtual std::vector<TaskId> TakeDeadLetters() = 0;
+  virtual void AdvanceTicks(int64_t ticks) = 0;
+  // The redundancy a task can actually reach: the configured redundancy
+  // capped by the worker-pool size (min across markets for a deployment).
+  virtual int effective_redundancy() const = 0;
+  virtual PlatformStats stats() const = 0;
+};
+
+// The production publisher: a single simulated platform or a cross-market
+// deployment (Section 2.2) behind the uniform TaskPublisher surface.
+class PlatformPublisher : public TaskPublisher {
+ public:
+  // Uses `markets` when non-empty, else `platform`.
+  PlatformPublisher(const PlatformOptions& platform,
+                    const std::vector<PlatformOptions>& markets,
+                    TruthProvider truth);
+  PlatformPublisher(const PlatformOptions& platform, TruthProvider truth)
+      : PlatformPublisher(platform, {}, std::move(truth)) {}
+
+  Result<std::vector<Answer>> Publish(const std::vector<Task>& tasks,
+                                      const AssignmentPolicy* policy,
+                                      const AnswerObserver* observer) override;
+  std::vector<Answer> TakeLateAnswers() override;
+  std::vector<TaskId> TakeDeadLetters() override;
+  void AdvanceTicks(int64_t ticks) override;
+  int effective_redundancy() const override;
+  PlatformStats stats() const override;
+
+  // The wrapped single platform; null for a multi-market deployment.
+  CrowdPlatform* single_platform() { return single_.get(); }
+
+ private:
+  std::unique_ptr<CrowdPlatform> single_;
+  std::unique_ptr<MultiMarket> multi_;
+};
+
+// One query's crowdsourcing run as a resumable state machine. See the file
+// comment for the phase diagram.
+class QuerySession {
+ public:
+  // Standalone: the session builds its own PlatformPublisher from
+  // options.platform / options.markets and drives rounds itself.
+  // `query` (and the tables it borrows) must outlive the session.
+  QuerySession(const ResolvedQuery* query, const ExecutorOptions& options,
+               EdgeTruthFn truth);
+
+  // Scheduler mode: crowd traffic goes through `publisher` (borrowed, must
+  // outlive the session). The session parks at kPublish with pending_tasks()
+  // exposed until the scheduler calls DeliverAnswers(); golden warm-up and
+  // Collect-phase reposts still go through `publisher` directly.
+  QuerySession(const ResolvedQuery* query, const ExecutorOptions& options,
+               EdgeTruthFn truth, TaskPublisher* publisher);
+
+  ~QuerySession();
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  // Advances exactly one phase. Returns true while the session has more work
+  // and false once it is done. Must not be called while
+  // waiting_for_answers(); RunToCompletion() and the scheduler handle that.
+  Result<bool> Step();
+
+  // Steps the session to completion (standalone sessions only) and returns
+  // the result.
+  Result<ExecutionResult> RunToCompletion();
+
+  SessionPhase phase() const { return phase_; }
+  bool done() const { return phase_ == SessionPhase::kDone; }
+
+  // Scheduler mode: true when the session sits at kPublish with a round
+  // ready; the scheduler reads pending_tasks(), publishes them (merged and
+  // deduplicated with other sessions), and resumes via DeliverAnswers().
+  bool waiting_for_answers() const;
+  const std::vector<Task>& pending_tasks() const { return round_tasks_; }
+  void DeliverAnswers(const std::vector<Answer>& answers);
+
+  // Ground truth for one of this session's tasks (golden or edge); the
+  // scheduler's shared platform routes truth lookups back here.
+  TaskTruth TaskTruthFor(const Task& task) const;
+
+  // Scheduler accounting hook: this many of the session's asks were served
+  // by another session's identical task.
+  void RecordDedupSavings(int64_t tasks_saved) {
+    result_.stats.dedup_tasks_saved += tasks_saved;
+  }
+
+  // The final result; valid once done(). Leaves the session drained.
+  ExecutionResult TakeResult();
+
+  const QueryGraph& graph() const { return graph_; }
+  const ExecutionStats& stats() const { return result_.stats; }
+
+ private:
+  Result<bool> StepBuildGraph();
+  Result<bool> StepSelectTasks();
+  Result<bool> StepBatchRound();
+  Result<bool> StepPublish();
+  Result<bool> StepCollect();
+  Result<bool> StepInfer();
+  Result<bool> StepColor();
+  Result<bool> StepPrune();
+  // Terminal transition: final late-answer reconciliation + result assembly.
+  Result<bool> Finish();
+
+  // Unique-(task, worker) guard: the fault layer can deliver duplicate and
+  // late copies of an answer, and requester reposts can reach workers that
+  // already answered; inference must see each observation once. Returns the
+  // number of observations actually added.
+  int64_t Absorb(const std::vector<Answer>& batch);
+  InferenceResult InferAll();
+  void ReconcileLate();
+  std::vector<Task> MakeTasks(const std::vector<EdgeId>& edges) const;
+  std::string EdgeValueString(VertexId v, int pred) const;
+  PhaseCounters& Counters() {
+    return result_.stats.phases[static_cast<size_t>(phase_)];
+  }
+
+  const ResolvedQuery* query_;
+  ExecutorOptions options_;
+  EdgeTruthFn truth_;
+  QueryGraph graph_;
+  std::optional<Pruner> pruner_;
+
+  std::unique_ptr<PlatformPublisher> owned_publisher_;
+  TaskPublisher* publisher_ = nullptr;
+  bool external_publish_ = false;
+
+  // Quality-control state (CDB+): accumulated observations, EM worker
+  // qualities carried across rounds, and live posteriors for the assigner.
+  std::vector<ChoiceObservation> all_observations_;
+  std::map<int, double> worker_quality_;
+  std::map<TaskId, std::vector<double>> posteriors_;
+  EntropyAssigner assigner_;
+  AssignmentPolicy policy_;
+  AnswerObserver observer_;
+
+  std::set<std::pair<TaskId, int>> seen_observations_;
+  std::vector<EdgeId> sampling_order_;
+  BudgetLedger budget_;
+
+  SessionPhase phase_ = SessionPhase::kBuildGraph;
+  std::vector<EdgeId> ordered_;      // SelectTasks -> BatchRound.
+  std::vector<EdgeId> round_edges_;  // BatchRound -> Color.
+  std::vector<Task> round_tasks_;    // BatchRound -> Publish/Collect.
+  InferenceResult inference_;        // Infer -> Color.
+  int64_t answers_received_ = 0;     // Deliveries incl. fan-out, pre-dedup.
+  ExecutionResult result_;
+};
+
+// Converts graph assignments to base-relation row answers (sorted, unique).
+std::vector<QueryAnswer> AssignmentsToAnswers(const QueryGraph& graph,
+                                              const std::vector<Assignment>& as);
+
+}  // namespace cdb
+
+#endif  // CDB_EXEC_SESSION_H_

@@ -1,0 +1,272 @@
+// The session-pipeline contract: a Step()-driven QuerySession is
+// byte-identical to CdbExecutor::Run(), pausable/resumable mid-query, and
+// MultiQueryScheduler's cross-query dedup preserves single-query answers
+// while strictly saving crowd work.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench_util/metrics.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "exec/executor.h"
+#include "exec/scheduler.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+const char kTwoTableQuery[] =
+    "SELECT * FROM Paper, Researcher "
+    "WHERE Paper.Author CROWDJOIN Researcher.Name";
+
+ResolvedQuery Resolve(const GeneratedDataset& ds, const std::string& cql) {
+  Statement stmt = ParseStatement(cql).value();
+  return AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+}
+
+// Everything the executor reports, as one comparable byte string.
+std::string StatsSignature(const ExecutionStats& stats) {
+  std::ostringstream out;
+  out << "tasks=" << stats.tasks_asked << "\nrounds=" << stats.rounds
+      << "\nworker_answers=" << stats.worker_answers
+      << "\nhits=" << stats.hits_published
+      << "\nreposted=" << stats.reposted_tasks
+      << "\nlate=" << stats.late_answers
+      << "\nrecolored=" << stats.recolored_edges
+      << "\nfallback=" << stats.fallback_colored << "\nround_sizes=";
+  for (int64_t size : stats.round_sizes) out << size << ",";
+  out << "\nstarved=";
+  for (int64_t id : stats.starved_task_ids) out << id << ",";
+  out << "\nunique_answers=";
+  for (const auto& [task, n] : stats.unique_answers_per_task) {
+    out << task << ":" << n << ",";
+  }
+  out << "\n" << PlatformStatsDump(stats.platform);
+  return out.str();
+}
+
+std::string ColorDump(const QueryGraph& graph) {
+  std::string out;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    switch (graph.edge(e).color) {
+      case EdgeColor::kBlue:
+        out += 'B';
+        break;
+      case EdgeColor::kRed:
+        out += 'R';
+        break;
+      default:
+        out += '?';
+        break;
+    }
+  }
+  return out;
+}
+
+ExecutorOptions NoisyCrowd(uint64_t seed, int threads) {
+  ExecutorOptions options;
+  options.platform.worker_quality_mean = 0.85;
+  options.platform.redundancy = 3;
+  options.platform.seed = seed;
+  options.num_threads = threads;
+  options.graph.num_threads = threads;
+  return options;
+}
+
+ExecutorOptions FaultyCrowd(uint64_t seed, int threads) {
+  ExecutorOptions options = NoisyCrowd(seed, threads);
+  FaultProfile& fault = options.platform.fault;
+  fault.abandon_prob = 0.25;
+  fault.straggler_prob = 0.2;
+  fault.straggler_delay_ticks = 6;
+  fault.duplicate_prob = 0.1;
+  fault.no_show_prob = 0.15;
+  fault.task_deadline_ticks = 8;
+  return options;
+}
+
+ExecutorOptions PerfectCrowd(uint64_t seed) {
+  ExecutorOptions options;
+  options.platform.worker_quality_mean = 1.0;
+  options.platform.worker_quality_stddev = 0.0;
+  options.platform.redundancy = 1;
+  options.platform.seed = seed;
+  return options;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : dataset_(MakeMiniPaperExample()),
+        query_(Resolve(dataset_, kMiniExampleQuery)),
+        truth_(MakeEdgeTruth(&dataset_, &query_)) {}
+
+  // Runs the session phase by phase via Step(), like a scheduler would,
+  // instead of RunToCompletion().
+  ExecutionResult StepToCompletion(QuerySession& session) {
+    while (true) {
+      Result<bool> more = session.Step();
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.value()) break;
+    }
+    EXPECT_TRUE(session.done());
+    return session.TakeResult();
+  }
+
+  GeneratedDataset dataset_;
+  ResolvedQuery query_;
+  EdgeTruthFn truth_;
+};
+
+TEST_F(SessionTest, StepDrivenMatchesExecutorByteIdentical) {
+  for (int threads : {1, 8}) {
+    CdbExecutor executor(&query_, NoisyCrowd(21, threads), truth_);
+    ExecutionResult via_run = executor.Run().value();
+
+    QuerySession session(&query_, NoisyCrowd(21, threads), truth_);
+    ExecutionResult via_steps = StepToCompletion(session);
+
+    EXPECT_EQ(StatsSignature(via_run.stats), StatsSignature(via_steps.stats))
+        << "threads=" << threads;
+    EXPECT_EQ(ColorDump(executor.graph()), ColorDump(session.graph()))
+        << "threads=" << threads;
+    EXPECT_EQ(via_run.answers, via_steps.answers);
+  }
+}
+
+TEST_F(SessionTest, StepDrivenMatchesExecutorUnderFaults) {
+  for (int threads : {1, 8}) {
+    CdbExecutor executor(&query_, FaultyCrowd(77, threads), truth_);
+    ExecutionResult via_run = executor.Run().value();
+
+    QuerySession session(&query_, FaultyCrowd(77, threads), truth_);
+    ExecutionResult via_steps = StepToCompletion(session);
+
+    EXPECT_EQ(StatsSignature(via_run.stats), StatsSignature(via_steps.stats))
+        << "threads=" << threads;
+    EXPECT_EQ(ColorDump(executor.graph()), ColorDump(session.graph()))
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(SessionTest, PhaseCountersTrackTheRoundLoop) {
+  QuerySession session(&query_, NoisyCrowd(5, 1), truth_);
+  ExecutionResult result = StepToCompletion(session);
+  const auto& phases = result.stats.phases;
+  auto at = [&](SessionPhase p) -> const PhaseCounters& {
+    return phases[static_cast<size_t>(p)];
+  };
+  // One graph build; one color step per counted round; every round task goes
+  // through kPublish exactly once (clean crowd: no reposts, nothing denied).
+  EXPECT_EQ(at(SessionPhase::kBuildGraph).steps, 1);
+  EXPECT_EQ(at(SessionPhase::kColor).steps, result.stats.rounds);
+  EXPECT_EQ(at(SessionPhase::kPublish).tasks, result.stats.tasks_asked);
+  EXPECT_EQ(at(SessionPhase::kCollect).tasks, result.stats.reposted_tasks);
+  EXPECT_GT(at(SessionPhase::kPublish).answers, 0);
+  EXPECT_EQ(at(SessionPhase::kDone).steps, 0);
+  int64_t steps = 0;
+  for (const PhaseCounters& c : phases) steps += c.steps;
+  EXPECT_GT(steps, result.stats.rounds * 4);  // Every round walks >=5 phases.
+}
+
+TEST_F(SessionTest, PauseAndInterleaveDoesNotChangeTheResult) {
+  QuerySession continuous(&query_, NoisyCrowd(9, 1), truth_);
+  ExecutionResult expected = StepToCompletion(continuous);
+
+  // Pause one session mid-query, run a different query to completion, then
+  // resume: per-session state must be fully isolated.
+  QuerySession paused(&query_, NoisyCrowd(9, 1), truth_);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(paused.Step().value());
+  }
+  EXPECT_FALSE(paused.done());
+  ResolvedQuery other = Resolve(dataset_, kTwoTableQuery);
+  EdgeTruthFn other_truth = MakeEdgeTruth(&dataset_, &other);
+  QuerySession interloper(&other, NoisyCrowd(33, 1), other_truth);
+  StepToCompletion(interloper);
+  ExecutionResult resumed = StepToCompletion(paused);
+
+  EXPECT_EQ(StatsSignature(expected.stats), StatsSignature(resumed.stats));
+  EXPECT_EQ(expected.answers, resumed.answers);
+}
+
+TEST_F(SessionTest, SchedulerMatchesSoloColorsWithPerfectWorkers) {
+  // Solo runs of both queries.
+  CdbExecutor solo_a(&query_, PerfectCrowd(3), truth_);
+  ExecutionResult result_a = solo_a.Run().value();
+  ResolvedQuery query_b = Resolve(dataset_, kTwoTableQuery);
+  EdgeTruthFn truth_b = MakeEdgeTruth(&dataset_, &query_b);
+  CdbExecutor solo_b(&query_b, PerfectCrowd(3), truth_b);
+  ExecutionResult result_b = solo_b.Run().value();
+
+  // The same two queries co-scheduled: perfect workers answer every asked
+  // task correctly in either mode, so every colored edge must agree.
+  MultiQueryOptions mq;
+  mq.platform = PerfectCrowd(3).platform;
+  MultiQueryScheduler scheduler(mq);
+  ASSERT_EQ(scheduler.AddQuery(&query_, PerfectCrowd(3), truth_), 0u);
+  ASSERT_EQ(scheduler.AddQuery(&query_b, PerfectCrowd(3), truth_b), 1u);
+  std::vector<ExecutionResult> results = scheduler.RunAll().value();
+  ASSERT_EQ(results.size(), 2u);
+
+  EXPECT_EQ(ColorDump(scheduler.session(0).graph()),
+            ColorDump(solo_a.graph()));
+  EXPECT_EQ(ColorDump(scheduler.session(1).graph()),
+            ColorDump(solo_b.graph()));
+  EXPECT_EQ(results[0].answers, result_a.answers);
+  EXPECT_EQ(results[1].answers, result_b.answers);
+}
+
+TEST_F(SessionTest, SchedulerDedupsOverlappingQueries) {
+  CdbExecutor solo(&query_, PerfectCrowd(3), truth_);
+  ExecutionResult solo_result = solo.Run().value();
+  int64_t solo_published = solo_result.stats.platform.tasks_published;
+
+  // The same query twice: every join task of the second session is the same
+  // question, so the scheduler must publish far fewer than 2x solo.
+  MultiQueryOptions mq;
+  mq.platform = PerfectCrowd(3).platform;
+  MultiQueryScheduler scheduler(mq);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  std::vector<ExecutionResult> results = scheduler.RunAll().value();
+
+  EXPECT_LT(scheduler.platform_stats().tasks_published, 2 * solo_published);
+  EXPECT_GT(scheduler.stats().dedup_hits + scheduler.stats().cache_hits, 0);
+  EXPECT_GT(results[0].stats.dedup_tasks_saved +
+                results[1].stats.dedup_tasks_saved,
+            0);
+  // Both sessions still answer the query correctly.
+  EXPECT_EQ(results[0].answers, solo_result.answers);
+  EXPECT_EQ(results[1].answers, solo_result.answers);
+}
+
+TEST_F(SessionTest, GlobalBudgetCapsThePlatform) {
+  MultiQueryOptions mq;
+  mq.platform = PerfectCrowd(3).platform;
+  mq.global_budget = 25;
+  MultiQueryScheduler scheduler(mq);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  std::vector<ExecutionResult> results = scheduler.RunAll().value();
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LE(scheduler.platform_stats().tasks_published, 25);
+  EXPECT_GT(scheduler.stats().budget_denied, 0);
+}
+
+TEST_F(SessionTest, SharedHitsAreCountedForMergedRounds) {
+  MultiQueryOptions mq;
+  mq.platform = PerfectCrowd(3).platform;
+  mq.dedup_tasks = false;  // Force both sessions' tasks into the same HITs.
+  MultiQueryScheduler scheduler(mq);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  scheduler.AddQuery(&query_, PerfectCrowd(3), truth_);
+  scheduler.RunAll().value();
+  EXPECT_GT(scheduler.platform_stats().shared_hits, 0);
+}
+
+}  // namespace
+}  // namespace cdb

@@ -36,6 +36,17 @@ contracts:
                           src/CMakeLists.txt. An orphaned .cc compiles in
                           nobody's build and silently rots.
 
+  single-publish-path     CrowdPlatform::ExecuteRound may only be invoked by
+                          the session publish path (src/exec/session.cc, the
+                          scheduler's channel in src/exec/scheduler.cc) and
+                          the platform's own internals. Every other caller
+                          must publish through a TaskPublisher so budget
+                          accounting, cross-query dedup, and the fault-layer
+                          drains cannot be bypassed. Unit tests exercising
+                          the simulator itself (tests/) are out of scope;
+                          simulator micro-benchmarks use the documented
+                          disable comment.
+
   fault-rng-stream        Fault-injection decisions in the crowd simulator
                           (src/crowd/) must come from explicit split streams
                           — Rng(seed ^ salt, counter) — never from the
@@ -345,6 +356,41 @@ def check_cmake_ownership(root: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: single-publish-path
+# --------------------------------------------------------------------------
+
+# The only call sites allowed to drive the platform round loop directly: the
+# session publish path and the platform's own implementation/recursion.
+PUBLISH_PATH_ALLOWED = (
+    "src/exec/session.cc",
+    "src/exec/scheduler.cc",
+    "src/crowd/platform.h",
+    "src/crowd/platform.cc",
+)
+EXECUTE_ROUND_RE = re.compile(r"\bExecuteRound\s*\(")
+
+
+def check_single_publish_path(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    # tests/ exercises the simulator directly by design (platform unit tests,
+    # the DST fault harness); everything shipping in src/bench/examples must
+    # go through a TaskPublisher.
+    if norm in PUBLISH_PATH_ALLOWED or norm.startswith("tests/"):
+        return []
+    findings = []
+    for lineno, raw, code in iter_code_lines(text):
+        if (EXECUTE_ROUND_RE.search(code)
+                and not suppressed(raw, "single-publish-path")):
+            findings.append(Finding(
+                path, lineno, "single-publish-path",
+                "direct ExecuteRound call outside the session publish path; "
+                "publish through a TaskPublisher (PlatformPublisher or the "
+                "scheduler channel) so budget, dedup, and fault drains are "
+                "not bypassed"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: fault-rng-stream
 # --------------------------------------------------------------------------
 
@@ -422,6 +468,7 @@ PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
     check_unordered_iteration,
     check_naked_abort,
     check_include_guard,
+    check_single_publish_path,
     check_fault_rng_stream,
 ]
 
@@ -516,6 +563,30 @@ SELF_TEST_CASES = [
      "controller.abort();\n", "naked-abort", False),
     ("abort in tests out of scope", "tests/t.cc",
      "std::abort();\n", "naked-abort", False),
+
+    ("ExecuteRound in an executor", "src/exec/e.cc",
+     "auto answers = platform.ExecuteRound(tasks).value();\n",
+     "single-publish-path", True),
+    ("ExecuteRound in a bench", "bench/b.cc",
+     "platform.ExecuteRound(tasks);\n", "single-publish-path", True),
+    ("allowed in session.cc", "src/exec/session.cc",
+     "auto answers = platform_->ExecuteRound(tasks, policy, observer);\n",
+     "single-publish-path", False),
+    ("allowed in scheduler.cc", "src/exec/scheduler.cc",
+     "platform_->ExecuteRound(merged, nullptr, nullptr);\n",
+     "single-publish-path", False),
+    ("allowed inside the platform", "src/crowd/platform.cc",
+     "return ExecuteRound(tasks, policy, observer);\n",
+     "single-publish-path", False),
+    ("platform unit tests out of scope", "tests/crowd_test.cc",
+     "auto answers = platform.ExecuteRound(tasks).value();\n",
+     "single-publish-path", False),
+    ("mention in comment ignored", "src/exec/e.cc",
+     "// the publisher wraps ExecuteRound()\n", "single-publish-path", False),
+    ("suppressed simulator micro-bench", "bench/bench_micro_core.cc",
+     "platform.ExecuteRound(tasks);  "
+     "// cdb-lint: disable=single-publish-path raw simulator harness\n",
+     "single-publish-path", False),
 
     ("fault draw from shared rng_", "src/crowd/platform.cc",
      "if (rng_.Bernoulli(fault.abandon_prob)) {\n}\n",
