@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "bench_util/runner.h"
 #include "bench_util/table_printer.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "datagen/award_dataset.h"
 #include "datagen/paper_dataset.h"
 
@@ -27,6 +30,8 @@ struct BenchArgs {
   int reps = 2;
   uint64_t seed = 1;
   int threads = 0;  // Optimizer threads: 0 = all hardware threads, 1 = serial.
+  std::string metrics_out;  // --metrics-out=PATH: metrics JSON after the run.
+  std::string trace_out;    // --trace-out=PATH: Chrome-trace JSON (with wall).
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv, double default_scale = 0.2,
@@ -41,8 +46,49 @@ inline BenchArgs ParseArgs(int argc, char** argv, double default_scale = 0.2,
       args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
     if (std::strncmp(argv[i], "--threads=", 10) == 0)
       args.threads = std::atoi(argv[i] + 10);
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+      args.metrics_out = argv[i] + 14;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0)
+      args.trace_out = argv[i] + 12;
   }
   return args;
+}
+
+// Observability sinks for one bench run: allocated only when the flags are
+// set, so a run without them pays nothing beyond null-pointer checks. Wire
+// `registry.get()` / `tracer.get()` into RunConfig or the executor options,
+// then Flush() once after the run.
+struct BenchObservability {
+  std::unique_ptr<MetricsRegistry> registry;
+  std::unique_ptr<Tracer> tracer;
+  std::string metrics_path;
+  std::string trace_path;
+
+  void Flush() const {
+    auto write = [](const std::string& path, const std::string& bytes) {
+      std::FILE* file = std::fopen(path.c_str(), "w");
+      CDB_CHECK_MSG(file != nullptr, "cannot open observability output file");
+      std::fwrite(bytes.data(), 1, bytes.size(), file);
+      std::fclose(file);
+    };
+    if (registry != nullptr) write(metrics_path, registry->DumpJson());
+    // Benches are human-facing, so include wall durations; determinism
+    // checks use Tracer::DumpJson() instead.
+    if (tracer != nullptr) write(trace_path, tracer->DumpJsonWithWall());
+  }
+};
+
+inline BenchObservability MakeObservability(const BenchArgs& args) {
+  BenchObservability obs;
+  if (!args.metrics_out.empty()) {
+    obs.registry = std::make_unique<MetricsRegistry>();
+    obs.metrics_path = args.metrics_out;
+  }
+  if (!args.trace_out.empty()) {
+    obs.tracer = std::make_unique<Tracer>(TracerOptions{/*record_wall=*/true});
+    obs.trace_path = args.trace_out;
+  }
+  return obs;
 }
 
 inline GeneratedDataset MakePaper(const BenchArgs& args) {

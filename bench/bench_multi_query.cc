@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.3, /*default_reps=*/1);
   GeneratedDataset dataset = MakePaper(args);
   RunConfig config = BaseConfig(args, /*worker_quality=*/0.95);
+  BenchObservability obs = MakeObservability(args);
 
   // Resolve the workload once; the scheduler and the solo executors run the
   // exact same ResolvedQuery objects. unique_ptr keeps addresses stable for
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
   options.platform = platform;
   options.num_threads = config.num_threads;
   options.graph.num_threads = config.num_threads;
+  options.metrics = obs.registry.get();
+  options.tracer = obs.tracer.get();
 
   // Sequential: each query pays for its own tasks on a fresh platform.
   std::vector<ExecutionResult> solo;
@@ -63,13 +66,15 @@ int main(int argc, char** argv) {
     solo_platform.tasks_published += result.stats.platform.tasks_published;
     solo_platform.answers_collected += result.stats.platform.answers_collected;
     solo_platform.hits_published += result.stats.platform.hits_published;
-    solo_platform.dollars_spent += result.stats.platform.dollars_spent;
+    solo_platform.micro_dollars_spent += result.stats.platform.micro_dollars_spent;
     solo.push_back(std::move(result));
   }
 
   // Concurrent: one scheduler, one shared platform.
   MultiQueryOptions mq;
   mq.platform = platform;
+  mq.metrics = obs.registry.get();
+  mq.tracer = obs.tracer.get();
   MultiQueryScheduler scheduler(mq);
   for (const auto& w : workloads) {
     scheduler.AddQuery(&w->query, options, w->truth);
@@ -120,8 +125,8 @@ int main(int argc, char** argv) {
                  std::to_string(stats.merged_rounds)});
   totals.AddRow({"HITs", std::to_string(solo_platform.hits_published),
                  std::to_string(shared_platform.hits_published)});
-  totals.AddRow({"dollars", FormatDouble(solo_platform.dollars_spent, 2),
-                 FormatDouble(shared_platform.dollars_spent, 2)});
+  totals.AddRow({"dollars", FormatDouble(solo_platform.dollars_spent(), 2),
+                 FormatDouble(shared_platform.dollars_spent(), 2)});
   totals.Print();
   std::printf("\ndedup: %lld same-round hits, %lld cache hits, "
               "%lld shared HITs, %lld tasks saved total\n",
@@ -136,5 +141,6 @@ int main(int argc, char** argv) {
   // must not regress beyond noise.
   CDB_CHECK_MSG(conc_f1 + 0.02 >= seq_f1,
                 "concurrent F1 regressed beyond noise");
+  obs.Flush();
   return 0;
 }

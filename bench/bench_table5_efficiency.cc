@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
   BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.5, /*default_reps=*/1);
+  BenchObservability obs = MakeObservability(args);
 
   std::printf("Table 5: task-selection time per query (milliseconds, scale %.2f)\n",
               args.scale);
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
         RunConfig config = BaseConfig(args, /*worker_quality=*/0.95);
         config.repetitions = 1;
         config.num_threads = threads;
+        config.metrics = obs.registry.get();
+        config.tracer = obs.tracer.get();
         RunOutcome out = MustRun(Method::kCdb, entry.dataset, query.cql, config);
         row.push_back(FormatDouble(out.selection_ms, 1));
         if (threads == 1) {
@@ -63,5 +66,6 @@ int main(int argc, char** argv) {
   phases.Print();
   std::printf("scheduler dedup: %lld tasks saved (solo runs always 0)\n",
               static_cast<long long>(sample.dedup_tasks_saved));
+  obs.Flush();
   return 0;
 }

@@ -163,7 +163,7 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
 
   stats.worker_answers = publisher.stats().answers_collected;
   stats.hits_published = publisher.stats().hits_published;
-  stats.dollars_spent = publisher.stats().dollars_spent;
+  stats.dollars_spent = publisher.stats().dollars_spent();
   result.answers = AssignmentsToAnswers(graph_, found);
   return result;
 }

@@ -1,21 +1,11 @@
 #include "baselines/tree_executor.h"
 
-#include <chrono>
-
 #include "common/logging.h"
+#include "common/trace.h"
 #include "exec/session.h"
 #include "quality/truth_inference.h"
 
 namespace cdb {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 TreeModelExecutor::TreeModelExecutor(const ResolvedQuery* query,
                                      const TreeExecutorOptions& options,
@@ -37,7 +27,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
 
   // OptTree consults the true colors for its order; the execution itself
   // still goes through the crowd like every other method.
-  Clock::time_point start = Clock::now();
+  WallTimer timer;
   OracleColors oracle;
   if (options_.policy == TreePolicy::kOptTree) {
     oracle.resize(graph_.num_edges());
@@ -50,7 +40,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
   std::vector<int> order = ChoosePredicateOrder(
       graph_, options_.policy,
       options_.policy == TreePolicy::kOptTree ? &oracle : nullptr);
-  stats.selection_ms += MsSince(start);
+  stats.selection_ms += timer.ElapsedMs();
 
   auto edge_blue = [this](EdgeId e) {
     return graph_.edge(e).color == EdgeColor::kBlue;
@@ -107,7 +97,7 @@ Result<ExecutionResult> TreeModelExecutor::Run() {
 
   stats.worker_answers = publisher.stats().answers_collected;
   stats.hits_published = publisher.stats().hits_published;
-  stats.dollars_spent = publisher.stats().dollars_spent;
+  stats.dollars_spent = publisher.stats().dollars_spent();
   result.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
   return result;
 }

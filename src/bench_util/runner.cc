@@ -48,6 +48,8 @@ PlatformOptions MakePlatform(const RunConfig& config, uint64_t seed) {
   platform.worker_quality_stddev = config.worker_quality_stddev;
   platform.redundancy = config.redundancy;
   platform.seed = seed;
+  platform.metrics = config.metrics;
+  platform.tracer = config.tracer;
   return platform;
 }
 
@@ -91,6 +93,8 @@ Result<ExecutionResult> RunOnce(Method method, const ResolvedQuery& query,
       options.round_limit = config.round_limit;
       options.num_threads = config.num_threads;
       options.graph.num_threads = config.num_threads;
+      options.metrics = config.metrics;
+      options.tracer = config.tracer;
       return CdbExecutor(&query, options, truth).Run();
     }
   }

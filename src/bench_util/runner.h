@@ -47,6 +47,11 @@ struct RunConfig {
   // Optimizer thread count (<= 0 = all hardware threads, 1 = serial); metric
   // outputs are bit-identical either way, only selection_ms moves.
   int num_threads = 0;
+  // Observability sinks (borrowed, may be null = disabled); wired into the
+  // executor (CDB family) or the baseline's platform so every repetition
+  // mirrors into the same registry/tracer.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 struct RunOutcome {

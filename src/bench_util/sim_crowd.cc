@@ -45,6 +45,8 @@ Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
   options.platform.worker_quality_mean = config.worker_quality_mean;
   options.platform.worker_quality_stddev = config.worker_quality_stddev;
   options.platform.fault = config.fault;
+  options.metrics = config.metrics;
+  options.tracer = config.tracer;
 
   EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
   CdbExecutor executor(&query, options, truth);
@@ -81,16 +83,23 @@ Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
     }
   }
 
-  // --- No double-spend: pricing is a pure function of HITs. ---
-  double expected_dollars =
-      static_cast<double>(ps.hits_published) * options.platform.price_per_hit;
-  if (std::abs(ps.dollars_spent - expected_dollars) > 1e-9) {
-    char buffer[160];
-    std::snprintf(buffer, sizeof(buffer),
-                  "double-spend: dollars_spent %.6f != hits %lld * price %.6f",
-                  ps.dollars_spent, static_cast<long long>(ps.hits_published),
-                  options.platform.price_per_hit);
-    Violate(v, buffer);
+  // --- Color integrity: non-crowd (traditional-predicate) edges are colored
+  // from birth and must stay colored — late-answer reconciliation flipping
+  // or resurrecting one would desync the pruner. ---
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (!graph.edge(e).is_crowd &&
+        graph.edge(e).color == EdgeColor::kUnknown) {
+      Violate(v, FormatInt("non-crowd edge left uncolored", e, 0));
+    }
+  }
+
+  // --- No double-spend: pricing is a pure function of HITs, checked in
+  // exact integer micro-dollars. ---
+  int64_t expected_micro =
+      ps.hits_published * MicroDollars(options.platform.price_per_hit);
+  if (ps.micro_dollars_spent != expected_micro) {
+    Violate(v, FormatInt("double-spend: micro_dollars_spent vs hits * price",
+                         ps.micro_dollars_spent, expected_micro));
   }
 
   // --- Lease conservation (fault layer only; the clean path leases
@@ -138,14 +147,10 @@ Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
       Violate(v, FormatInt("tasks published exceed budget", ps.tasks_published,
                            cap));
     }
-    double dollar_cap =
-        static_cast<double>(cap) * options.platform.price_per_hit;
-    if (ps.dollars_spent > dollar_cap + 1e-9) {
-      char buffer[160];
-      std::snprintf(buffer, sizeof(buffer),
-                    "dollars %.6f exceed budget cap %.6f", ps.dollars_spent,
-                    dollar_cap);
-      Violate(v, buffer);
+    int64_t micro_cap = cap * MicroDollars(options.platform.price_per_hit);
+    if (ps.micro_dollars_spent > micro_cap) {
+      Violate(v, FormatInt("micro-dollars exceed budget cap",
+                           ps.micro_dollars_spent, micro_cap));
     }
   }
 

@@ -1,0 +1,145 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace cdb {
+namespace {
+
+// Shard picked by thread-id hash: stable per thread, spreads contending
+// threads across cache lines. Which shard a thread lands on never affects
+// Value() — the fold is an integer sum.
+size_t ShardIndex() {
+  static thread_local const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      Counter::kNumShards;
+  return index;
+}
+
+}  // namespace
+
+void Counter::Increment(int64_t delta) {
+  shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v != 0) {
+    ++bucket;
+    v >>= 1;
+  }
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+void Histogram::Observe(int64_t value) {
+  count_.Increment();
+  sum_.Increment(value < 0 ? 0 : value);
+  buckets_[static_cast<size_t>(BucketFor(value))].Increment();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CDB_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                    histograms_.find(name) == histograms_.end(),
+                "metric name registered with a different type");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CDB_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                    histograms_.find(name) == histograms_.end(),
+                "metric name registered with a different type");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CDB_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                    gauges_.find(name) == gauges_.end(),
+                "metric name registered with a different type");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Flatten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> flat;
+  for (const auto& [name, counter] : counters_) {
+    flat[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    flat[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    flat[name + ".count"] = histogram->count();
+    flat[name + ".sum"] = histogram->sum();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      int64_t n = histogram->bucket(b);
+      if (n == 0) continue;
+      char suffix[24];
+      std::snprintf(suffix, sizeof(suffix), ".bucket%02d", b);
+      flat[name + suffix] = n;
+    }
+  }
+  return flat;
+}
+
+std::string MetricsRegistry::Dump() const {
+  std::string out;
+  for (const auto& [name, value] : Flatten()) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, value] : Flatten()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"";
+    out += name;  // Metric names are repo-chosen identifiers; no escaping.
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string MetricsDump(const MetricsRegistry& registry) {
+  return registry.Dump();
+}
+
+}  // namespace cdb

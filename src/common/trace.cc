@@ -1,0 +1,99 @@
+// The ONLY file in src/ allowed to read std::chrono (enforced by the
+// `wallclock-outside-trace` cdb_lint rule). Everything else measures wall
+// time through WallTimer so nondeterministic clocks stay out of decision
+// paths and byte-compared dumps.
+#include "common/trace.h"
+
+#include <chrono>
+
+namespace cdb {
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer(const TracerOptions& options) : options_(options) {}
+
+void Tracer::AddSpan(std::string_view name, std::string_view category,
+                     int64_t tick_begin, int64_t tick_end,
+                     int64_t wall_micros) {
+  TraceSpan span;
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.tick_begin = tick_begin;
+  span.tick_end = tick_end;
+  span.wall_micros = options_.record_wall ? wall_micros : -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::string Tracer::DumpJsonImpl(bool with_wall) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceSpan& span : spans_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, span.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, span.category);
+    out += ",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":";
+    out += std::to_string(span.tick_begin);
+    out += ",\"dur\":";
+    int64_t dur = span.tick_end - span.tick_begin;
+    out += std::to_string(dur < 0 ? 0 : dur);
+    if (with_wall && span.wall_micros >= 0) {
+      out += ",\"args\":{\"wall_us\":";
+      out += std::to_string(span.wall_micros);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::DumpJson() const { return DumpJsonImpl(false); }
+
+std::string Tracer::DumpJsonWithWall() const { return DumpJsonImpl(true); }
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+WallTimer::WallTimer() : start_micros_(NowMicros()) {}
+
+void WallTimer::Restart() { start_micros_ = NowMicros(); }
+
+int64_t WallTimer::ElapsedMicros() const { return NowMicros() - start_micros_; }
+
+double WallTimer::ElapsedMs() const {
+  return static_cast<double>(ElapsedMicros()) / 1000.0;
+}
+
+}  // namespace cdb

@@ -1,0 +1,94 @@
+// Span tracer keyed on the crowd platform's virtual tick clock.
+//
+// Every span records [tick_begin, tick_end] from the deterministic tick
+// clock (CrowdPlatform::stats().ticks), so the trace of a seeded run is
+// byte-identical across reruns and thread counts — DumpJson() is compared
+// byte-for-byte by the `ctest -L trace` suite, exactly like the metrics and
+// platform-stats dumps.
+//
+// Wall-clock mode is opt-in (TracerOptions::record_wall) and deliberately
+// split from the deterministic surface: spans then also carry a wall-clock
+// duration, exported only by DumpJsonWithWall(), which is excluded from
+// determinism checks. WallTimer below is the one sanctioned way to read the
+// wall clock anywhere in src/ — its implementation in trace.cc is the only
+// file allowed to touch std::chrono (the `wallclock-outside-trace` cdb_lint
+// rule enforces this), so nondeterministic time can never leak into a
+// decision path or a byte-compared dump by accident.
+//
+// Both dumps use the Chrome trace-event JSON format ("X" complete events;
+// chrome://tracing and Perfetto load them); ts/dur are virtual ticks labeled
+// as microseconds.
+#ifndef CDB_COMMON_TRACE_H_
+#define CDB_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdb {
+
+struct TracerOptions {
+  // Record wall-clock span durations alongside virtual ticks. Off by
+  // default: the deterministic dump never includes them either way.
+  bool record_wall = false;
+};
+
+struct TraceSpan {
+  std::string name;       // e.g. "session.publish", "crowd.round".
+  std::string category;   // Trace-viewer lane: "session", "crowd", ...
+  int64_t tick_begin = 0;
+  int64_t tick_end = 0;
+  int64_t wall_micros = -1;  // -1 = not recorded (deterministic-only span).
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool record_wall() const { return options_.record_wall; }
+
+  // Appends one complete span. Spans are kept in call order, which the
+  // serial session/scheduler driver makes deterministic.
+  void AddSpan(std::string_view name, std::string_view category,
+               int64_t tick_begin, int64_t tick_end, int64_t wall_micros = -1);
+
+  // Chrome-trace JSON over virtual ticks only; byte-identical across thread
+  // counts and reruns for a seeded run.
+  [[nodiscard]] std::string DumpJson() const;
+  // Same spans plus wall_us args where recorded. NOT byte-stable across
+  // runs; never feed this to a determinism check.
+  [[nodiscard]] std::string DumpJsonWithWall() const;
+
+  [[nodiscard]] size_t num_spans() const;
+  [[nodiscard]] std::vector<TraceSpan> Spans() const;
+
+ private:
+  [[nodiscard]] std::string DumpJsonImpl(bool with_wall) const;
+
+  TracerOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+// The sanctioned wall-clock stopwatch: stores a monotonic microsecond stamp,
+// read in trace.cc (the only std::chrono reader in src/). Use it for
+// human-facing timings (selection_ms, wall-mode spans); never let the result
+// reach a byte-compared dump or an optimizer decision.
+class WallTimer {
+ public:
+  WallTimer();  // Starts immediately.
+  void Restart();
+  [[nodiscard]] int64_t ElapsedMicros() const;
+  [[nodiscard]] double ElapsedMs() const;
+
+ private:
+  int64_t start_micros_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_TRACE_H_

@@ -11,16 +11,32 @@ BudgetLedger::BudgetLedger(std::optional<int64_t> limit) : limit_(limit) {
   if (limit_) CDB_CHECK(*limit_ >= 0);
 }
 
-int64_t BudgetLedger::remaining() const {
-  if (!limit_) return std::numeric_limits<int64_t>::max();
+std::optional<int64_t> BudgetLedger::remaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!limit_) return std::nullopt;
   return std::max<int64_t>(0, *limit_ - spent_);
+}
+
+bool BudgetLedger::Exhausted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_.has_value() && spent_ >= *limit_;
 }
 
 int64_t BudgetLedger::TryDebit(int64_t want) {
   CDB_CHECK(want >= 0);
-  int64_t granted = std::min(want, remaining());
-  spent_ += granted;
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t granted = want;
+  if (limit_) granted = std::min(want, std::max<int64_t>(0, *limit_ - spent_));
+  // Saturating add: an unlimited ledger granting huge debits must not wrap
+  // the spend counter into UB.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  spent_ = granted > kMax - spent_ ? kMax : spent_ + granted;
   return granted;
+}
+
+int64_t BudgetLedger::spent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
 }
 
 }  // namespace cdb

@@ -3,10 +3,18 @@
 // retry reposts from its own ledger, and MultiQueryScheduler drives a global
 // ledger shared by every session so concurrent queries cannot overspend a
 // common budget. A ledger without a limit grants everything.
+//
+// The unlimited case is explicit: remaining() returns nullopt instead of an
+// INT64_MAX sentinel, so a caller adding slack ("remaining() + reposts")
+// cannot silently overflow. Spend accounting saturates at INT64_MAX for the
+// same reason. The ledger is internally mutex-guarded because the
+// MultiQueryScheduler debits it across parked sessions and future drivers
+// may do so from worker threads.
 #ifndef CDB_COST_LEDGER_H_
 #define CDB_COST_LEDGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
 namespace cdb {
@@ -16,19 +24,28 @@ class BudgetLedger {
   // No limit: every debit is granted in full.
   BudgetLedger() = default;
   explicit BudgetLedger(std::optional<int64_t> limit);
+  BudgetLedger(const BudgetLedger&) = delete;
+  BudgetLedger& operator=(const BudgetLedger&) = delete;
 
   [[nodiscard]] bool limited() const { return limit_.has_value(); }
 
-  // Tasks still grantable; INT64_MAX when unlimited.
-  [[nodiscard]] int64_t remaining() const;
+  // Tasks still grantable; nullopt when unlimited. Callers doing arithmetic
+  // must handle the unlimited case explicitly — there is no sentinel to
+  // overflow.
+  [[nodiscard]] std::optional<int64_t> remaining() const;
 
-  // Grants min(want, remaining()) tasks, records the spend, and returns the
-  // granted count. `want` must be >= 0.
+  // True iff the ledger is limited and fully spent. The unlimited ledger is
+  // never exhausted.
+  [[nodiscard]] bool Exhausted() const;
+
+  // Grants min(want, remaining()) tasks (all of `want` when unlimited),
+  // records the spend, and returns the granted count. `want` must be >= 0.
   int64_t TryDebit(int64_t want);
 
-  [[nodiscard]] int64_t spent() const { return spent_; }
+  [[nodiscard]] int64_t spent() const;
 
  private:
+  mutable std::mutex mutex_;
   std::optional<int64_t> limit_;
   int64_t spent_ = 0;
 };

@@ -6,9 +6,16 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace cdb {
 namespace {
+
+// Registry mirror helper: null counter (metrics disabled) = no-op.
+inline void Bump(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr) counter->Increment(delta);
+}
 
 // Salts separating the fault-schedule Rng streams from every other consumer
 // of the platform seed. Fault draws are pure functions of (seed, counter), so
@@ -20,9 +27,17 @@ constexpr int64_t kNeverTick = std::numeric_limits<int64_t>::max();
 
 }  // namespace
 
+int64_t MicroDollars(double dollars) {
+  return std::llround(dollars * 1e6);
+}
+
 std::string PlatformStatsDump(const PlatformStats& stats) {
+  // Six decimals via integer math — byte-identical to the historical "%.6f"
+  // double formatting, without depending on float rounding.
   char dollars[64];
-  std::snprintf(dollars, sizeof(dollars), "%.6f", stats.dollars_spent);
+  std::snprintf(dollars, sizeof(dollars), "%lld.%06lld",
+                static_cast<long long>(stats.micro_dollars_spent / 1000000),
+                static_cast<long long>(stats.micro_dollars_spent % 1000000));
   std::string out;
   auto line = [&out](const char* key, int64_t value) {
     out += key;
@@ -55,6 +70,23 @@ CrowdPlatform::CrowdPlatform(const PlatformOptions& options, TruthProvider truth
   CDB_CHECK(options_.redundancy > 0);
   workers_ = MakeWorkerPool(options_.num_workers, options_.worker_quality_mean,
                             options_.worker_quality_stddev, rng_);
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& reg = *options_.metrics;
+    mirror_.tasks_published = &reg.counter("crowd.tasks_published");
+    mirror_.answers_collected = &reg.counter("crowd.answers_collected");
+    mirror_.hits_published = &reg.counter("crowd.hits_published");
+    mirror_.shared_hits = &reg.counter("crowd.shared_hits");
+    mirror_.micro_dollars_spent = &reg.counter("crowd.micro_dollars_spent");
+    mirror_.ticks = &reg.counter("crowd.ticks");
+    mirror_.leases_granted = &reg.counter("crowd.leases_granted");
+    mirror_.no_shows = &reg.counter("crowd.no_shows");
+    mirror_.abandons = &reg.counter("crowd.abandons");
+    mirror_.expiries = &reg.counter("crowd.expiries");
+    mirror_.reposts = &reg.counter("crowd.reposts");
+    mirror_.dead_lettered = &reg.counter("crowd.dead_lettered");
+    mirror_.late_answers = &reg.counter("crowd.late_answers");
+    mirror_.duplicates = &reg.counter("crowd.duplicates");
+  }
 }
 
 int CrowdPlatform::EffectiveRedundancy(const Task& task) const {
@@ -66,10 +98,14 @@ int CrowdPlatform::EffectiveRedundancy(const Task& task) const {
 void CrowdPlatform::ChargeForTasks(const std::vector<Task>& tasks) {
   const int64_t num_tasks = static_cast<int64_t>(tasks.size());
   stats_.tasks_published += num_tasks;
+  Bump(mirror_.tasks_published, num_tasks);
   int64_t hits =
       (num_tasks + options_.tasks_per_hit - 1) / options_.tasks_per_hit;
   stats_.hits_published += hits;
-  stats_.dollars_spent += static_cast<double>(hits) * options_.price_per_hit;
+  Bump(mirror_.hits_published, hits);
+  const int64_t charge = hits * MicroDollars(options_.price_per_hit);
+  stats_.micro_dollars_spent += charge;
+  Bump(mirror_.micro_dollars_spent, charge);
   // HITs are packed in publish order, tasks_per_hit at a time; a HIT mixing
   // batch tags is a shared (multi-query) HIT.
   for (size_t start = 0; start < tasks.size();
@@ -87,7 +123,10 @@ void CrowdPlatform::ChargeForTasks(const std::vector<Task>& tasks) {
         break;
       }
     }
-    if (mixed) ++stats_.shared_hits;
+    if (mixed) {
+      ++stats_.shared_hits;
+      Bump(mirror_.shared_hits);
+    }
   }
 }
 
@@ -108,9 +147,16 @@ Result<std::vector<Answer>> CrowdPlatform::ExecuteRound(
           "FaultProfile: straggler_prob > 0 requires straggler_delay_ticks "
           ">= 1");
     }
-    return FaultyRound(tasks, policy, observer);
   }
-  return CleanRound(tasks, policy, observer);
+  const int64_t tick_begin = tick_;
+  WallTimer wall;
+  auto result = fault.Active() ? FaultyRound(tasks, policy, observer)
+                               : CleanRound(tasks, policy, observer);
+  if (options_.tracer != nullptr) {
+    options_.tracer->AddSpan("crowd.round", options_.market_name, tick_begin,
+                             tick_, wall.ElapsedMicros());
+  }
+  return result;
 }
 
 Result<std::vector<Answer>> CrowdPlatform::CleanRound(
@@ -180,6 +226,7 @@ Result<std::vector<Answer>> CrowdPlatform::CleanRound(
       --need[ti];
       --remaining;
       ++stats_.answers_collected;
+      Bump(mirror_.answers_collected);
       progressed = true;
       if (observer != nullptr) (*observer)(answer);
       answers.push_back(std::move(answer));
@@ -259,6 +306,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
     state[ti].dead = true;
     dead_letter_.push_back(tasks[ti].id);
     ++stats_.dead_lettered;
+    Bump(mirror_.dead_lettered);
     --unresolved;
   };
   auto deliver = [&](Lease& lease, bool on_time) {
@@ -269,13 +317,16 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
       --state[lease.ti].need;
       ++delivered_per_task_[answer.task];
       ++stats_.answers_collected;
+      Bump(mirror_.answers_collected);
       if (observer != nullptr) (*observer)(answer);
       answers.push_back(answer);
       if (lease.duplicate) {
         // Platform glitch: the same assignment is delivered twice; the
         // requester must de-duplicate by (task, worker).
         ++stats_.duplicates;
+        Bump(mirror_.duplicates);
         ++stats_.answers_collected;
+        Bump(mirror_.answers_collected);
         if (observer != nullptr) (*observer)(answer);
         answers.push_back(answer);
       }
@@ -283,6 +334,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
     } else {
       answer.late = true;
       ++stats_.late_answers;
+      Bump(mirror_.late_answers);
       late_answers_.push_back(std::move(answer));
     }
   };
@@ -290,6 +342,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
   while (unresolved > 0 || !deliveries.empty()) {
     ++tick_;
     ++stats_.ticks;
+    Bump(mirror_.ticks);
 
     // 1. Expire leases whose deadline has passed without delivery. The slot
     // returns to the pool (a platform-side repost) until the task hits the
@@ -303,12 +356,17 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
       --ts.outstanding;
       ++ts.expiries;
       ++stats_.expiries;
-      if (lease.deliver_tick == kNeverTick) ++stats_.abandons;
+      Bump(mirror_.expiries);
+      if (lease.deliver_tick == kNeverTick) {
+        ++stats_.abandons;
+        Bump(mirror_.abandons);
+      }
       if (!ts.dead && ts.need > 0) {
         if (ts.expiries > fault.max_task_expiries) {
           dead_letter_task(lease.ti);
         } else {
           ++stats_.reposts;
+          Bump(mirror_.reposts);
         }
       }
     }
@@ -346,6 +404,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
     if (Rng(options_.seed ^ kNoShowSalt, static_cast<uint64_t>(tick_))
             .Bernoulli(fault.no_show_prob)) {
       ++stats_.no_shows;
+      Bump(mirror_.no_shows);
       ++idle_arrivals;
       continue;
     }
@@ -393,6 +452,7 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
       TaskState& ts = state[ti];
       ts.attempted.push_back(worker.id());
       ++stats_.leases_granted;
+      Bump(mirror_.leases_granted);
       ++lease_seq_;
       granted = true;
 
@@ -457,7 +517,9 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
     lease.expired = true;
     --state[lease.ti].outstanding;
     ++stats_.expiries;
+    Bump(mirror_.expiries);
     ++stats_.abandons;
+    Bump(mirror_.abandons);
   }
   return answers;
 }
@@ -478,6 +540,7 @@ void CrowdPlatform::AdvanceTicks(int64_t ticks) {
   CDB_CHECK(ticks >= 0);
   tick_ += ticks;
   stats_.ticks += ticks;
+  Bump(mirror_.ticks, ticks);
 }
 
 MultiMarket::MultiMarket(std::vector<PlatformOptions> markets,
@@ -554,7 +617,7 @@ PlatformStats MultiMarket::CombinedStats() const {
     total.answers_collected += s.answers_collected;
     total.hits_published += s.hits_published;
     total.shared_hits += s.shared_hits;
-    total.dollars_spent += s.dollars_spent;
+    total.micro_dollars_spent += s.micro_dollars_spent;
     total.ticks += s.ticks;
     total.leases_granted += s.leases_granted;
     total.no_shows += s.no_shows;

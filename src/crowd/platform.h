@@ -32,6 +32,10 @@
 
 namespace cdb {
 
+class Counter;
+class MetricsRegistry;
+class Tracer;
+
 // Unreliability knobs, all off by default (the clean simulator). Probabilities
 // are per-lease (abandon/straggle/duplicate) or per-arrival (no-show). See
 // README's fault-model table for the paper-deployment analogue of each knob.
@@ -76,6 +80,12 @@ struct PlatformOptions {
   bool requester_controls_assignment = true;
   uint64_t seed = 42;
   FaultProfile fault;
+  // Observability sinks (borrowed, may be null = disabled). The platform
+  // mirrors every PlatformStats increment into `metrics` under `crowd.*`
+  // names — PlatformStats is a per-platform view over the same counts — and
+  // emits one tick-keyed `crowd.round` span per ExecuteRound into `tracer`.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // Chooses up to `count` tasks (indexes into `available`) for the arriving
@@ -98,7 +108,8 @@ using TruthProvider = std::function<TaskTruth(const Task&)>;
 //                     + late_answers
 // (every lease delivers on time, delivers late, or is abandoned), and
 //   expiries <= abandons + late_answers,
-//   dollars_spent == hits_published * price_per_hit (no double-spend).
+//   micro_dollars_spent == hits_published * MicroDollars(price_per_hit)
+//   (no double-spend).
 struct PlatformStats {
   int64_t tasks_published = 0;
   int64_t answers_collected = 0;  // On-time deliveries, duplicates included.
@@ -106,7 +117,14 @@ struct PlatformStats {
   // HITs whose tasks carry >= 2 distinct batch_tags: multi-query HITs packed
   // by MultiQueryScheduler's merged rounds (0 for single-query runs).
   int64_t shared_hits = 0;
-  double dollars_spent = 0.0;
+  // Money is accounted in integer micro-dollars: cross-market/merged-HIT
+  // summation is then exact in any order, keeping PlatformStatsDump
+  // byte-stable (a double accumulated with += is not). Format at the edge
+  // via dollars_spent().
+  int64_t micro_dollars_spent = 0;
+  [[nodiscard]] double dollars_spent() const {
+    return static_cast<double>(micro_dollars_spent) * 1e-6;
+  }
   // Fault-layer counters (all zero with the clean simulator).
   int64_t ticks = 0;             // Virtual clock advanced so far.
   int64_t leases_granted = 0;    // Task slots handed to workers.
@@ -119,8 +137,13 @@ struct PlatformStats {
   int64_t duplicates = 0;        // Extra copies of on-time answers.
 };
 
+// Rounds a dollar amount to integer micro-dollars (the internal money unit).
+[[nodiscard]] int64_t MicroDollars(double dollars);
+
 // Canonical byte dump of the stats, one `key=value` per line; the seeded
 // determinism tests compare these byte-for-byte across runs/thread counts.
+// The dollars_spent line renders micro-dollars with exactly six decimals via
+// integer math, so the text matches the historical "%.6f" double format.
 std::string PlatformStatsDump(const PlatformStats& stats);
 
 class CrowdPlatform {
@@ -175,7 +198,30 @@ class CrowdPlatform {
   int EffectiveRedundancy(const Task& task) const;
   void ChargeForTasks(const std::vector<Task>& tasks);
 
+  // Cached registry handles mirroring every stats_ increment (all null when
+  // options_.metrics is unset, making each mirror a single null check).
+  // Counters aggregate across platforms sharing a registry; for a single
+  // platform, registry values equal the PlatformStats fields exactly (the
+  // trace suite asserts this "view" property).
+  struct RegistryMirror {
+    Counter* tasks_published = nullptr;
+    Counter* answers_collected = nullptr;
+    Counter* hits_published = nullptr;
+    Counter* shared_hits = nullptr;
+    Counter* micro_dollars_spent = nullptr;
+    Counter* ticks = nullptr;
+    Counter* leases_granted = nullptr;
+    Counter* no_shows = nullptr;
+    Counter* abandons = nullptr;
+    Counter* expiries = nullptr;
+    Counter* reposts = nullptr;
+    Counter* dead_lettered = nullptr;
+    Counter* late_answers = nullptr;
+    Counter* duplicates = nullptr;
+  };
+
   PlatformOptions options_;
+  RegistryMirror mirror_;
   TruthProvider truth_;
   Rng rng_;
   std::vector<SimulatedWorker> workers_;

@@ -4,8 +4,18 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace cdb {
+namespace {
+
+// Registry mirror helper: null counter (metrics disabled) = no-op.
+inline void Bump(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr && delta != 0) counter->Increment(delta);
+}
+
+}  // namespace
 
 // The per-session TaskPublisher: session-private traffic (golden warm-up,
 // Collect-phase reposts) and fault-layer drains, translated between the
@@ -64,6 +74,18 @@ class MultiQueryScheduler::Channel : public TaskPublisher {
 
 MultiQueryScheduler::MultiQueryScheduler(const MultiQueryOptions& options)
     : options_(options), global_budget_(options.global_budget) {
+  options_.platform.metrics = options_.metrics;
+  options_.platform.tracer = options_.tracer;
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& reg = *options_.metrics;
+    metrics_.merged_rounds = &reg.counter("scheduler.merged_rounds");
+    metrics_.tasks_requested = &reg.counter("scheduler.tasks_requested");
+    metrics_.tasks_published = &reg.counter("scheduler.tasks_published");
+    metrics_.direct_tasks = &reg.counter("scheduler.direct_tasks");
+    metrics_.dedup_hits = &reg.counter("scheduler.dedup_hits");
+    metrics_.cache_hits = &reg.counter("scheduler.cache_hits");
+    metrics_.budget_denied = &reg.counter("scheduler.budget_denied");
+  }
   platform_ = std::make_unique<CrowdPlatform>(
       options_.platform,
       [this](const Task& task) { return GlobalTaskTruth(task); });
@@ -77,8 +99,13 @@ size_t MultiQueryScheduler::AddQuery(const ResolvedQuery* query,
   CDB_CHECK_MSG(!ran_, "AddQuery after RunAll");
   size_t index = sessions_.size();
   channels_.push_back(std::make_unique<Channel>(this, index));
+  // Sessions share the scheduler's sinks; the shared platform is the only
+  // platform, so nothing double-mirrors.
+  ExecutorOptions session_options = options;
+  session_options.metrics = options_.metrics;
+  session_options.tracer = options_.tracer;
   sessions_.push_back(std::make_unique<QuerySession>(
-      query, options, std::move(truth), channels_.back().get()));
+      query, session_options, std::move(truth), channels_.back().get()));
   pending_late_.emplace_back();
   pending_dead_.emplace_back();
   return index;
@@ -155,13 +182,16 @@ Result<std::vector<Answer>> MultiQueryScheduler::DirectPublish(
   }
   int64_t granted = global_budget_.TryDebit(static_cast<int64_t>(remapped.size()));
   if (granted < static_cast<int64_t>(remapped.size())) {
-    stats_.budget_denied += static_cast<int64_t>(remapped.size()) - granted;
+    int64_t denied = static_cast<int64_t>(remapped.size()) - granted;
+    stats_.budget_denied += denied;
+    Bump(metrics_.budget_denied, denied);
     remapped.resize(static_cast<size_t>(granted));
   }
   if (remapped.empty()) return std::vector<Answer>();
   CDB_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                        platform_->ExecuteRound(remapped, nullptr, nullptr));
   stats_.direct_tasks += static_cast<int64_t>(remapped.size());
+  Bump(metrics_.direct_tasks, static_cast<int64_t>(remapped.size()));
 
   // This session gets its answers back directly; any other subscriber of a
   // shared task receives its copies out of band (its next late-answer drain
@@ -212,6 +242,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
       batch.session = static_cast<int>(i);
       for (const Task& task : sessions_[i]->pending_tasks()) {
         ++stats_.tasks_requested;
+        Bump(metrics_.tasks_requested);
         bool existed = false;
         TaskId g = ResolveGlobal(i, task, &existed);
         if (existed || in_flight.count(g) > 0) {
@@ -220,6 +251,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
           auto cached = answer_cache_.find(g);
           if (cached != answer_cache_.end() && !cached->second.empty()) {
             ++stats_.cache_hits;
+            Bump(metrics_.cache_hits);
             for (const Answer& answer : cached->second) {
               Answer translated = answer;
               translated.task = task.id;
@@ -227,6 +259,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
             }
           } else {
             ++stats_.dedup_hits;
+            Bump(metrics_.dedup_hits);
           }
           sessions_[i]->RecordDedupSavings(1);
           continue;
@@ -235,6 +268,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
           // Over budget: the ask is dropped; the session's Color phase falls
           // back to the similarity prior for this edge.
           ++stats_.budget_denied;
+          Bump(metrics_.budget_denied);
           continue;
         }
         Task copy = task;
@@ -247,10 +281,19 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
 
     std::vector<Task> merged = MergeRoundBatches(batches);
     if (!merged.empty()) {
+      const int64_t tick_begin = platform_->stats().ticks;
+      WallTimer wall;
       CDB_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                            platform_->ExecuteRound(merged, nullptr, nullptr));
+      if (options_.tracer != nullptr) {
+        options_.tracer->AddSpan("scheduler.merged_round", "scheduler",
+                                 tick_begin, platform_->stats().ticks,
+                                 wall.ElapsedMicros());
+      }
       ++stats_.merged_rounds;
+      Bump(metrics_.merged_rounds);
       stats_.tasks_published += static_cast<int64_t>(merged.size());
+      Bump(metrics_.tasks_published, static_cast<int64_t>(merged.size()));
       for (const Answer& answer : answers) {
         answer_cache_[answer.task].push_back(answer);
         auto it = subscribers_.find(answer.task);

@@ -46,6 +46,12 @@ struct MultiQueryOptions {
   std::optional<int64_t> global_budget;
   // Ask identical single-choice tasks once across sessions.
   bool dedup_tasks = true;
+  // Observability sinks (borrowed, may be null = disabled). Propagated into
+  // the shared platform and every added session; the scheduler itself
+  // mirrors MultiQueryStats under `scheduler.*` and emits one
+  // `scheduler.merged_round` span per merge barrier.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 struct MultiQueryStats {
@@ -98,7 +104,19 @@ class MultiQueryScheduler {
   void RouteLateAnswers();
   TaskTruth GlobalTaskTruth(const Task& task) const;
 
+  // Cached registry handles mirroring stats_ (null when metrics disabled).
+  struct SchedulerMetrics {
+    Counter* merged_rounds = nullptr;
+    Counter* tasks_requested = nullptr;
+    Counter* tasks_published = nullptr;
+    Counter* direct_tasks = nullptr;
+    Counter* dedup_hits = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* budget_denied = nullptr;
+  };
+
   MultiQueryOptions options_;
+  SchedulerMetrics metrics_;
   std::unique_ptr<CrowdPlatform> platform_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<QuerySession>> sessions_;

@@ -1,11 +1,12 @@
 #include "exec/session.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cost/budget.h"
 #include "cost/expectation.h"
 #include "cost/sampling.h"
@@ -13,10 +14,9 @@
 namespace cdb {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+// Registry mirror helper: null counter (metrics disabled) = no-op.
+inline void Bump(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr && delta != 0) counter->Increment(delta);
 }
 
 // Marker payload for golden warm-up tasks: strictly negative; the known
@@ -105,6 +105,37 @@ QuerySession::QuerySession(const ResolvedQuery* query,
       truth_(std::move(truth)),
       assigner_(&posteriors_, &worker_quality_, /*num_choices=*/2),
       budget_(options.budget) {
+  // Observability propagates downward: the owned platform/markets mirror
+  // into the same registry and tracer the session was handed.
+  options_.platform.metrics = options_.metrics;
+  options_.platform.tracer = options_.tracer;
+  for (PlatformOptions& market : options_.markets) {
+    market.metrics = options_.metrics;
+    market.tracer = options_.tracer;
+  }
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& reg = *options_.metrics;
+    for (int p = 0; p < kNumSessionPhases; ++p) {
+      std::string prefix = std::string("session.phase.") +
+                           SessionPhaseName(static_cast<SessionPhase>(p));
+      metrics_.phase_steps[static_cast<size_t>(p)] =
+          &reg.counter(prefix + ".steps");
+      metrics_.phase_tasks[static_cast<size_t>(p)] =
+          &reg.counter(prefix + ".tasks");
+      metrics_.phase_answers[static_cast<size_t>(p)] =
+          &reg.counter(prefix + ".answers");
+    }
+    metrics_.rounds = &reg.counter("session.rounds");
+    metrics_.reposted_tasks = &reg.counter("session.retry.reposted_tasks");
+    metrics_.retry_waves = &reg.counter("session.retry.waves");
+    metrics_.backoff_ticks = &reg.counter("session.retry.backoff_ticks");
+    metrics_.starved_tasks = &reg.counter("session.retry.starved_tasks");
+    metrics_.late_answers = &reg.counter("session.late_answers");
+    metrics_.recolored_edges = &reg.counter("session.recolored_edges");
+    metrics_.fallback_colored = &reg.counter("session.fallback_colored");
+    metrics_.dedup_tasks_saved = &reg.counter("session.dedup_tasks_saved");
+    metrics_.round_size = &reg.histogram("session.round_size");
+  }
   policy_ = assigner_.AsPolicy();
   observer_ = [this](const Answer& answer) {
     auto it = posteriors_.find(answer.task);
@@ -149,8 +180,30 @@ Result<bool> QuerySession::Step() {
                 "Step() while the scheduler owes this session a round of "
                 "answers; call DeliverAnswers() instead");
   if (phase_ == SessionPhase::kDone) return false;
+  const SessionPhase entry = phase_;
+  const size_t ei = static_cast<size_t>(entry);
+  const PhaseCounters before = result_.stats.phases[ei];
+  const int64_t tick_begin =
+      options_.tracer != nullptr ? publisher_->stats().ticks : 0;
+  WallTimer wall;
   ++Counters().steps;
-  switch (phase_) {
+  Result<bool> more = DispatchPhase(entry);
+  // Everything the phase body accounted (including reposts and late-answer
+  // reconciliation inside it) lands on the entry phase; mirror the delta.
+  const PhaseCounters& after = result_.stats.phases[ei];
+  Bump(metrics_.phase_steps[ei], after.steps - before.steps);
+  Bump(metrics_.phase_tasks[ei], after.tasks - before.tasks);
+  Bump(metrics_.phase_answers[ei], after.answers - before.answers);
+  if (options_.tracer != nullptr) {
+    options_.tracer->AddSpan(
+        std::string("session.") + SessionPhaseName(entry), "session",
+        tick_begin, publisher_->stats().ticks, wall.ElapsedMicros());
+  }
+  return more;
+}
+
+Result<bool> QuerySession::DispatchPhase(SessionPhase phase) {
+  switch (phase) {
     case SessionPhase::kBuildGraph: return StepBuildGraph();
     case SessionPhase::kSelectTasks: return StepSelectTasks();
     case SessionPhase::kBatchRound: return StepBatchRound();
@@ -178,6 +231,11 @@ Result<ExecutionResult> QuerySession::RunToCompletion() {
 ExecutionResult QuerySession::TakeResult() {
   CDB_CHECK(done());
   return std::move(result_);
+}
+
+void QuerySession::RecordDedupSavings(int64_t tasks_saved) {
+  result_.stats.dedup_tasks_saved += tasks_saved;
+  Bump(metrics_.dedup_tasks_saved, tasks_saved);
 }
 
 Result<bool> QuerySession::StepBuildGraph() {
@@ -215,12 +273,12 @@ Result<bool> QuerySession::StepBuildGraph() {
   // Sampling order is computed once (the paper fixes the sample-derived order
   // and consumes it with pruning).
   if (!options_.budget && options_.cost_method == CostMethod::kSampling) {
-    Clock::time_point start = Clock::now();
+    WallTimer timer;
     sampling_order_ = SampleMinCutOrder(
         graph_, SamplingOptions{options_.sampling_samples,
                                 options_.platform.seed ^ 0x5eedULL,
                                 options_.num_threads});
-    result_.stats.selection_ms += MsSince(start);
+    result_.stats.selection_ms += timer.ElapsedMs();
   }
 
   phase_ = SessionPhase::kSelectTasks;
@@ -231,7 +289,7 @@ Result<bool> QuerySession::StepSelectTasks() {
   ReconcileLate();
 
   // Cost control: order the tasks still worth asking.
-  Clock::time_point start = Clock::now();
+  WallTimer timer;
   ordered_.clear();
   if (options_.budget) {
     ordered_ = BudgetNextBatch(graph_);
@@ -246,7 +304,7 @@ Result<bool> QuerySession::StepSelectTasks() {
       }
     }
   }
-  result_.stats.selection_ms += MsSince(start);
+  result_.stats.selection_ms += timer.ElapsedMs();
 
   if (ordered_.empty()) return Finish();
   phase_ = SessionPhase::kBatchRound;
@@ -258,7 +316,7 @@ Result<bool> QuerySession::StepBatchRound() {
   // the whole candidate batch is taken but the ledger caps the spend up
   // front, so requester-side reposts draw from the same budget (every
   // published task is a spend).
-  Clock::time_point start = Clock::now();
+  WallTimer timer;
   round_edges_.clear();
   if (options_.budget) {
     round_edges_ = ordered_;
@@ -274,7 +332,7 @@ Result<bool> QuerySession::StepBatchRound() {
         SelectParallelRound(graph_, *pruner_, ordered_, options_.latency_mode,
                             options_.greedy_round_fraction);
   }
-  result_.stats.selection_ms += MsSince(start);
+  result_.stats.selection_ms += timer.ElapsedMs();
   if (round_edges_.empty()) return Finish();
 
   round_tasks_ = MakeTasks(round_edges_);
@@ -307,9 +365,13 @@ Result<bool> QuerySession::StepPublish() {
 void QuerySession::DeliverAnswers(const std::vector<Answer>& answers) {
   CDB_CHECK_MSG(waiting_for_answers(),
                 "DeliverAnswers on a session that is not parked at kPublish");
+  const size_t ei = static_cast<size_t>(SessionPhase::kPublish);
   ++Counters().steps;
   Counters().tasks += static_cast<int64_t>(round_tasks_.size());
   Counters().answers += static_cast<int64_t>(answers.size());
+  Bump(metrics_.phase_steps[ei]);
+  Bump(metrics_.phase_tasks[ei], static_cast<int64_t>(round_tasks_.size()));
+  Bump(metrics_.phase_answers[ei], static_cast<int64_t>(answers.size()));
   answers_received_ += static_cast<int64_t>(answers.size());
   if (options_.quality_control) {
     // The shared platform assigns round-robin (the id spaces differ), so the
@@ -356,10 +418,13 @@ Result<bool> QuerySession::StepCollect() {
           options_.retry.backoff_base_ticks << (attempt - 1),
           options_.retry.backoff_max_ticks);
       publisher_->AdvanceTicks(backoff);
+      Bump(metrics_.retry_waves);
+      Bump(metrics_.backoff_ticks, backoff);
       CDB_ASSIGN_OR_RETURN(
           std::vector<Answer> more,
           publisher_->Publish(reposts, round_policy, round_observer));
       stats.reposted_tasks += static_cast<int64_t>(reposts.size());
+      Bump(metrics_.reposted_tasks, static_cast<int64_t>(reposts.size()));
       Counters().tasks += static_cast<int64_t>(reposts.size());
       Counters().answers += static_cast<int64_t>(more.size());
       answers_received_ += static_cast<int64_t>(more.size());
@@ -371,6 +436,7 @@ Result<bool> QuerySession::StepCollect() {
                                                                : it->second;
       if (have < effective_redundancy) {
         stats.starved_task_ids.push_back(task.id);
+        Bump(metrics_.starved_tasks);
       }
     }
   }
@@ -396,6 +462,7 @@ Result<bool> QuerySession::StepColor() {
       // majority-so-far — with zero observations that is the similarity
       // prior — instead of aborting the query.
       ++result_.stats.fallback_colored;
+      Bump(metrics_.fallback_colored);
       color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
                                            : EdgeColor::kRed;
     }
@@ -404,13 +471,17 @@ Result<bool> QuerySession::StepColor() {
   result_.stats.tasks_asked += static_cast<int64_t>(round_edges_.size());
   result_.stats.round_sizes.push_back(static_cast<int64_t>(round_edges_.size()));
   ++result_.stats.rounds;
+  Bump(metrics_.rounds);
+  if (metrics_.round_size != nullptr) {
+    metrics_.round_size->Observe(static_cast<int64_t>(round_edges_.size()));
+  }
   phase_ = SessionPhase::kPrune;
   return true;
 }
 
 Result<bool> QuerySession::StepPrune() {
   pruner_->Recompute();
-  if (options_.budget && budget_.remaining() <= 0) return Finish();
+  if (budget_.Exhausted()) return Finish();
   if (options_.round_limit &&
       result_.stats.rounds >= static_cast<int64_t>(*options_.round_limit)) {
     return Finish();
@@ -434,7 +505,7 @@ Result<bool> QuerySession::Finish() {
   stats.worker_answers =
       external_publish_ ? answers_received_ : stats.platform.answers_collected;
   stats.hits_published = stats.platform.hits_published;
-  stats.dollars_spent = stats.platform.dollars_spent;
+  stats.dollars_spent = stats.platform.dollars_spent();
   result_.answers = AssignmentsToAnswers(graph_, FindAnswers(graph_));
   phase_ = SessionPhase::kDone;
   return false;
@@ -461,6 +532,7 @@ InferenceResult QuerySession::InferAll() {
     em.num_choices = 2;
     em.quality_priors = worker_quality_;
     em.num_threads = options_.num_threads;
+    em.metrics = options_.metrics;
     inference = InferSingleChoiceEm(all_observations_, em);
     worker_quality_ = inference.worker_quality;
   } else {
@@ -477,19 +549,28 @@ void QuerySession::ReconcileLate() {
   std::vector<Answer> late = publisher_->TakeLateAnswers();
   if (late.empty()) return;
   result_.stats.late_answers += static_cast<int64_t>(late.size());
+  Bump(metrics_.late_answers, static_cast<int64_t>(late.size()));
   Counters().answers += static_cast<int64_t>(late.size());
   answers_received_ += static_cast<int64_t>(late.size());
   if (Absorb(late) == 0) return;
   InferenceResult inference = InferAll();
   bool flipped = false;
   for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
-    if (graph_.edge(e).color == EdgeColor::kUnknown) continue;
+    const GraphEdge& edge = graph_.edge(e);
+    // Reconciliation flips evidence on edges the crowd already colored —
+    // nothing else. A kUnknown edge here was pruned away before it was ever
+    // asked (or starved with no fallback); a late answer for it must not
+    // resurrect it, or the pruner's frontier and the per-phase counters
+    // desync. Non-crowd edges are colored from birth and carry no crowd
+    // evidence to reconcile.
+    if (!edge.is_crowd || edge.color == EdgeColor::kUnknown) continue;
     int truth_choice = inference.Truth(e);
     if (truth_choice < 0) continue;
     EdgeColor want = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
     if (graph_.edge(e).color != want) {
       graph_.RecolorEdge(e, want);
       ++result_.stats.recolored_edges;
+      Bump(metrics_.recolored_edges);
       flipped = true;
     }
   }

@@ -51,6 +51,8 @@
 
 namespace cdb {
 
+class Histogram;
+
 // Simulation oracle: the true answer of an edge's yes/no task.
 using EdgeTruthFn = std::function<bool(const QueryGraph&, EdgeId)>;
 
@@ -95,6 +97,11 @@ struct ExecutorOptions {
   std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
   std::optional<int> round_limit;    // Figure-22 latency constraint.
   RetryOptions retry;                // Timeout/repost policy under faults.
+  // Observability sinks (borrowed, may be null = disabled). Propagated into
+  // the owned platform/markets; the session itself emits `session.*` metrics
+  // and one tick-keyed span per Step().
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // The session phases, in Step() order. kDone is terminal.
@@ -265,9 +272,7 @@ class QuerySession {
 
   // Scheduler accounting hook: this many of the session's asks were served
   // by another session's identical task.
-  void RecordDedupSavings(int64_t tasks_saved) {
-    result_.stats.dedup_tasks_saved += tasks_saved;
-  }
+  void RecordDedupSavings(int64_t tasks_saved);
 
   // The final result; valid once done(). Leaves the session drained.
   ExecutionResult TakeResult();
@@ -276,6 +281,8 @@ class QuerySession {
   const ExecutionStats& stats() const { return result_.stats; }
 
  private:
+  // Runs the body of `phase` (Step() wraps this with per-phase accounting).
+  Result<bool> DispatchPhase(SessionPhase phase);
   Result<bool> StepBuildGraph();
   Result<bool> StepSelectTasks();
   Result<bool> StepBatchRound();
@@ -300,8 +307,28 @@ class QuerySession {
     return result_.stats.phases[static_cast<size_t>(phase_)];
   }
 
+  // Cached registry handles (all null when options_.metrics is unset).
+  // Per-phase counters live under `session.phase.<name>.*`, the rest under
+  // `session.*`; each mirrors the like-named ExecutionStats field.
+  struct SessionMetrics {
+    std::array<Counter*, kNumSessionPhases> phase_steps{};
+    std::array<Counter*, kNumSessionPhases> phase_tasks{};
+    std::array<Counter*, kNumSessionPhases> phase_answers{};
+    Counter* rounds = nullptr;
+    Counter* reposted_tasks = nullptr;
+    Counter* retry_waves = nullptr;
+    Counter* backoff_ticks = nullptr;
+    Counter* starved_tasks = nullptr;
+    Counter* late_answers = nullptr;
+    Counter* recolored_edges = nullptr;
+    Counter* fallback_colored = nullptr;
+    Counter* dedup_tasks_saved = nullptr;
+    Histogram* round_size = nullptr;
+  };
+
   const ResolvedQuery* query_;
   ExecutorOptions options_;
+  SessionMetrics metrics_;
   EdgeTruthFn truth_;
   QueryGraph graph_;
   std::optional<Pruner> pruner_;

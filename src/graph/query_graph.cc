@@ -65,6 +65,11 @@ void QueryGraph::SetColor(EdgeId e, EdgeColor color) {
 
 void QueryGraph::RecolorEdge(EdgeId e, EdgeColor color) {
   CDB_CHECK_MSG(color != EdgeColor::kUnknown, "cannot uncolor an edge");
+  // Flip-only contract: recoloring corrects evidence on an edge that was
+  // already colored. An uncolored edge was pruned before it was ever asked;
+  // late evidence must not resurrect it (the caller filters those out).
+  CDB_CHECK_MSG(edges_[e].color != EdgeColor::kUnknown,
+                "RecolorEdge on an uncolored (pruned-unasked) edge");
   edges_[e].color = color;
 }
 

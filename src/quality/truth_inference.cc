@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace cdb {
@@ -112,6 +113,8 @@ InferenceResult InferSingleChoiceEm(const std::vector<ChoiceObservation>& obs,
 
   std::vector<std::vector<double>> posteriors(task_ids.size());
   std::vector<double> updated_quality(worker_ids.size());
+  int iterations_run = 0;
+  double last_max_delta = 0.0;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     // E-step: task posteriors from current qualities (Eq. 2). Tasks are
     // independent given the qualities, so they fan out across the pool.
@@ -164,7 +167,19 @@ InferenceResult InferSingleChoiceEm(const std::vector<ChoiceObservation>& obs,
       max_delta = std::max(max_delta, std::abs(updated_quality[w] - quality[w]));
       quality[w] = updated_quality[w];
     }
+    ++iterations_run;
+    last_max_delta = max_delta;
     if (max_delta < options.tolerance) break;
+  }
+  if (options.metrics != nullptr) {
+    MetricsRegistry& reg = *options.metrics;
+    reg.counter("quality.em.runs").Increment();
+    reg.counter("quality.em.iterations").Increment(iterations_run);
+    // Convergence delta in integer micro-units; deterministic because EM is
+    // bit-identical across thread counts.
+    reg.gauge("quality.em.last_delta_micro")
+        .Set(static_cast<int64_t>(std::llround(last_max_delta * 1e6)));
+    reg.histogram("quality.em.iterations_per_run").Observe(iterations_run);
   }
 
   for (size_t t = 0; t < task_ids.size(); ++t) {

@@ -19,6 +19,8 @@
 
 namespace cdb {
 
+class MetricsRegistry;
+
 // One single-choice observation.
 struct ChoiceObservation {
   TaskId task = -1;
@@ -57,6 +59,10 @@ struct EmOptions {
   // task/worker is a unit of work whose floating-point accumulation order
   // never changes, and cross-unit reductions happen serially.
   int num_threads = 0;
+  // Observability sink (borrowed, may be null = disabled): EM mirrors runs,
+  // iterations, and the final convergence delta (in micro-units, since the
+  // registry is integer-only) under `quality.em.*`.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Expectation-Maximization over worker qualities + Bayesian voting truths.

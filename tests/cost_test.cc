@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "cost/budget.h"
+#include "cost/ledger.h"
 #include "cost/expectation.h"
 #include "cost/known_color.h"
 #include "cost/sampling.h"
@@ -205,6 +209,62 @@ TEST(BudgetTest, EmptyWhenNothingSurvives) {
       {0, 0, 0, 0.9, true, EdgeColor::kRed}};
   QueryGraph graph = QueryGraph::MakeSynthetic(2, preds, edges);
   EXPECT_TRUE(BudgetNextBatch(graph).empty());
+}
+
+TEST(BudgetLedgerTest, UnlimitedLedgerHasNoRemaining) {
+  // Regression for the INT64_MAX sentinel: the unlimited case is nullopt, so
+  // "remaining() + slack" arithmetic cannot silently overflow.
+  BudgetLedger ledger;
+  EXPECT_FALSE(ledger.limited());
+  EXPECT_FALSE(ledger.remaining().has_value());
+  EXPECT_FALSE(ledger.Exhausted());
+  EXPECT_EQ(ledger.TryDebit(1000), 1000);
+  EXPECT_FALSE(ledger.remaining().has_value());
+  EXPECT_FALSE(ledger.Exhausted());
+  EXPECT_EQ(ledger.spent(), 1000);
+}
+
+TEST(BudgetLedgerTest, LimitedLedgerClampsAndExhausts) {
+  BudgetLedger ledger(10);
+  EXPECT_TRUE(ledger.limited());
+  EXPECT_EQ(ledger.remaining().value(), 10);
+  EXPECT_EQ(ledger.TryDebit(4), 4);
+  EXPECT_EQ(ledger.remaining().value(), 6);
+  EXPECT_FALSE(ledger.Exhausted());
+  EXPECT_EQ(ledger.TryDebit(100), 6);  // Partial grant, clamped at the limit.
+  EXPECT_EQ(ledger.remaining().value(), 0);
+  EXPECT_TRUE(ledger.Exhausted());
+  EXPECT_EQ(ledger.TryDebit(1), 0);
+  EXPECT_EQ(ledger.remaining().value(), 0);  // Never negative.
+  EXPECT_EQ(ledger.spent(), 10);
+}
+
+TEST(BudgetLedgerTest, SpendSaturatesInsteadOfOverflowing) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  BudgetLedger ledger;  // Unlimited grants everything asked.
+  EXPECT_EQ(ledger.TryDebit(kMax), kMax);
+  EXPECT_EQ(ledger.TryDebit(kMax), kMax);  // Would overflow spent_ if summed.
+  EXPECT_EQ(ledger.spent(), kMax);         // Saturated, not wrapped.
+}
+
+TEST(BudgetLedgerTest, ConcurrentDebitsNeverOverspend) {
+  // The scheduler debits a shared ledger across sessions; total grants must
+  // equal the limit exactly regardless of interleaving.
+  BudgetLedger ledger(1000);
+  constexpr int kThreads = 8;
+  std::vector<int64_t> granted(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, &granted, t] {
+      for (int i = 0; i < 500; ++i) granted[static_cast<size_t>(t)] += ledger.TryDebit(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t total = 0;
+  for (int64_t g : granted) total += g;
+  EXPECT_EQ(total, 1000);
+  EXPECT_TRUE(ledger.Exhausted());
+  EXPECT_EQ(ledger.spent(), 1000);
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(PlatformTest, StatsAccumulate) {
   ASSERT_TRUE(platform.ExecuteRound(tasks).ok());
   EXPECT_EQ(platform.stats().tasks_published, 25);
   EXPECT_EQ(platform.stats().hits_published, 3);  // ceil(25/10).
-  EXPECT_NEAR(platform.stats().dollars_spent, 0.3, 1e-9);
+  EXPECT_EQ(platform.stats().micro_dollars_spent, 300000);  // 3 HITs * $0.1.
   EXPECT_EQ(platform.stats().answers_collected, 75);
   ASSERT_TRUE(platform.ExecuteRound({YesNoTask(100)}).ok());
   EXPECT_EQ(platform.stats().tasks_published, 26);

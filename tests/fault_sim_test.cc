@@ -55,9 +55,8 @@ void CheckConservation(const PlatformStats& stats) {
       << PlatformStatsDump(stats);
   EXPECT_LE(stats.expiries, stats.abandons + stats.late_answers)
       << PlatformStatsDump(stats);
-  EXPECT_NEAR(stats.dollars_spent, static_cast<double>(stats.hits_published) *
-                                       0.1,
-              1e-9);
+  // Exact integer pricing: micro-dollars are a pure function of HITs.
+  EXPECT_EQ(stats.micro_dollars_spent, stats.hits_published * 100000);
 }
 
 TEST(FaultDstTest, TwentySeedConservationSweep) {
@@ -205,7 +204,7 @@ TEST(SimCrowdTest, BudgetIsNeverExceededUnderFaults) {
     }
     const PlatformStats& ps = report.result.stats.platform;
     EXPECT_LE(ps.tasks_published, 12) << "seed " << seed;
-    EXPECT_LE(ps.dollars_spent, 12 * 0.1 + 1e-9) << "seed " << seed;
+    EXPECT_LE(ps.micro_dollars_spent, 12 * 100000) << "seed " << seed;
   }
 }
 
@@ -264,6 +263,52 @@ TEST(SimCrowdTest, SameSeedByteIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+TEST(SimCrowdTest, LateAnswerAfterPruningDoesNotResurrectEdges) {
+  // Regression for the RecolorEdge audit: an extreme straggler profile makes
+  // late answers land whole rounds after the pruner has already acted on the
+  // early deliveries. Reconciliation may flip a colored edge, but an answer
+  // for an edge the pruner skipped (still kUnknown, or a traditional
+  // predicate) must be dropped, never resurrect it into the crowd set. The
+  // color-integrity invariant in RunSimCrowd observes exactly that.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimCrowdConfig config;
+    config.seed = seed;
+    config.fault.straggler_prob = 0.6;
+    config.fault.straggler_delay_ticks = 30;
+    config.fault.task_deadline_ticks = 4;
+    config.fault.abandon_prob = 0.1;
+    SimCrowdReport report = RunSimCrowd(config).value();
+    for (const std::string& violation : report.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+    // The profile must actually exercise the late path, and reruns must be
+    // byte-identical (reconciliation is deterministic).
+    if (seed == 1) {
+      SimCrowdReport rerun = RunSimCrowd(config).value();
+      EXPECT_EQ(rerun.stats_dump, report.stats_dump);
+      EXPECT_EQ(rerun.color_dump, report.color_dump);
+    }
+  }
+}
+
+TEST(SimCrowdTest, HostileSweepProducesLateAnswers) {
+  // Sanity for the regression above: the straggler-heavy profile does push
+  // answers past the deadline, so the reconciliation path is genuinely
+  // covered rather than vacuously green.
+  int64_t total_late = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimCrowdConfig config;
+    config.seed = seed;
+    config.fault.straggler_prob = 0.6;
+    config.fault.straggler_delay_ticks = 30;
+    config.fault.task_deadline_ticks = 4;
+    config.fault.abandon_prob = 0.1;
+    SimCrowdReport report = RunSimCrowd(config).value();
+    total_late += report.result.stats.platform.late_answers;
+  }
+  EXPECT_GT(total_late, 0);
 }
 
 TEST(SimCrowdTest, StatsDumpIsStableFormat) {

@@ -57,6 +57,13 @@ contracts:
                           (seed, counter) and silently breaks the
                           bit-identical determinism the DST harness asserts.
 
+  wallclock-outside-trace  std::chrono (includes, namespace uses, direct
+                          clock types) only in src/common/trace.cc, the one
+                          sanctioned wall-clock reader. Everything else goes
+                          through cdb::WallTimer, so nondeterministic time
+                          can never leak into an optimizer decision or a
+                          byte-compared dump (tests/ is out of scope).
+
 Suppression: append  // cdb-lint: disable=<rule>  (with a reason) to the
 offending line. Suppressions without a rule name are invalid.
 
@@ -460,6 +467,41 @@ def check_fault_rng_stream(path: str, text: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: wallclock-outside-trace
+# --------------------------------------------------------------------------
+
+# The deterministic surface (metrics dumps, tick traces, optimizer decisions)
+# must never see wall-clock time. src/common/trace.cc is the single sanctioned
+# std::chrono reader; everything else measures wall time through cdb::WallTimer
+# so a nondeterministic stamp cannot leak into a byte-compared dump.
+WALLCLOCK_ALLOWED = ("src/common/trace.cc",)
+WALLCLOCK_PATTERNS = [
+    (re.compile(r"#\s*include\s*<chrono>"), "#include <chrono>"),
+    (re.compile(r"\bstd\s*::\s*chrono\b"), "std::chrono"),
+    (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"),
+     "direct clock type"),
+]
+
+
+def check_wallclock(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if norm in WALLCLOCK_ALLOWED or norm.startswith("tests/"):
+        return []
+    findings = []
+    for lineno, raw, code in iter_code_lines(text):
+        for pattern, what in WALLCLOCK_PATTERNS:
+            if (pattern.search(code)
+                    and not suppressed(raw, "wallclock-outside-trace")):
+                findings.append(Finding(
+                    path, lineno, "wallclock-outside-trace",
+                    f"{what} outside src/common/trace.cc; read wall time "
+                    "through cdb::WallTimer so nondeterministic stamps stay "
+                    "out of decision paths and byte-compared dumps"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -470,6 +512,7 @@ PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
     check_include_guard,
     check_single_publish_path,
     check_fault_rng_stream,
+    check_wallclock,
 ]
 
 LINT_SUBDIRS = ("src", "tests", "bench", "examples")
@@ -612,6 +655,31 @@ SELF_TEST_CASES = [
      "if (rng_.Bernoulli(fault.abandon_prob)) {  "
      "// cdb-lint: disable=fault-rng-stream documented legacy knob\n}\n",
      "fault-rng-stream", False),
+
+    ("chrono include in exec", "src/exec/e.cc",
+     "#include <chrono>\n", "wallclock-outside-trace", True),
+    ("std::chrono read in bench", "bench/b.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "wallclock-outside-trace", True),
+    ("bare clock type in examples", "examples/demo.cc",
+     "using clock = high_resolution_clock;\n",
+     "wallclock-outside-trace", True),
+    ("allowed in trace.cc", "src/common/trace.cc",
+     "auto now = std::chrono::steady_clock::now();\n",
+     "wallclock-outside-trace", False),
+    ("WallTimer use is fine", "src/exec/e.cc",
+     "WallTimer timer; double ms = timer.ElapsedMs();\n",
+     "wallclock-outside-trace", False),
+    ("chrono in comment ignored", "src/common/trace.h",
+     "// the only file allowed to touch std::chrono\n",
+     "wallclock-outside-trace", False),
+    ("tests out of scope", "tests/t.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     "wallclock-outside-trace", False),
+    ("suppressed wall read", "src/exec/e.cc",
+     "auto t = std::chrono::steady_clock::now();  "
+     "// cdb-lint: disable=wallclock-outside-trace profiling shim\n",
+     "wallclock-outside-trace", False),
 
     ("canonical guard ok", "src/cost/sampling.h",
      "#ifndef CDB_COST_SAMPLING_H_\n#define CDB_COST_SAMPLING_H_\n#endif\n",
