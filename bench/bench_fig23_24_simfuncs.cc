@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace cdb::bench;
   // NoSim materializes the cross product; keep this bench small.
   BenchArgs args = ParseArgs(argc, argv, /*default_scale=*/0.1, /*default_reps=*/1);
+  BenchObservability obs = MakeObservability(args);
   GeneratedDataset paper = MakePaper(args);
   const std::string cql = PaperQueries()[0].cql;  // 2J.
 
@@ -25,10 +26,15 @@ int main(int argc, char** argv) {
                              Entry{"CDB (2-gram)", SimilarityFunction::kQGramJaccard}}) {
     RunConfig config = BaseConfig(args, /*worker_quality=*/0.9);
     config.graph.sim_fn = entry.fn;
+    // With --metrics-out= the simjoin.* funnel counters (candidates,
+    // signature_rejects, verified, pairs) land in the dump per function.
+    config.metrics = obs.registry.get();
+    config.tracer = obs.tracer.get();
     RunOutcome out = MustRun(Method::kCdb, paper, cql, config);
     printer.AddRow({entry.label, FormatCount(out.tasks), FormatDouble(out.f1, 3)});
   }
   printer.Print();
+  obs.Flush();
   std::printf("\nExpected shape: NoSim far costlier; ED/JAC/2-gram similar cost,\n"
               "2-gram slightly better quality.\n");
   return 0;

@@ -7,16 +7,26 @@
 // differs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util/metrics.h"
+#include "common/logging.h"
 #include "bench_util/queries.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "cost/expectation.h"
 #include "cost/known_color.h"
 #include "cost/sampling.h"
 #include "cql/parser.h"
 #include "crowd/platform.h"
 #include "datagen/paper_dataset.h"
+#include "datagen/string_corpus.h"
 #include "flow/min_cut.h"
 #include "graph/pruning.h"
 #include "graph/structure.h"
@@ -119,6 +129,8 @@ BENCHMARK(BM_KnownColorSelection);
 // --- Serial-vs-parallel pairs. state.range(0) is the thread knob: 1 = the
 // exact serial path, 0 = all hardware threads via the shared pool. ---
 
+// Second knob: state.range(1) selects the kernel (0 = flat, 1 = legacy), so
+// the flat-vs-legacy speedup is visible in the regular benchmark output too.
 void BM_TokenPrefixJoin(benchmark::State& state) {
   const Table* paper = Dataset().catalog.GetTable("Paper").value();
   const Table* citation = Dataset().catalog.GetTable("Citation").value();
@@ -126,12 +138,19 @@ void BM_TokenPrefixJoin(benchmark::State& state) {
   std::vector<std::string> right = citation->StringColumn("title").value();
   SimJoinOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  options.kernel =
+      state.range(1) == 0 ? SimJoinKernel::kFlat : SimJoinKernel::kLegacy;
   for (auto _ : state) {
     benchmark::DoNotOptimize(SimilarityJoin(
         left, right, SimilarityFunction::kQGramJaccard, 0.3, options));
   }
 }
-BENCHMARK(BM_TokenPrefixJoin)->Arg(1)->Arg(0);
+BENCHMARK(BM_TokenPrefixJoin)
+    ->ArgNames({"threads", "legacy"})
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({0, 1});
 
 void BM_EditDistanceJoin(benchmark::State& state) {
   const Table* paper = Dataset().catalog.GetTable("Paper").value();
@@ -140,12 +159,19 @@ void BM_EditDistanceJoin(benchmark::State& state) {
   std::vector<std::string> right = citation->StringColumn("title").value();
   SimJoinOptions options;
   options.num_threads = static_cast<int>(state.range(0));
+  options.kernel =
+      state.range(1) == 0 ? SimJoinKernel::kFlat : SimJoinKernel::kLegacy;
   for (auto _ : state) {
     benchmark::DoNotOptimize(SimilarityJoin(
         left, right, SimilarityFunction::kEditDistance, 0.6, options));
   }
 }
-BENCHMARK(BM_EditDistanceJoin)->Arg(1)->Arg(0);
+BENCHMARK(BM_EditDistanceJoin)
+    ->ArgNames({"threads", "legacy"})
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({0, 1});
 
 void BM_SampleMinCutOrder(benchmark::State& state) {
   ResolvedQuery query = ThreeJoinQuery();
@@ -241,7 +267,137 @@ void BM_SelectParallelRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectParallelRound);
 
+// --- Sim-join funnel harness (--metrics-out=PATH) ---------------------------
+// Runs the flat and legacy kernels over scalable string corpora (10^4 and
+// 10^5 records) and writes BENCH_simjoin.json: per-kernel wall time,
+// records/sec, and the funnel counters. The counters are deterministic in
+// the corpus seed, so CI can regenerate the file and diff them exactly;
+// wall-clock fields are compared as flat/legacy ratios with tolerance
+// (tools/check_bench_simjoin.py).
+
+struct SimJoinWorkload {
+  const char* name;
+  SimilarityFunction fn;
+  double threshold;
+  int64_t records;
+};
+
+struct KernelRun {
+  double wall_ms = 0.0;
+  int64_t pairs = 0;
+  int64_t candidates = 0;
+  int64_t signature_rejects = 0;
+  int64_t verified = 0;
+};
+
+KernelRun RunKernel(const StringCorpus& corpus, const SimJoinWorkload& w,
+                    SimJoinKernel kernel) {
+  MetricsRegistry metrics;
+  SimJoinOptions options;
+  options.num_threads = 1;  // Pure kernel comparison, no pool variance.
+  options.kernel = kernel;
+  options.metrics = &metrics;
+  WallTimer timer;
+  std::vector<SimPair> pairs =
+      SimilarityJoin(corpus.left, corpus.right, w.fn, w.threshold, options);
+  KernelRun run;
+  run.wall_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  run.pairs = static_cast<int64_t>(pairs.size());
+  run.candidates = metrics.counter("simjoin.candidates").Value();
+  run.signature_rejects = metrics.counter("simjoin.signature_rejects").Value();
+  run.verified = metrics.counter("simjoin.verified").Value();
+  return run;
+}
+
+std::string KernelJson(const KernelRun& run, int64_t records) {
+  double secs = run.wall_ms / 1000.0;
+  int64_t records_per_sec =
+      secs > 0.0 ? static_cast<int64_t>(static_cast<double>(records) / secs)
+                 : 0;
+  return StrPrintf(
+      "{\"wall_ms\": %.3f, \"records_per_sec\": %lld, "
+      "\"candidates\": %lld, \"signature_rejects\": %lld, "
+      "\"verified\": %lld, \"pairs\": %lld}",
+      run.wall_ms, static_cast<long long>(records_per_sec),
+      static_cast<long long>(run.candidates),
+      static_cast<long long>(run.signature_rejects),
+      static_cast<long long>(run.verified),
+      static_cast<long long>(run.pairs));
+}
+
+void RunSimJoinFunnel(const std::string& path) {
+  // The 10^5 workload is the headline: verify-dominated at a moderate
+  // threshold, where the signature filter and id-merge verify pay off. The
+  // 2-gram universe is tiny (~10^3 grams), so the prefix filter degrades at
+  // 10^5 records and the q-gram/edit workloads run at 10^4.
+  const SimJoinWorkload workloads[] = {
+      {"word_jaccard_1e4", SimilarityFunction::kWordJaccard, 0.6, 10000},
+      {"word_jaccard_1e5", SimilarityFunction::kWordJaccard, 0.6, 100000},
+      {"qgram_jaccard_1e4", SimilarityFunction::kQGramJaccard, 0.6, 10000},
+      {"qgram_cosine_1e4", SimilarityFunction::kQGramCosine, 0.7, 10000},
+      {"edit_distance_1e4", SimilarityFunction::kEditDistance, 0.8, 10000},
+  };
+  std::string json = "{\n  \"schema\": \"cdb-bench-simjoin-v1\",\n"
+                     "  \"threads\": 1,\n  \"workloads\": [\n";
+  bool first = true;
+  for (const SimJoinWorkload& w : workloads) {
+    StringCorpusOptions corpus_options;
+    corpus_options.num_left = w.records;
+    corpus_options.num_right = w.records;
+    StringCorpus corpus = GenerateStringCorpus(corpus_options);
+    std::fprintf(stderr, "simjoin funnel: %s (%lld records)...\n", w.name,
+                 static_cast<long long>(w.records));
+    KernelRun legacy = RunKernel(corpus, w, SimJoinKernel::kLegacy);
+    KernelRun flat = RunKernel(corpus, w, SimJoinKernel::kFlat);
+    double speedup =
+        flat.wall_ms > 0.0 ? legacy.wall_ms / flat.wall_ms : 0.0;
+    if (!first) json += ",\n";
+    first = false;
+    json += StrPrintf(
+        "    {\"name\": \"%s\", \"fn\": \"%s\", \"threshold\": %.2f, "
+        "\"records\": %lld,\n"
+        "     \"legacy\": %s,\n"
+        "     \"flat\": %s,\n"
+        "     \"speedup_flat_over_legacy\": %.2f}",
+        w.name, SimilarityFunctionName(w.fn), w.threshold,
+        static_cast<long long>(w.records), KernelJson(legacy, w.records).c_str(),
+        KernelJson(flat, w.records).c_str(), speedup);
+    std::fprintf(stderr, "  legacy %.1f ms, flat %.1f ms, speedup %.2fx\n",
+                 legacy.wall_ms, flat.wall_ms, speedup);
+  }
+  json += "\n  ]\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  CDB_CHECK_MSG(file != nullptr, "cannot open --metrics-out file");
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+}
+
 }  // namespace
 }  // namespace cdb
 
-BENCHMARK_MAIN();
+// Custom main: `--metrics-out=PATH` is ours (google-benchmark rejects
+// unknown flags), and it switches the binary into the sim-join funnel
+// harness that writes BENCH_simjoin.json.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  if (!metrics_out.empty()) {
+    cdb::RunSimJoinFunnel(metrics_out);
+    return 0;
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Scalable string corpora for the similarity-join micro-benchmarks and the
+// kernel bit-identity tests.
+//
+// The paper-shaped datasets (paper_dataset.h) top out around 10^3 records —
+// the cardinalities of Table 2. The sim-join perf work needs 10^4-10^5
+// record workloads whose candidate structure resembles real dirty data:
+// Zipf-weighted vocabulary (frequent tokens create broad posting lists,
+// rare tokens selective prefixes) and a controlled fraction of perturbed
+// near-duplicates so verification actually emits pairs. Everything is
+// deterministic in the seed.
+#ifndef CDB_DATAGEN_STRING_CORPUS_H_
+#define CDB_DATAGEN_STRING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdb {
+
+struct StringCorpusOptions {
+  // Record counts per side. The benches use 10^4 and 10^5.
+  int64_t num_left = 10000;
+  int64_t num_right = 10000;
+  // Fraction of right records derived from a random left record by
+  // perturbation (typo / dropped word / abbreviation) — these survive
+  // verification at moderate thresholds; the rest are fresh records that
+  // mostly die in the filter stack.
+  double match_fraction = 0.2;
+  // Words per record, uniform in [min_words, max_words].
+  int min_words = 3;
+  int max_words = 8;
+  // Distinct words in the vocabulary; drawn Zipf(zipf_s) so a few words are
+  // very frequent (stress the posting lists) and most are rare (feed the
+  // prefix filter).
+  int vocabulary = 4000;
+  double zipf_s = 1.0;
+  uint64_t seed = 20260809;
+};
+
+struct StringCorpus {
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+};
+
+// Generates the two sides of a join input. Deterministic in `options`
+// (record i is derived from Rng stream (seed, i), so the corpus is also
+// independent of generation order).
+StringCorpus GenerateStringCorpus(const StringCorpusOptions& options);
+
+}  // namespace cdb
+
+#endif  // CDB_DATAGEN_STRING_CORPUS_H_

@@ -239,7 +239,13 @@ void QuerySession::RecordDedupSavings(int64_t tasks_saved) {
 }
 
 Result<bool> QuerySession::StepBuildGraph() {
-  CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, options_.graph));
+  // Route the session's metrics registry into the sim-join funnel counters
+  // (simjoin.*) unless the caller already wired a sink of its own.
+  GraphOptions graph_options = options_.graph;
+  if (graph_options.sim_metrics == nullptr) {
+    graph_options.sim_metrics = options_.metrics;
+  }
+  CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, graph_options));
   pruner_.emplace(&graph_);
 
   // Golden warm-up (Appendix E): estimate worker qualities from known-truth

@@ -174,9 +174,13 @@ Result<QueryGraph> QueryGraph::Build(const ResolvedQuery& query,
         std::vector<std::string> right_vals,
         right->StringColumn(right->schema().column(join.right_col).name));
     if (join.is_crowd) {
-      std::vector<SimPair> pairs =
-          SimilarityJoin(left_vals, right_vals, options.sim_fn, options.epsilon,
-                         SimJoinOptions{options.num_threads});
+      SimJoinOptions join_options;
+      join_options.num_threads = options.num_threads;
+      join_options.kernel = options.sim_kernel;
+      join_options.signature_filter = options.sim_signature_filter;
+      join_options.metrics = options.sim_metrics;
+      std::vector<SimPair> pairs = SimilarityJoin(
+          left_vals, right_vals, options.sim_fn, options.epsilon, join_options);
       for (const SimPair& pair : pairs) {
         VertexId u = graph.InternVertex(join.left_rel, pair.left);
         VertexId v = graph.InternVertex(join.right_rel, pair.right);

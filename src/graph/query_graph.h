@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "cql/analyzer.h"
+#include "similarity/sim_join.h"
 #include "similarity/similarity.h"
 
 namespace cdb {
@@ -62,6 +63,13 @@ struct GraphOptions {
   // Threads for the per-predicate similarity joins during Build (<= 0 = all
   // hardware threads, 1 = serial). Edge sets are identical either way.
   int num_threads = 0;
+  // Sim-join kernel selection + admissible signature pre-filter (see
+  // similarity/sim_join.h). Both kernels emit bit-identical edge sets; the
+  // knobs exist for the identity tests and the perf baseline.
+  SimJoinKernel sim_kernel = SimJoinKernel::kFlat;
+  bool sim_signature_filter = true;
+  // Optional sink for the simjoin.* funnel counters (borrowed, may be null).
+  MetricsRegistry* sim_metrics = nullptr;
 };
 
 // The materialized tuple-level graph. Vertices exist only for tuples with at

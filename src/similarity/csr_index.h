@@ -1,0 +1,105 @@
+// Flat (CSR) layouts for the similarity-join hot paths.
+//
+// The probe loops used to chase std::unordered_map buckets per token; both
+// the posting-list indexes and the per-record token sets are now two plain
+// arrays — `offsets[]` indexed by a dense key and one contiguous payload
+// array — so a probe is a bounds computation plus a linear scan of
+// contiguous memory.
+//
+// Determinism: CsrIndex is built count-then-fill. The caller emits its
+// (key, value) pairs twice in the same order; pass one sizes each posting
+// list, pass two appends values in emission order. Postings for a key
+// therefore appear exactly in emission order — emitting right-hand records
+// in ascending j reproduces, list for list, the order the old
+// `unordered_map<Token, vector<j>>` index produced with push_back, which is
+// what keeps the probe output bit-identical to the legacy kernel.
+#ifndef CDB_SIMILARITY_CSR_INDEX_H_
+#define CDB_SIMILARITY_CSR_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cdb {
+
+// Posting-list index over dense integer keys in [0, num_keys).
+class CsrIndex {
+ public:
+  CsrIndex() = default;
+
+  // Builds by invoking `emit` twice with a sink callback `sink(key, value)`.
+  // Both invocations must produce the same (key, value) sequence.
+  template <typename EmitFn>
+  static CsrIndex Build(size_t num_keys, EmitFn&& emit) {
+    CsrIndex index;
+    index.offsets_.assign(num_keys + 1, 0);
+    // Pass 1: count per key (shifted by one so the prefix sum lands directly
+    // in offsets_).
+    emit([&](int32_t key, int32_t /*value*/) {
+      ++index.offsets_[static_cast<size_t>(key) + 1];
+    });
+    for (size_t k = 1; k <= num_keys; ++k) {
+      index.offsets_[k] += index.offsets_[k - 1];
+    }
+    index.postings_.resize(static_cast<size_t>(index.offsets_[num_keys]));
+    // Pass 2: fill in emission order using a per-key write cursor.
+    std::vector<int64_t> cursor(index.offsets_.begin(),
+                                index.offsets_.end() - 1);
+    emit([&](int32_t key, int32_t value) {
+      index.postings_[static_cast<size_t>(cursor[static_cast<size_t>(key)]++)] =
+          value;
+    });
+    return index;
+  }
+
+  size_t num_keys() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_postings() const { return postings_.size(); }
+
+  // The posting list of `key` as a [begin, end) pointer pair.
+  std::pair<const int32_t*, const int32_t*> Postings(int32_t key) const {
+    const size_t k = static_cast<size_t>(key);
+    return {postings_.data() + offsets_[k], postings_.data() + offsets_[k + 1]};
+  }
+
+ private:
+  std::vector<int64_t> offsets_;   // num_keys + 1 entries.
+  std::vector<int32_t> postings_;  // One contiguous payload array.
+};
+
+// Structure-of-arrays token storage: every record's sorted dense-id token
+// set lives in one flat arena; record r owns ids [offsets[r], offsets[r+1]).
+// Probe threads touch two contiguous arrays instead of a vector-of-vectors'
+// scattered heap blocks.
+class TokenArena {
+ public:
+  TokenArena() = default;
+
+  // Allocates spans from per-record set sizes (serial prefix sum). Ids are
+  // filled afterwards through MutableSpan — safe to fill from ParallelFor
+  // since spans are disjoint.
+  explicit TokenArena(const std::vector<int32_t>& sizes) {
+    offsets_.resize(sizes.size() + 1);
+    offsets_[0] = 0;
+    for (size_t r = 0; r < sizes.size(); ++r) {
+      offsets_[r + 1] = offsets_[r] + sizes[r];
+    }
+    ids_.resize(static_cast<size_t>(offsets_.back()));
+  }
+
+  size_t num_records() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t size(size_t r) const {
+    return static_cast<size_t>(offsets_[r + 1] - offsets_[r]);
+  }
+  const int32_t* begin(size_t r) const { return ids_.data() + offsets_[r]; }
+  const int32_t* end(size_t r) const { return ids_.data() + offsets_[r + 1]; }
+  int32_t* MutableSpan(size_t r) { return ids_.data() + offsets_[r]; }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<int32_t> ids_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_SIMILARITY_CSR_INDEX_H_

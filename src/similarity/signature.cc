@@ -1,0 +1,55 @@
+#include "similarity/signature.h"
+
+#include <cmath>
+
+namespace cdb {
+
+TokenSignature SignatureOfIds(const int32_t* ids, size_t n) {
+  TokenSignature sig = 0;
+  for (size_t i = 0; i < n; ++i) sig |= TokenBit(ids[i]);
+  return sig;
+}
+
+TokenSignature SignatureOfGrams(std::string_view s) {
+  if (s.empty()) return 0;
+  if (s.size() < 2) {
+    // Whole-string token, mixed from its single byte with a tag bit so "a"
+    // and the 2-gram "a\0" cannot alias.
+    uint64_t code = 0x100u | static_cast<uint8_t>(s[0]);
+    return TokenSignature{1} << (MixToken64(code) & 63);
+  }
+  TokenSignature sig = 0;
+  for (size_t i = 0; i + 2 <= s.size(); ++i) {
+    uint64_t code = (static_cast<uint64_t>(static_cast<uint8_t>(s[i])) << 8) |
+                    static_cast<uint8_t>(s[i + 1]);
+    sig |= TokenSignature{1} << (MixToken64(code) & 63);
+  }
+  return sig;
+}
+
+bool SignatureRejectsJaccard(TokenSignature a, TokenSignature b, size_t size_a,
+                             size_t size_b, double threshold) {
+  // J >= t  requires  δ (1 + t) <= (1 - t)(a + b); reject when the lower
+  // bound on δ already exceeds the right-hand side.
+  double lb = static_cast<double>(SignatureHamming(a, b));
+  double total = static_cast<double>(size_a + size_b);
+  return lb * (1.0 + threshold) > (1.0 - threshold) * total + kSignatureSlack;
+}
+
+bool SignatureRejectsCosine(TokenSignature a, TokenSignature b, size_t size_a,
+                            size_t size_b, double threshold) {
+  // C >= t  requires  δ <= a + b - 2 t sqrt(a b).
+  double lb = static_cast<double>(SignatureHamming(a, b));
+  double bound = static_cast<double>(size_a + size_b) -
+                 2.0 * threshold *
+                     std::sqrt(static_cast<double>(size_a) *
+                               static_cast<double>(size_b));
+  return lb > bound + kSignatureSlack;
+}
+
+bool SignatureRejectsEditDistance(TokenSignature a, TokenSignature b,
+                                  size_t max_dist) {
+  return static_cast<size_t>(SignatureHamming(a, b)) > 4 * max_dist;
+}
+
+}  // namespace cdb

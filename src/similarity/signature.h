@@ -1,0 +1,99 @@
+// Bit-parallel record signatures for the similarity-join pre-filter.
+//
+// Each record's token set is folded into a 64-bit signature: one bit per
+// token, chosen by a fixed 64-bit mix of the token. Signatures support an
+// XOR+popcount test that lower-bounds the symmetric difference of two token
+// sets:
+//
+//   every bit set in sig(A) ^ sig(B) is set by at least one token of A or B
+//   that the other side cannot also contain (a shared token sets the same bit
+//   on both sides, so its bit never survives the XOR), and one token sets
+//   exactly one bit, hence
+//
+//       popcount(sig(A) ^ sig(B))  <=  |A △ B|.
+//
+// The bound is one-sided (collisions can only shrink the popcount, never
+// inflate it), which makes every filter built on it *admissible*: a pair is
+// rejected only when the bound already proves the exact similarity is below
+// the threshold, so the filtered join's output is bit-identical to the
+// unfiltered one. With |A| = a, |B| = b and δ = |A △ B| (so the overlap is
+// (a + b - δ) / 2):
+//
+//   Jaccard  >= t  requires  δ <= (1 - t)(a + b) / (1 + t)
+//   Cosine   >= t  requires  δ <= a + b - 2 t sqrt(a b)
+//   ED       <= τ  requires  δ(2-gram sets) <= 4 τ   (one edit creates and
+//            destroys at most q = 2 grams, so it moves the set symmetric
+//            difference by at most 2 q = 4)
+//
+// Rejection tests add a small slack (kSignatureSlack) before comparing
+// against the real-valued bounds so floating-point rounding can only make
+// the filter weaker (admit a pair verification then rejects), never wrong.
+#ifndef CDB_SIMILARITY_SIGNATURE_H_
+#define CDB_SIMILARITY_SIGNATURE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cdb {
+
+using TokenSignature = uint64_t;
+
+// Rounding slack for the real-valued bound comparisons. Far above the
+// rounding error of doubles at the set sizes we handle (<= 2^31) and far
+// below the integer granularity of the popcount, so it can only keep a
+// borderline pair alive for exact verification.
+inline constexpr double kSignatureSlack = 1e-9;
+
+// Fixed 64-bit finalizer (splitmix64): the token -> bit mapping must be a
+// pure function so signatures are reproducible across runs and threads.
+constexpr uint64_t MixToken64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The single bit a token id occupies.
+constexpr TokenSignature TokenBit(int32_t id) {
+  return TokenSignature{1} << (MixToken64(static_cast<uint64_t>(
+                                   static_cast<uint32_t>(id))) &
+                               63);
+}
+
+// Signature of a dense-id token set (order and duplicates are irrelevant:
+// OR is idempotent and commutative).
+TokenSignature SignatureOfIds(const int32_t* ids, size_t n);
+
+// 2-gram signature computed directly from the bytes of `s` (no dictionary,
+// no allocation), mirroring the tokenizer's short-string rule: strings
+// shorter than 2 contribute the whole string as a single token. Used by the
+// edit-distance kernel, whose bound must be stated against the exact strings
+// fed to the verifier.
+TokenSignature SignatureOfGrams(std::string_view s);
+
+// popcount(a ^ b): a lower bound on the symmetric difference of the two
+// underlying token sets.
+inline int SignatureHamming(TokenSignature a, TokenSignature b) {
+  return std::popcount(a ^ b);
+}
+
+// True when the signatures prove Jaccard(A, B) < threshold for sets of the
+// given sizes. Never true for a pair whose exact Jaccard reaches the
+// threshold (admissible).
+bool SignatureRejectsJaccard(TokenSignature a, TokenSignature b, size_t size_a,
+                             size_t size_b, double threshold);
+
+// As above for cosine over the set sizes.
+bool SignatureRejectsCosine(TokenSignature a, TokenSignature b, size_t size_a,
+                            size_t size_b, double threshold);
+
+// True when the 2-gram signatures prove ED(a, b) > max_dist (integer bound,
+// no slack needed).
+bool SignatureRejectsEditDistance(TokenSignature a, TokenSignature b,
+                                  size_t max_dist);
+
+}  // namespace cdb
+
+#endif  // CDB_SIMILARITY_SIGNATURE_H_

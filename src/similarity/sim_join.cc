@@ -5,8 +5,11 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "similarity/csr_index.h"
+#include "similarity/signature.h"
 #include "similarity/tokenizer.h"
 
 namespace cdb {
@@ -16,7 +19,8 @@ using TokenId = int32_t;
 
 // Maps token strings to dense ids ordered by ascending global frequency, the
 // canonical ordering for prefix filtering (rare tokens first makes prefixes
-// selective).
+// selective). The hash map lives only in the build/encode phase — probe loops
+// see dense ids and flat arrays.
 class TokenDictionary {
  public:
   // Builds the dictionary from the two sides of the join directly (no
@@ -26,7 +30,7 @@ class TokenDictionary {
     std::unordered_map<std::string, int64_t> freq;
     for (const auto* sets : {&left_sets, &right_sets}) {
       for (const auto& set : *sets) {
-        for (const auto& token : set) ++freq[token];
+        for (const auto& token : set) ++freq[token];  // cdb-lint: disable=flat-index-hot-path dictionary build phase, not a probe loop
       }
     }
     std::vector<std::pair<int64_t, std::string>> by_freq;
@@ -39,17 +43,23 @@ class TokenDictionary {
     }
   }
 
+  size_t size() const { return ids_.size(); }
+
   // Translates a token set into sorted ids (ascending frequency order).
   std::vector<TokenId> Encode(const std::vector<std::string>& set) const {
-    std::vector<TokenId> out;
-    out.reserve(set.size());
-    for (const auto& token : set) {
-      auto it = ids_.find(token);
-      CDB_DCHECK(it != ids_.end());
-      out.push_back(it->second);
-    }
-    std::sort(out.begin(), out.end());
+    std::vector<TokenId> out(set.size());
+    EncodeInto(set, out.data());
     return out;
+  }
+
+  // As Encode, but writes into a caller-owned span (the SoA arena).
+  void EncodeInto(const std::vector<std::string>& set, TokenId* out) const {
+    for (size_t k = 0; k < set.size(); ++k) {
+      auto it = ids_.find(set[k]);  // cdb-lint: disable=flat-index-hot-path one lookup per token in the encode phase, not a probe loop
+      CDB_DCHECK(it != ids_.end());
+      out[k] = it->second;
+    }
+    std::sort(out, out + set.size());
   }
 
  private:
@@ -77,6 +87,46 @@ std::vector<SimPair> ConcatChunks(std::vector<std::vector<SimPair>> chunks) {
   }
   return out;
 }
+
+// --- Funnel accounting -----------------------------------------------------
+// Counter handles are registered once per join; chunks accumulate locally and
+// flush one atomic add per counter per chunk, so the hot loop never touches
+// an atomic and the folded totals stay deterministic (integer sums).
+
+struct FunnelCounters {
+  Counter* candidates = nullptr;
+  Counter* signature_rejects = nullptr;
+  Counter* verified = nullptr;
+  Counter* pairs = nullptr;
+};
+
+FunnelCounters MakeFunnel(MetricsRegistry* metrics) {
+  FunnelCounters funnel;
+  if (metrics != nullptr) {
+    funnel.candidates = &metrics->counter("simjoin.candidates");
+    funnel.signature_rejects = &metrics->counter("simjoin.signature_rejects");
+    funnel.verified = &metrics->counter("simjoin.verified");
+    funnel.pairs = &metrics->counter("simjoin.pairs");
+  }
+  return funnel;
+}
+
+struct FunnelDelta {
+  int64_t candidates = 0;
+  int64_t signature_rejects = 0;
+  int64_t verified = 0;
+  int64_t pairs = 0;
+
+  void Flush(const FunnelCounters& funnel) const {
+    if (funnel.candidates == nullptr) return;
+    funnel.candidates->Increment(candidates);
+    funnel.signature_rejects->Increment(signature_rejects);
+    funnel.verified->Increment(verified);
+    funnel.pairs->Increment(pairs);
+  }
+};
+
+// --- Shared tokenize/prefix plumbing ---------------------------------------
 
 std::vector<std::vector<std::string>> TokenizeAll(
     const std::vector<std::string>& values, SimilarityFunction fn,
@@ -124,10 +174,215 @@ size_t CosinePrefixLength(size_t n, double t) {
   return n - required + 1;
 }
 
-std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
-                                     const std::vector<std::string>& right,
-                                     SimilarityFunction fn, double threshold,
-                                     const SimJoinOptions& options) {
+// --- Exact verification over encoded ids -----------------------------------
+// The legacy kernel re-verifies each candidate from the string token sets.
+// The flat kernel merges the already-encoded sorted TokenId spans instead.
+// Encoding is a bijection on the tokens present, so intersection and set
+// sizes — and therefore the sim doubles computed from them with the exact
+// formulas of similarity.cc — are bit-identical.
+
+// Smallest intersection count m (m <= min(na, nb)) whose Jaccard, computed
+// with the verifier's exact double formula, reaches the threshold; returns
+// min(na, nb) + 1 when even full overlap misses it. Division of a
+// nondecreasing integer numerator by a nonincreasing positive denominator is
+// monotone under rounding, so "inter >= required" is exactly "sim >=
+// threshold".
+size_t RequiredIntersectionJaccard(size_t na, size_t nb, double t) {
+  const size_t cap = std::min(na, nb);
+  const size_t total = na + nb;
+  auto reaches = [&](size_t m) {
+    return static_cast<double>(m) / static_cast<double>(total - m) >= t;
+  };
+  size_t m = static_cast<size_t>(
+      std::min(t * static_cast<double>(total) / (1.0 + t),
+               static_cast<double>(cap)));
+  while (m > 0 && reaches(m - 1)) --m;
+  while (m <= cap && !reaches(m)) ++m;
+  return m;
+}
+
+// As above for cosine: sim(m) = m / sqrt(na * nb).
+size_t RequiredIntersectionCosine(size_t na, size_t nb, double t) {
+  const size_t cap = std::min(na, nb);
+  const double denom = std::sqrt(static_cast<double>(na) *
+                                 static_cast<double>(nb));
+  auto reaches = [&](size_t m) {
+    return static_cast<double>(m) / denom >= t;
+  };
+  size_t m = static_cast<size_t>(
+      std::min(t * denom, static_cast<double>(cap)));
+  while (m > 0 && reaches(m - 1)) --m;
+  while (m <= cap && !reaches(m)) ++m;
+  return m;
+}
+
+// Sorted-span intersection size with early abandon: returns any value <
+// `required` once even a full overlap of the remaining elements cannot reach
+// it (the caller only tests `>= required`, which the monotone construction
+// of `required` makes equivalent to the exact sim test).
+size_t IntersectIdsAbandon(const TokenId* a, size_t na, const TokenId* b,
+                           size_t nb, size_t required) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < na && j < nb) {
+    if (inter + std::min(na - i, nb - j) < required) return inter;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+// --- Token prefix join: flat kernel ----------------------------------------
+
+std::vector<SimPair> TokenPrefixJoinFlat(const std::vector<std::string>& left,
+                                         const std::vector<std::string>& right,
+                                         SimilarityFunction fn,
+                                         double threshold,
+                                         const SimJoinOptions& options) {
+  std::vector<std::vector<std::string>> left_tokens =
+      TokenizeAll(left, fn, options.num_threads);
+  std::vector<std::vector<std::string>> right_tokens =
+      TokenizeAll(right, fn, options.num_threads);
+  TokenDictionary dict(left_tokens, right_tokens);
+
+  // SoA encode: all token ids in two flat arenas, one span per record,
+  // filled in parallel (spans are disjoint).
+  auto set_sizes = [](const std::vector<std::vector<std::string>>& sets) {
+    std::vector<int32_t> sizes(sets.size());
+    for (size_t r = 0; r < sets.size(); ++r) {
+      sizes[r] = static_cast<int32_t>(sets[r].size());
+    }
+    return sizes;
+  };
+  TokenArena left_arena(set_sizes(left_tokens));
+  TokenArena right_arena(set_sizes(right_tokens));
+  std::vector<TokenSignature> left_sig(left.size());
+  std::vector<TokenSignature> right_sig(right.size());
+  auto encode_side = [&](const std::vector<std::vector<std::string>>& tokens,
+                         TokenArena& arena, std::vector<TokenSignature>& sig) {
+    ParallelFor(
+        0, static_cast<int64_t>(tokens.size()), /*grain=*/64,
+        [&](int64_t begin, int64_t end, int /*chunk*/) {
+          for (int64_t r = begin; r < end; ++r) {
+            size_t rec = static_cast<size_t>(r);
+            dict.EncodeInto(tokens[rec], arena.MutableSpan(rec));
+            sig[rec] = SignatureOfIds(arena.begin(rec), arena.size(rec));
+          }
+        },
+        options.num_threads);
+  };
+  encode_side(left_tokens, left_arena, left_sig);
+  encode_side(right_tokens, right_arena, right_sig);
+
+  const bool cosine = fn == SimilarityFunction::kQGramCosine;
+  auto prefix_len = [&](size_t n) {
+    return cosine ? CosinePrefixLength(n, threshold)
+                  : JaccardPrefixLength(n, threshold);
+  };
+
+  // CSR inverted index over the prefixes of the right side. Count-then-fill
+  // with ascending-j emission keeps every posting list in ascending-j order —
+  // the order the legacy unordered_map index produced with push_back.
+  CsrIndex index = CsrIndex::Build(
+      dict.size(), [&](const auto& sink) {
+        for (size_t j = 0; j < right.size(); ++j) {
+          size_t plen = prefix_len(right_arena.size(j));
+          const TokenId* ids = right_arena.begin(j);
+          for (size_t k = 0; k < plen; ++k) {
+            sink(ids[k], static_cast<int32_t>(j));
+          }
+        }
+      });
+
+  const FunnelCounters funnel = MakeFunnel(options.metrics);
+  const bool use_signature = options.signature_filter;
+  const int64_t grain = ProbeGrain(left.size(), options.num_threads);
+  const int64_t num_chunks =
+      left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
+  std::vector<std::vector<SimPair>> chunk_out(static_cast<size_t>(num_chunks));
+  ParallelFor(
+      0, static_cast<int64_t>(left.size()), grain,
+      [&](int64_t begin, int64_t end, int chunk) {
+        std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        FunnelDelta delta;
+        // Thread-local dedup scratch: stamps are per-probe, so a fresh vector
+        // per chunk reproduces the serial semantics exactly.
+        std::vector<int32_t> seen_stamp(right.size(), -1);
+        for (int64_t li = begin; li < end; ++li) {
+          size_t i = static_cast<size_t>(li);
+          const size_t na = left_arena.size(i);
+          const TokenId* a = left_arena.begin(i);
+          size_t plen = prefix_len(na);
+          for (size_t k = 0; k < plen; ++k) {
+            auto [p, p_end] = index.Postings(a[k]);
+            for (; p != p_end; ++p) {
+              const int32_t j = *p;
+              if (seen_stamp[static_cast<size_t>(j)] ==
+                  static_cast<int32_t>(i)) {
+                continue;
+              }
+              seen_stamp[static_cast<size_t>(j)] = static_cast<int32_t>(i);
+              ++delta.candidates;
+              const size_t nb = right_arena.size(static_cast<size_t>(j));
+              if (use_signature) {
+                const bool rejected =
+                    cosine ? SignatureRejectsCosine(
+                                 left_sig[i],
+                                 right_sig[static_cast<size_t>(j)], na, nb,
+                                 threshold)
+                           : SignatureRejectsJaccard(
+                                 left_sig[i],
+                                 right_sig[static_cast<size_t>(j)], na, nb,
+                                 threshold);
+                if (rejected) {
+                  ++delta.signature_rejects;
+                  continue;
+                }
+              }
+              ++delta.verified;
+              // Exact verify: linear merge over the sorted id spans, with an
+              // admissible early abandon below the required intersection.
+              const size_t required =
+                  cosine ? RequiredIntersectionCosine(na, nb, threshold)
+                         : RequiredIntersectionJaccard(na, nb, threshold);
+              if (required > std::min(na, nb)) continue;
+              const TokenId* b = right_arena.begin(static_cast<size_t>(j));
+              size_t inter = IntersectIdsAbandon(a, na, b, nb, required);
+              if (inter < required) continue;
+              double sim =
+                  cosine
+                      ? static_cast<double>(inter) /
+                            std::sqrt(static_cast<double>(na) *
+                                      static_cast<double>(nb))
+                      : static_cast<double>(inter) /
+                            static_cast<double>(na + nb - inter);
+              out.push_back({static_cast<int32_t>(i), j, sim});
+              ++delta.pairs;
+            }
+          }
+        }
+        delta.Flush(funnel);
+      },
+      options.num_threads);
+  return ConcatChunks(std::move(chunk_out));
+}
+
+// --- Token prefix join: legacy kernel --------------------------------------
+// The original hash-map implementation, preserved verbatim as the
+// bit-identity oracle and the perf baseline. Do not "optimize" it: its value
+// is being an independent derivation of the same output.
+
+std::vector<SimPair> TokenPrefixJoinLegacy(
+    const std::vector<std::string>& left, const std::vector<std::string>& right,
+    SimilarityFunction fn, double threshold, const SimJoinOptions& options) {
   std::vector<std::vector<std::string>> left_tokens =
       TokenizeAll(left, fn, options.num_threads);
   std::vector<std::vector<std::string>> right_tokens =
@@ -167,9 +422,10 @@ std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
   std::unordered_map<TokenId, std::vector<int32_t>> index;
   for (size_t j = 0; j < right.size(); ++j) {
     size_t plen = prefix_len(right_ids[j].size());
-    for (size_t k = 0; k < plen; ++k) index[right_ids[j][k]].push_back(static_cast<int32_t>(j));
+    for (size_t k = 0; k < plen; ++k) index[right_ids[j][k]].push_back(static_cast<int32_t>(j));  // cdb-lint: disable=flat-index-hot-path legacy reference kernel
   }
 
+  const FunnelCounters funnel = MakeFunnel(options.metrics);
   const int64_t grain = ProbeGrain(left.size(), options.num_threads);
   const int64_t num_chunks =
       left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
@@ -178,6 +434,7 @@ std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
       0, static_cast<int64_t>(left.size()), grain,
       [&](int64_t begin, int64_t end, int chunk) {
         std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        FunnelDelta delta;
         // Thread-local dedup scratch: stamps are per-probe, so a fresh vector
         // per chunk reproduces the serial semantics exactly.
         std::vector<int32_t> seen_stamp(right.size(), -1);
@@ -185,11 +442,13 @@ std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
           size_t i = static_cast<size_t>(li);
           size_t plen = prefix_len(left_ids[i].size());
           for (size_t k = 0; k < plen; ++k) {
-            auto it = index.find(left_ids[i][k]);
+            auto it = index.find(left_ids[i][k]);  // cdb-lint: disable=flat-index-hot-path legacy reference kernel
             if (it == index.end()) continue;
             for (int32_t j : it->second) {
               if (seen_stamp[j] == static_cast<int32_t>(i)) continue;
               seen_stamp[j] = static_cast<int32_t>(i);
+              ++delta.candidates;
+              ++delta.verified;
               // Verify with the exact similarity.
               double sim;
               if (cosine) {
@@ -199,38 +458,228 @@ std::vector<SimPair> TokenPrefixJoin(const std::vector<std::string>& left,
               }
               if (sim >= threshold) {
                 out.push_back({static_cast<int32_t>(i), j, sim});
+                ++delta.pairs;
               }
             }
           }
         }
+        delta.Flush(funnel);
       },
       options.num_threads);
   return ConcatChunks(std::move(chunk_out));
 }
 
-std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
-                                      const std::vector<std::string>& right,
-                                      double threshold,
-                                      const SimJoinOptions& options) {
-  // Candidate generation: the length filter (|len(a)-len(b)| <= tau) always
-  // applies and is served by a length-bucketed index, so only
-  // length-compatible right records are visited per left record; the
-  // shared-2-gram filter applies only when the count bound
-  // (max_len - 1) - 2*tau is positive — strings within tau edits then must
-  // share at least one 2-gram. At permissive thresholds the bound can be
-  // non-positive, in which case we verify the pair directly (banded
-  // Levenshtein with early abandon keeps that cheap).
+// --- Edit-distance join ----------------------------------------------------
+
+// Right lengths L compatible with a left string of length n at threshold t:
+// for L <= n the pair's max_len is n, so L >= n - floor((1-t) * n); for
+// L > n the max_len is L, so L - floor((1-t) * L) <= n — the left side of
+// which is nondecreasing in L, so the upper bound is found by scanning up.
+std::pair<size_t, size_t> EdLengthRange(size_t n, size_t max_right_len,
+                                        double threshold) {
+  size_t slack =
+      static_cast<size_t>(std::floor((1.0 - threshold) * static_cast<double>(n)));
+  size_t lo = n > slack ? n - slack : 0;
+  size_t hi = std::min(n, max_right_len);
+  for (size_t L = n + 1; L <= max_right_len; ++L) {
+    size_t max_dist = static_cast<size_t>(
+        std::floor((1.0 - threshold) * static_cast<double>(L)));
+    if (L - n > max_dist) break;
+    hi = L;
+  }
+  return {lo, hi};
+}
+
+std::vector<SimPair> EditDistanceJoinFlat(const std::vector<std::string>& left,
+                                          const std::vector<std::string>& right,
+                                          double threshold,
+                                          const SimJoinOptions& options) {
+  // Candidate generation mirrors the legacy kernel: the length filter always
+  // applies (served by a length-keyed CSR); the shared-2-gram filter applies
+  // only when the count bound (max_len - 1) - 2*tau is positive. On top, the
+  // 2-gram signature bound (popcount(xor) <= 4 * ED, see signature.h) rejects
+  // pairs whose banded verification would provably exceed tau.
   std::vector<std::string> left_lower(left.size());
   std::vector<std::string> right_lower(right.size());
   for (size_t i = 0; i < left.size(); ++i) left_lower[i] = ToLower(left[i]);
   for (size_t j = 0; j < right.size(); ++j) right_lower[j] = ToLower(right[j]);
+
+  // Gram sets on both sides, encoded once into flat arenas (the legacy
+  // kernel re-materialized the left gram set per probe).
+  std::vector<std::vector<std::string>> left_grams(left.size());
+  std::vector<std::vector<std::string>> right_grams(right.size());
+  auto tokenize_grams = [&](const std::vector<std::string>& lower,
+                            std::vector<std::vector<std::string>>& grams) {
+    ParallelFor(
+        0, static_cast<int64_t>(lower.size()), /*grain=*/64,
+        [&](int64_t begin, int64_t end, int /*chunk*/) {
+          for (int64_t r = begin; r < end; ++r) {
+            grams[static_cast<size_t>(r)] =
+                QGramSet(lower[static_cast<size_t>(r)], 2);
+          }
+        },
+        options.num_threads);
+  };
+  tokenize_grams(left_lower, left_grams);
+  tokenize_grams(right_lower, right_grams);
+  TokenDictionary dict(left_grams, right_grams);
+
+  auto set_sizes = [](const std::vector<std::vector<std::string>>& sets) {
+    std::vector<int32_t> sizes(sets.size());
+    for (size_t r = 0; r < sets.size(); ++r) {
+      sizes[r] = static_cast<int32_t>(sets[r].size());
+    }
+    return sizes;
+  };
+  TokenArena left_arena(set_sizes(left_grams));
+  TokenArena right_arena(set_sizes(right_grams));
+  // Signatures come from the raw (untrimmed) lowercased bytes so the
+  // admissibility bound is stated against the exact strings the banded
+  // verifier sees; the gram arenas (QGramSet, trimmed) feed only the
+  // legacy-compatible shared-gram filter.
+  std::vector<TokenSignature> left_sig(left.size());
+  std::vector<TokenSignature> right_sig(right.size());
+  auto encode_side = [&](const std::vector<std::string>& lower,
+                         const std::vector<std::vector<std::string>>& grams,
+                         TokenArena& arena, std::vector<TokenSignature>& sig) {
+    ParallelFor(
+        0, static_cast<int64_t>(lower.size()), /*grain=*/64,
+        [&](int64_t begin, int64_t end, int /*chunk*/) {
+          for (int64_t r = begin; r < end; ++r) {
+            size_t rec = static_cast<size_t>(r);
+            dict.EncodeInto(grams[rec], arena.MutableSpan(rec));
+            sig[rec] = SignatureOfGrams(lower[rec]);
+          }
+        },
+        options.num_threads);
+  };
+  encode_side(left_lower, left_grams, left_arena, left_sig);
+  encode_side(right_lower, right_grams, right_arena, right_sig);
+
+  size_t max_right_len = 0;
+  for (const std::string& b : right_lower) {
+    max_right_len = std::max(max_right_len, b.size());
+  }
+
+  // CSR gram index and length-keyed candidate index over the right side,
+  // both count-then-fill with ascending-j emission.
+  CsrIndex gram_index = CsrIndex::Build(
+      dict.size(), [&](const auto& sink) {
+        for (size_t j = 0; j < right.size(); ++j) {
+          const TokenId* ids = right_arena.begin(j);
+          const size_t n = right_arena.size(j);
+          for (size_t k = 0; k < n; ++k) sink(ids[k], static_cast<int32_t>(j));
+        }
+      });
+  CsrIndex by_len = CsrIndex::Build(
+      max_right_len + 1, [&](const auto& sink) {
+        for (size_t j = 0; j < right.size(); ++j) {
+          sink(static_cast<int32_t>(right_lower[j].size()),
+               static_cast<int32_t>(j));
+        }
+      });
+
+  const FunnelCounters funnel = MakeFunnel(options.metrics);
+  const bool use_signature = options.signature_filter;
+  const int64_t grain = ProbeGrain(left.size(), options.num_threads);
+  const int64_t num_chunks =
+      left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
+  std::vector<std::vector<SimPair>> chunk_out(static_cast<size_t>(num_chunks));
+  ParallelFor(
+      0, static_cast<int64_t>(left.size()), grain,
+      [&](int64_t begin, int64_t end, int chunk) {
+        std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        FunnelDelta delta;
+        std::vector<int32_t> shared_stamp(right.size(), -1);
+        std::vector<int32_t> candidates;
+        for (int64_t li = begin; li < end; ++li) {
+          size_t i = static_cast<size_t>(li);
+          const std::string& a = left_lower[i];
+          // Mark the right records sharing a 2-gram with `a`: a linear scan
+          // over contiguous CSR postings per gram id.
+          const TokenId* agrams = left_arena.begin(i);
+          const size_t agram_count = left_arena.size(i);
+          for (size_t g = 0; g < agram_count; ++g) {
+            auto [p, p_end] = gram_index.Postings(agrams[g]);
+            for (; p != p_end; ++p) {
+              shared_stamp[static_cast<size_t>(*p)] = static_cast<int32_t>(i);
+            }
+          }
+          // Gather length-compatible candidates, restoring ascending-j order
+          // across buckets so the output matches a full scan's ordering.
+          auto [len_lo, len_hi] = EdLengthRange(a.size(), max_right_len, threshold);
+          candidates.clear();
+          for (size_t L = len_lo; L <= len_hi && L <= max_right_len; ++L) {
+            auto [p, p_end] = by_len.Postings(static_cast<int32_t>(L));
+            candidates.insert(candidates.end(), p, p_end);
+          }
+          std::sort(candidates.begin(), candidates.end());
+          for (int32_t cj : candidates) {
+            size_t j = static_cast<size_t>(cj);
+            const std::string& b = right_lower[j];
+            size_t max_len = std::max(a.size(), b.size());
+            if (max_len == 0) {
+              out.push_back({static_cast<int32_t>(i), cj, 1.0});
+              continue;
+            }
+            auto max_dist = static_cast<size_t>(
+                std::floor((1.0 - threshold) * static_cast<double>(max_len)));
+            size_t diff = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+            if (diff > max_dist) continue;
+            bool gram_filter_applies =
+                static_cast<int64_t>(max_len) - 1 - 2 * static_cast<int64_t>(max_dist) > 0;
+            if (gram_filter_applies && shared_stamp[j] != static_cast<int32_t>(i)) {
+              continue;
+            }
+            ++delta.candidates;
+            if (use_signature &&
+                SignatureRejectsEditDistance(left_sig[i], right_sig[j],
+                                             max_dist)) {
+              ++delta.signature_rejects;
+              continue;
+            }
+            ++delta.verified;
+            size_t dist = BoundedEditDistance(a, b, max_dist);
+            if (dist <= max_dist) {
+              double sim =
+                  1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+              if (sim >= threshold) {
+                out.push_back({static_cast<int32_t>(i), cj, sim});
+                ++delta.pairs;
+              }
+            }
+          }
+        }
+        delta.Flush(funnel);
+      },
+      options.num_threads);
+  return ConcatChunks(std::move(chunk_out));
+}
+
+// The original hash-map kernel (bit-identity oracle / perf baseline). One
+// deviation from the seed implementation: the left gram sets are precomputed
+// outside the probe loop instead of materializing a fresh
+// std::vector<std::string> per probe, which changes allocations but not
+// output.
+std::vector<SimPair> EditDistanceJoinLegacy(
+    const std::vector<std::string>& left, const std::vector<std::string>& right,
+    double threshold, const SimJoinOptions& options) {
+  std::vector<std::string> left_lower(left.size());
+  std::vector<std::string> right_lower(right.size());
+  for (size_t i = 0; i < left.size(); ++i) left_lower[i] = ToLower(left[i]);
+  for (size_t j = 0; j < right.size(); ++j) right_lower[j] = ToLower(right[j]);
+
+  std::vector<std::vector<std::string>> left_grams(left.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    left_grams[i] = QGramSet(left_lower[i], 2);
+  }
 
   std::unordered_map<std::string, std::vector<int32_t>> index;
   size_t max_right_len = 0;
   for (size_t j = 0; j < right.size(); ++j) {
     max_right_len = std::max(max_right_len, right_lower[j].size());
     for (const auto& gram : QGramSet(right_lower[j], 2)) {
-      index[gram].push_back(static_cast<int32_t>(j));
+      index[gram].push_back(static_cast<int32_t>(j));  // cdb-lint: disable=flat-index-hot-path legacy reference kernel
     }
   }
   // Length-bucketed candidate index: by_len[L] lists the right records of
@@ -240,24 +689,7 @@ std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
     by_len[right_lower[j].size()].push_back(static_cast<int32_t>(j));
   }
 
-  // Right lengths L compatible with a left string of length n at threshold t:
-  // for L <= n the pair's max_len is n, so L >= n - floor((1-t) * n); for
-  // L > n the max_len is L, so L - floor((1-t) * L) <= n — the left side of
-  // which is nondecreasing in L, so the upper bound is found by scanning up.
-  auto length_range = [&](size_t n) -> std::pair<size_t, size_t> {
-    size_t slack =
-        static_cast<size_t>(std::floor((1.0 - threshold) * static_cast<double>(n)));
-    size_t lo = n > slack ? n - slack : 0;
-    size_t hi = std::min(n, max_right_len);
-    for (size_t L = n + 1; L <= max_right_len; ++L) {
-      size_t max_dist = static_cast<size_t>(
-          std::floor((1.0 - threshold) * static_cast<double>(L)));
-      if (L - n > max_dist) break;
-      hi = L;
-    }
-    return {lo, hi};
-  };
-
+  const FunnelCounters funnel = MakeFunnel(options.metrics);
   const int64_t grain = ProbeGrain(left.size(), options.num_threads);
   const int64_t num_chunks =
       left.empty() ? 0 : (static_cast<int64_t>(left.size()) + grain - 1) / grain;
@@ -266,19 +698,20 @@ std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
       0, static_cast<int64_t>(left.size()), grain,
       [&](int64_t begin, int64_t end, int chunk) {
         std::vector<SimPair>& out = chunk_out[static_cast<size_t>(chunk)];
+        FunnelDelta delta;
         std::vector<int32_t> shared_stamp(right.size(), -1);
         std::vector<int32_t> candidates;
         for (int64_t li = begin; li < end; ++li) {
           size_t i = static_cast<size_t>(li);
           const std::string& a = left_lower[i];
-          for (const auto& gram : QGramSet(a, 2)) {
-            auto it = index.find(gram);
+          for (const auto& gram : left_grams[i]) {
+            auto it = index.find(gram);  // cdb-lint: disable=flat-index-hot-path legacy reference kernel
             if (it == index.end()) continue;
             for (int32_t j : it->second) shared_stamp[j] = static_cast<int32_t>(i);
           }
           // Gather length-compatible candidates, restoring ascending-j order
           // across buckets so the output matches a full scan's ordering.
-          auto [len_lo, len_hi] = length_range(a.size());
+          auto [len_lo, len_hi] = EdLengthRange(a.size(), max_right_len, threshold);
           candidates.clear();
           for (size_t L = len_lo; L <= len_hi && L < by_len.size(); ++L) {
             candidates.insert(candidates.end(), by_len[L].begin(), by_len[L].end());
@@ -301,16 +734,20 @@ std::vector<SimPair> EditDistanceJoin(const std::vector<std::string>& left,
             if (gram_filter_applies && shared_stamp[j] != static_cast<int32_t>(i)) {
               continue;
             }
+            ++delta.candidates;
+            ++delta.verified;
             size_t dist = BoundedEditDistance(a, b, max_dist);
             if (dist <= max_dist) {
               double sim =
                   1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
               if (sim >= threshold) {
                 out.push_back({static_cast<int32_t>(i), cj, sim});
+                ++delta.pairs;
               }
             }
           }
         }
+        delta.Flush(funnel);
       },
       options.num_threads);
   return ConcatChunks(std::move(chunk_out));
@@ -360,20 +797,33 @@ size_t BoundedEditDistance(const std::string& a, const std::string& b,
   return std::min(prev[m], kInf);
 }
 
+const char* SimJoinKernelName(SimJoinKernel kernel) {
+  switch (kernel) {
+    case SimJoinKernel::kFlat:
+      return "flat";
+    case SimJoinKernel::kLegacy:
+      return "legacy";
+  }
+  return "?";
+}
+
 std::vector<SimPair> SimilarityJoin(const std::vector<std::string>& left,
                                     const std::vector<std::string>& right,
                                     SimilarityFunction fn, double threshold,
                                     const SimJoinOptions& options) {
+  const bool flat = options.kernel == SimJoinKernel::kFlat;
   switch (fn) {
     case SimilarityFunction::kNoSim:
       if (threshold <= 0.5) return CrossProduct(left.size(), right.size(), 0.5);
       return {};
     case SimilarityFunction::kEditDistance:
-      return EditDistanceJoin(left, right, threshold, options);
+      return flat ? EditDistanceJoinFlat(left, right, threshold, options)
+                  : EditDistanceJoinLegacy(left, right, threshold, options);
     case SimilarityFunction::kWordJaccard:
     case SimilarityFunction::kQGramJaccard:
     case SimilarityFunction::kQGramCosine:
-      return TokenPrefixJoin(left, right, fn, threshold, options);
+      return flat ? TokenPrefixJoinFlat(left, right, fn, threshold, options)
+                  : TokenPrefixJoinLegacy(left, right, fn, threshold, options);
   }
   return {};
 }

@@ -6,6 +6,18 @@
 // with sim >= epsilon (default 0.3) become edges. This module implements an
 // AllPairs-style prefix filter for the token-based measures and a
 // length/q-gram filter plus banded verification for edit distance.
+//
+// Two kernels produce bit-identical output (ctest -L simjoin proves it):
+//
+//   kFlat    The default. Posting lists live in CSR arrays (csr_index.h),
+//            encoded token sets in a flat SoA arena, and a 64-bit
+//            XOR+popcount signature pre-filter (signature.h) rejects
+//            provably-below-threshold pairs before the exact verify, which
+//            itself is a linear merge over dense TokenIds instead of a
+//            re-comparison of string sets.
+//   kLegacy  The original hash-map kernel, kept as the bit-identity oracle
+//            for tests and as the baseline the perf-trajectory artifact
+//            (BENCH_simjoin.json) measures speedups against.
 #ifndef CDB_SIMILARITY_SIM_JOIN_H_
 #define CDB_SIMILARITY_SIM_JOIN_H_
 
@@ -17,6 +29,8 @@
 
 namespace cdb {
 
+class MetricsRegistry;
+
 // One joined pair: indexes into the left/right input vectors plus the exact
 // similarity under the requested function.
 struct SimPair {
@@ -25,12 +39,34 @@ struct SimPair {
   double sim = 0.0;
 };
 
+enum class SimJoinKernel : uint8_t {
+  kFlat,    // CSR posting lists + SoA token arena + signature pre-filter.
+  kLegacy,  // Hash-map reference kernel (bit-identity oracle).
+};
+
+const char* SimJoinKernelName(SimJoinKernel kernel);
+
 struct SimJoinOptions {
   // Threads for candidate verification (the left relation is partitioned
   // into chunks probing a shared read-only index): <= 0 uses all hardware
   // threads, 1 runs serially. Output is bit-identical at every thread count —
   // chunk results are concatenated in chunk order, which is left-index order.
   int num_threads = 0;
+  // Which kernel runs the join. Both emit byte-identical SimPair vectors;
+  // kLegacy exists for the identity proof and the perf baseline.
+  SimJoinKernel kernel = SimJoinKernel::kFlat;
+  // Admissible XOR+popcount pre-filter ahead of exact verification (flat
+  // kernel only). Never changes the output — it rejects a pair only when the
+  // signature bound already proves the similarity misses the threshold (see
+  // similarity/signature.h) — only the amount of exact verification work.
+  bool signature_filter = true;
+  // Optional funnel sink (borrowed, may be null = disabled). The kernels
+  // count simjoin.candidates (pairs surviving candidate generation — index
+  // lookup + dedup for the token joins, length + shared-gram filters for
+  // edit distance), simjoin.signature_rejects (killed by the signature
+  // bound), simjoin.verified (reaching exact verification) and simjoin.pairs
+  // (emitted). candidates == signature_rejects + verified always.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Returns all pairs (i, j) with ComputeSimilarity(fn, left[i], right[j]) >=

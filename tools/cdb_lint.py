@@ -502,6 +502,44 @@ def check_wallclock(path: str, text: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: flat-index-hot-path
+# --------------------------------------------------------------------------
+# The similarity-join hot paths are flat: CSR posting lists plus dense-id
+# arenas (similarity/csr_index.h), probed by bounds arithmetic and linear
+# scans. A hash lookup (find/count/at/operator[]) on an unordered container
+# inside src/similarity/ is either a probe-loop regression or a deliberate
+# build/encode-phase use — the latter carries a reasoned
+# `// cdb-lint: disable=flat-index-hot-path <why>` comment.
+
+SIMILARITY_DIR = "src/similarity"
+UNORDERED_LOOKUP_RE = re.compile(r"\b(\w+)\s*(?:\.\s*(?:find|count|at)\s*\(|\[)")
+
+
+def check_flat_index_hot_path(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not norm.startswith(SIMILARITY_DIR + "/"):
+        return []
+    names = _unordered_names(text)
+    if not names:
+        return []
+    findings = []
+    for lineno, raw, code in iter_code_lines(text):
+        if suppressed(raw, "flat-index-hot-path"):
+            continue
+        for m in UNORDERED_LOOKUP_RE.finditer(code):
+            if m.group(1) in names:
+                findings.append(Finding(
+                    path, lineno, "flat-index-hot-path",
+                    f"hash lookup on unordered container '{m.group(1)}' in "
+                    "src/similarity/; probe loops are flat (CSR postings + "
+                    "dense-id arenas, see similarity/csr_index.h) — use the "
+                    "flat structures, or justify a build-phase lookup with "
+                    "// cdb-lint: disable=flat-index-hot-path <reason>"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -513,6 +551,7 @@ PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
     check_single_publish_path,
     check_fault_rng_stream,
     check_wallclock,
+    check_flat_index_hot_path,
 ]
 
 LINT_SUBDIRS = ("src", "tests", "bench", "examples")
@@ -680,6 +719,29 @@ SELF_TEST_CASES = [
      "auto t = std::chrono::steady_clock::now();  "
      "// cdb-lint: disable=wallclock-outside-trace profiling shim\n",
      "wallclock-outside-trace", False),
+
+    ("hash find in similarity probe loop", "src/similarity/join.cc",
+     "std::unordered_map<int, std::vector<int>> index;\n"
+     "auto it = index.find(token);\n",
+     "flat-index-hot-path", True),
+    ("hash subscript in similarity", "src/similarity/join.cc",
+     "std::unordered_map<std::string, int> freq;\n"
+     "++freq[token];\n",
+     "flat-index-hot-path", True),
+    ("suppressed build-phase lookup", "src/similarity/join.cc",
+     "std::unordered_map<std::string, int> ids;\n"
+     "auto it = ids.find(token);  "
+     "// cdb-lint: disable=flat-index-hot-path dictionary build phase\n",
+     "flat-index-hot-path", False),
+    ("vector subscript is fine", "src/similarity/join.cc",
+     "std::vector<int> postings;\nint x = postings[0];\n",
+     "flat-index-hot-path", False),
+    ("unordered lookup outside similarity", "src/graph/g.cc",
+     "std::unordered_map<int, int> cache;\nauto it = cache.find(k);\n",
+     "flat-index-hot-path", False),
+    ("declaration alone is fine", "src/similarity/join.cc",
+     "std::unordered_map<std::string, int> ids;\nids.reserve(100);\n",
+     "flat-index-hot-path", False),
 
     ("canonical guard ok", "src/cost/sampling.h",
      "#ifndef CDB_COST_SAMPLING_H_\n#define CDB_COST_SAMPLING_H_\n#endif\n",
