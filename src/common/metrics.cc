@@ -51,7 +51,7 @@ void Histogram::Observe(int64_t value) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CDB_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
                     histograms_.find(name) == histograms_.end(),
                 "metric name registered with a different type");
@@ -64,7 +64,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CDB_CHECK_MSG(counters_.find(name) == counters_.end() &&
                     histograms_.find(name) == histograms_.end(),
                 "metric name registered with a different type");
@@ -76,7 +76,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   CDB_CHECK_MSG(counters_.find(name) == counters_.end() &&
                     gauges_.find(name) == gauges_.end(),
                 "metric name registered with a different type");
@@ -90,7 +90,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 std::map<std::string, int64_t> MetricsRegistry::Flatten() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, int64_t> flat;
   for (const auto& [name, counter] : counters_) {
     flat[name] = counter->Value();

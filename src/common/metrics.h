@@ -32,9 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cdb {
 
@@ -99,9 +101,9 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) CDB_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) CDB_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) CDB_EXCLUDES(mutex_);
 
   // Canonical byte dump: one `name=value` line per metric, sorted by name.
   // Histograms expand to `.count` / `.sum` / `.bucketNN` lines (non-empty
@@ -112,12 +114,21 @@ class MetricsRegistry {
 
  private:
   // Collects every metric as flat (name, value) pairs, sorted by name.
-  [[nodiscard]] std::map<std::string, int64_t> Flatten() const;
+  [[nodiscard]] std::map<std::string, int64_t> Flatten() const
+      CDB_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mutex_ guards registration (map mutation) and the dump walks. The
+  // pointed-to metrics are deliberately NOT guarded: handle addresses are
+  // stable for the registry's lifetime and the metric types are internally
+  // thread-safe (sharded/relaxed atomics), which is what makes cached
+  // Counter* increments lock-free.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CDB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CDB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CDB_GUARDED_BY(mutex_);
 };
 
 // Free-function spelling used by the determinism tests.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace cdb {
 namespace {
 
@@ -20,19 +23,19 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -40,8 +43,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown_ and drained.
       fn = std::move(queue_.front());
       queue_.pop_front();
@@ -90,9 +93,9 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   ThreadPool* pool = ThreadPool::Global();
   auto next = std::make_shared<std::atomic<int64_t>>(0);
   struct Completion {
-    std::mutex mu;
-    std::condition_variable cv;
-    int64_t done = 0;
+    Mutex mu;
+    CondVar cv;
+    int64_t done CDB_GUARDED_BY(mu) = 0;
   };
   auto completion = std::make_shared<Completion>();
   // num_chunks and next are captured by value: a helper scheduled after all
@@ -114,16 +117,16 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   for (int64_t h = 0; h < helpers; ++h) {
     pool->Schedule([drain, completion] {
       int64_t ran = drain();
-      std::lock_guard<std::mutex> lock(completion->mu);
+      MutexLock lock(completion->mu);
       completion->done += ran;
-      completion->cv.notify_one();
+      completion->cv.NotifyOne();
     });
   }
   int64_t ran_here = drain();
-  std::unique_lock<std::mutex> lock(completion->mu);
-  completion->cv.wait(lock, [&] {
-    return completion->done + ran_here == num_chunks;
-  });
+  MutexLock lock(completion->mu);
+  while (completion->done + ran_here != num_chunks) {
+    completion->cv.Wait(completion->mu);
+  }
 }
 
 Status ParallelForStatus(

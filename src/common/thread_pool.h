@@ -15,15 +15,15 @@
 #ifndef CDB_COMMON_THREAD_POOL_H_
 #define CDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cdb {
 
@@ -59,10 +59,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  // mu_ guards the task queue and the shutdown flag; cv_ is signaled on
+  // every enqueue and once at shutdown. threads_ is written only by the
+  // constructor and read by the destructor's join loop, both of which run
+  // outside any concurrent regime.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CDB_GUARDED_BY(mu_);
+  bool shutdown_ CDB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -41,12 +41,12 @@ void Tracer::AddSpan(std::string_view name, std::string_view category,
   span.tick_begin = tick_begin;
   span.tick_end = tick_end;
   span.wall_micros = options_.record_wall ? wall_micros : -1;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.push_back(std::move(span));
 }
 
 std::string Tracer::DumpJsonImpl(bool with_wall) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   for (const TraceSpan& span : spans_) {
@@ -77,12 +77,12 @@ std::string Tracer::DumpJson() const { return DumpJsonImpl(false); }
 std::string Tracer::DumpJsonWithWall() const { return DumpJsonImpl(true); }
 
 size_t Tracer::num_spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 
 std::vector<TraceSpan> Tracer::Spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_;
 }
 

@@ -22,10 +22,12 @@
 #define CDB_COMMON_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cdb {
 
@@ -54,7 +56,8 @@ class Tracer {
   // Appends one complete span. Spans are kept in call order, which the
   // serial session/scheduler driver makes deterministic.
   void AddSpan(std::string_view name, std::string_view category,
-               int64_t tick_begin, int64_t tick_end, int64_t wall_micros = -1);
+               int64_t tick_begin, int64_t tick_end, int64_t wall_micros = -1)
+      CDB_EXCLUDES(mutex_);
 
   // Chrome-trace JSON over virtual ticks only; byte-identical across thread
   // counts and reruns for a seeded run.
@@ -63,15 +66,16 @@ class Tracer {
   // runs; never feed this to a determinism check.
   [[nodiscard]] std::string DumpJsonWithWall() const;
 
-  [[nodiscard]] size_t num_spans() const;
-  [[nodiscard]] std::vector<TraceSpan> Spans() const;
+  [[nodiscard]] size_t num_spans() const CDB_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<TraceSpan> Spans() const CDB_EXCLUDES(mutex_);
 
  private:
-  [[nodiscard]] std::string DumpJsonImpl(bool with_wall) const;
+  [[nodiscard]] std::string DumpJsonImpl(bool with_wall) const
+      CDB_EXCLUDES(mutex_);
 
-  TracerOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> spans_;
+  TracerOptions options_;  // Immutable after construction; lock-free reads.
+  mutable Mutex mutex_;
+  std::vector<TraceSpan> spans_ CDB_GUARDED_BY(mutex_);
 };
 
 // The sanctioned wall-clock stopwatch: stores a monotonic microsecond stamp,

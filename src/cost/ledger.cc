@@ -11,31 +11,54 @@ BudgetLedger::BudgetLedger(std::optional<int64_t> limit) : limit_(limit) {
   if (limit_) CDB_CHECK(*limit_ >= 0);
 }
 
-std::optional<int64_t> BudgetLedger::remaining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!limit_) return std::nullopt;
+bool BudgetLedger::limited() const {
+  MutexLock lock(mutex_);
+  return limit_.has_value();
+}
+
+int64_t BudgetLedger::RemainingLocked() const {
+  mutex_.AssertHeld();
+  if (!limit_) return std::numeric_limits<int64_t>::max();
   return std::max<int64_t>(0, *limit_ - spent_);
 }
 
-bool BudgetLedger::Exhausted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return limit_.has_value() && spent_ >= *limit_;
-}
-
-int64_t BudgetLedger::TryDebit(int64_t want) {
-  CDB_CHECK(want >= 0);
-  std::lock_guard<std::mutex> lock(mutex_);
-  int64_t granted = want;
-  if (limit_) granted = std::min(want, std::max<int64_t>(0, *limit_ - spent_));
+void BudgetLedger::RecordSpendLocked(int64_t granted) {
+  mutex_.AssertHeld();
   // Saturating add: an unlimited ledger granting huge debits must not wrap
   // the spend counter into UB.
   constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
   spent_ = granted > kMax - spent_ ? kMax : spent_ + granted;
+}
+
+std::optional<int64_t> BudgetLedger::remaining() const {
+  MutexLock lock(mutex_);
+  if (!limit_) return std::nullopt;
+  return RemainingLocked();
+}
+
+bool BudgetLedger::Exhausted() const {
+  MutexLock lock(mutex_);
+  return limit_.has_value() && RemainingLocked() == 0;
+}
+
+int64_t BudgetLedger::TryDebit(int64_t want) {
+  CDB_CHECK(want >= 0);
+  MutexLock lock(mutex_);
+  const int64_t granted = std::min(want, RemainingLocked());
+  RecordSpendLocked(granted);
   return granted;
 }
 
+bool BudgetLedger::TrySpend(int64_t amount) {
+  CDB_CHECK(amount >= 0);
+  MutexLock lock(mutex_);
+  if (amount > RemainingLocked()) return false;
+  RecordSpendLocked(amount);
+  return true;
+}
+
 int64_t BudgetLedger::spent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spent_;
 }
 

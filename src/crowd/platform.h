@@ -146,6 +146,12 @@ struct PlatformStats {
 // integer math, so the text matches the historical "%.6f" double format.
 std::string PlatformStatsDump(const PlatformStats& stats);
 
+// Thread affinity: driver-serial. The simulator is stepped only by the one
+// publish path (session/scheduler channel, enforced by the
+// single-publish-path lint rule) on the driver thread; it owns no locks and
+// its sequential rng_ draws assume un-interleaved access. Any future
+// concurrent platform must wrap shared state in cdb::Mutex capabilities
+// (common/mutex.h) so the thread-safety analysis sees it.
 class CrowdPlatform {
  public:
   CrowdPlatform(const PlatformOptions& options, TruthProvider truth);

@@ -264,7 +264,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
           sessions_[i]->RecordDedupSavings(1);
           continue;
         }
-        if (global_budget_.TryDebit(1) == 0) {
+        if (!global_budget_.TrySpend(1)) {
           // Over budget: the ask is dropped; the session's Color phase falls
           // back to the similarity prior for this edge.
           ++stats_.budget_denied;

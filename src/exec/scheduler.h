@@ -64,6 +64,13 @@ struct MultiQueryStats {
   int64_t budget_denied = 0;    // Asks dropped by the global ledger.
 };
 
+// Thread affinity: driver-serial. The scheduler, its sessions, and the
+// shared platform all run on the one driver thread that calls Run()/Step();
+// no member is locked and none may be touched concurrently. The only
+// cross-thread state it participates in is the shared BudgetLedger (its own
+// capability, see cost/ledger.h) — spends go through the ledger's atomic
+// TrySpend/TryDebit primitives, never through a remaining()/Exhausted()
+// check followed by a spend.
 class MultiQueryScheduler {
  public:
   explicit MultiQueryScheduler(const MultiQueryOptions& options);

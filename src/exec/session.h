@@ -228,6 +228,13 @@ class PlatformPublisher : public TaskPublisher {
 
 // One query's crowdsourcing run as a resumable state machine. See the file
 // comment for the phase diagram.
+//
+// Thread affinity: driver-serial — a session is stepped by exactly one
+// driver thread (its own Run loop, or the MultiQueryScheduler's round loop)
+// and holds no locks. Parallelism lives below it (ParallelFor stages inside
+// graph build/sampling) and beside it (the shared BudgetLedger, whose
+// single-acquisition TryDebit/TrySpend calls are the session's only
+// concurrency-safe touch points).
 class QuerySession {
  public:
   // Standalone: the session builds its own PlatformPublisher from

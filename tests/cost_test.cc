@@ -247,6 +247,55 @@ TEST(BudgetLedgerTest, SpendSaturatesInsteadOfOverflowing) {
   EXPECT_EQ(ledger.spent(), kMax);         // Saturated, not wrapped.
 }
 
+TEST(BudgetLedgerTest, TrySpendIsAllOrNothing) {
+  BudgetLedger ledger(10);
+  EXPECT_TRUE(ledger.TrySpend(4));
+  EXPECT_EQ(ledger.remaining().value(), 6);
+  // Asking for more than remains spends nothing — no partial grant.
+  EXPECT_FALSE(ledger.TrySpend(7));
+  EXPECT_EQ(ledger.remaining().value(), 6);
+  EXPECT_EQ(ledger.spent(), 4);
+  // Exactly the remaining amount is grantable.
+  EXPECT_TRUE(ledger.TrySpend(6));
+  EXPECT_TRUE(ledger.Exhausted());
+  EXPECT_FALSE(ledger.TrySpend(1));
+  // Zero-cost spends stay legal even on an exhausted ledger.
+  EXPECT_TRUE(ledger.TrySpend(0));
+  EXPECT_EQ(ledger.spent(), 10);
+}
+
+TEST(BudgetLedgerTest, TrySpendUnlimitedAlwaysGrants) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  BudgetLedger ledger;
+  EXPECT_TRUE(ledger.TrySpend(kMax));
+  EXPECT_TRUE(ledger.TrySpend(kMax));  // Saturates spent_, still granted.
+  EXPECT_EQ(ledger.spent(), kMax);
+  EXPECT_FALSE(ledger.Exhausted());
+}
+
+TEST(BudgetLedgerTest, ConcurrentTrySpendNeverOverspends) {
+  // The atomic replacement for Exhausted()-then-debit: with every thread
+  // spending through TrySpend, successes times the unit cost must equal the
+  // limit exactly — the check-then-act gap this API closes.
+  BudgetLedger ledger(600);
+  constexpr int kThreads = 8;
+  std::vector<int64_t> successes(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ledger, &successes, t] {
+      for (int i = 0; i < 200; ++i) {
+        if (ledger.TrySpend(3)) ++successes[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t total = 0;
+  for (int64_t s : successes) total += s;
+  EXPECT_EQ(total * 3, 600);
+  EXPECT_TRUE(ledger.Exhausted());
+  EXPECT_EQ(ledger.spent(), 600);
+}
+
 TEST(BudgetLedgerTest, ConcurrentDebitsNeverOverspend) {
   // The scheduler debits a shared ledger across sessions; total grants must
   // equal the limit exactly regardless of interleaving.

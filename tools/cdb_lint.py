@@ -64,6 +64,15 @@ contracts:
                           can never leak into an optimizer decision or a
                           byte-compared dump (tests/ is out of scope).
 
+  mutex-annotation        All locking in src/ goes through the annotated
+                          wrappers in common/mutex.h — raw std::mutex /
+                          std::condition_variable are invisible to clang's
+                          -Wthread-safety analysis (libstdc++ carries no
+                          capability attributes). Files declaring a
+                          Mutex/CondVar must directly include common/mutex.h
+                          and carry at least one CDB_* capability annotation,
+                          so every mutex states what it guards.
+
 Suppression: append  // cdb-lint: disable=<rule>  (with a reason) to the
 offending line. Suppressions without a rule name are invalid.
 
@@ -540,6 +549,78 @@ def check_flat_index_hot_path(path: str, text: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: mutex-annotation
+# --------------------------------------------------------------------------
+# The concurrency capability model (DESIGN.md): all locking in src/ goes
+# through the annotated wrappers in common/mutex.h, because libstdc++'s
+# std::mutex carries no capability attributes and is therefore invisible to
+# clang's -Wthread-safety analysis. Two sub-checks, src/ scope only (tests
+# may exercise raw primitives to test the pool itself):
+#   (1) no raw std::mutex / std::condition_variable outside common/mutex.h;
+#   (2) any file declaring a cdb Mutex/CondVar must directly include
+#       common/mutex.h (or common/thread_annotations.h) and carry at least
+#       one CDB_* capability annotation — a mutex with no declared guard
+#       relationship is unverifiable by both the clang analysis and
+#       tools/cdb_analyze.py.
+
+MUTEX_WRAPPER_HEADER = "src/common/mutex.h"
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd\s*::\s*condition_variable(?:_any)?\b")
+WRAPPER_DECL_RE = re.compile(r"(?<![\w:])(?:cdb::)?(?:Mutex|CondVar)\s+[A-Za-z_]\w*")
+ANNOTATION_TOKEN_RE = re.compile(
+    r"\bCDB_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES(?:_SHARED)?"
+    r"|EXCLUDES|ACQUIRE(?:_SHARED)?|RELEASE(?:_SHARED)?|TRY_ACQUIRE"
+    r"|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY)\b")
+MUTEX_INCLUDE_RE = re.compile(
+    r'#\s*include\s+"common/(?:mutex|thread_annotations)\.h"')
+
+
+def check_mutex_annotation(path: str, text: str) -> List[Finding]:
+    norm = path.replace(os.sep, "/")
+    if not norm.startswith("src/") or norm == MUTEX_WRAPPER_HEADER:
+        return []
+    findings = []
+    wrapper_decl_line = None
+    has_include = False
+    has_annotation = False
+    for lineno, raw, code in iter_code_lines(text):
+        # Match the raw line: the include path is a string literal, which
+        # iter_code_lines strips out of `code`.
+        if MUTEX_INCLUDE_RE.search(raw):
+            has_include = True
+        if ANNOTATION_TOKEN_RE.search(code):
+            has_annotation = True
+        if suppressed(raw, "mutex-annotation"):
+            continue
+        if RAW_SYNC_RE.search(code):
+            findings.append(Finding(
+                path, lineno, "mutex-annotation",
+                "raw std:: synchronization primitive outside common/mutex.h; "
+                "libstdc++ mutexes carry no capability attributes, so clang's "
+                "-Wthread-safety cannot see them — use cdb::Mutex / "
+                "cdb::CondVar / cdb::MutexLock from common/mutex.h"))
+            continue
+        if wrapper_decl_line is None and WRAPPER_DECL_RE.search(code):
+            wrapper_decl_line = lineno
+    if wrapper_decl_line is not None:
+        if not has_include:
+            findings.append(Finding(
+                path, wrapper_decl_line, "mutex-annotation",
+                "declares a Mutex/CondVar but does not directly include "
+                'common/mutex.h; add #include "common/mutex.h" so the '
+                "capability types are not picked up transitively"))
+        elif not has_annotation:
+            findings.append(Finding(
+                path, wrapper_decl_line, "mutex-annotation",
+                "declares a Mutex but carries no CDB_* capability annotation; "
+                "state what the mutex guards (CDB_GUARDED_BY on the protected "
+                "members, CDB_EXCLUDES/CDB_REQUIRES on the entry points) — an "
+                "undeclared guard relationship is unverifiable"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -552,6 +633,7 @@ PER_FILE_RULES: List[Callable[[str, str], List[Finding]]] = [
     check_fault_rng_stream,
     check_wallclock,
     check_flat_index_hot_path,
+    check_mutex_annotation,
 ]
 
 LINT_SUBDIRS = ("src", "tests", "bench", "examples")
@@ -742,6 +824,39 @@ SELF_TEST_CASES = [
     ("declaration alone is fine", "src/similarity/join.cc",
      "std::unordered_map<std::string, int> ids;\nids.reserve(100);\n",
      "flat-index-hot-path", False),
+
+    ("raw std::mutex member in src", "src/exec/e.h",
+     "class S {\n  std::mutex mu_;\n};\n",
+     "mutex-annotation", True),
+    ("raw std::condition_variable in src", "src/exec/e.h",
+     "class S {\n  std::condition_variable cv_;\n};\n",
+     "mutex-annotation", True),
+    ("raw mutex in tests is out of scope", "tests/parallel_test.cc",
+     "std::mutex mu;\n",
+     "mutex-annotation", False),
+    ("raw mutex inside the wrapper header", "src/common/mutex.h",
+     "class Mutex {\n  std::mutex mu_;\n};\n",
+     "mutex-annotation", False),
+    ("suppressed raw mutex", "src/exec/e.h",
+     "std::mutex mu_;  // cdb-lint: disable=mutex-annotation ffi shim\n",
+     "mutex-annotation", False),
+    ("annotated wrapper declaration is clean", "src/cost/c.h",
+     '#include "common/mutex.h"\n'
+     "class S {\n  Mutex mu_;\n  int x_ CDB_GUARDED_BY(mu_) = 0;\n};\n",
+     "mutex-annotation", False),
+    ("wrapper declared without direct include", "src/cost/c.h",
+     "class S {\n  Mutex mu_;\n  int x_ CDB_GUARDED_BY(mu_) = 0;\n};\n",
+     "mutex-annotation", True),
+    ("wrapper declared without any annotation", "src/cost/c.h",
+     '#include "common/mutex.h"\n'
+     "class S {\n  Mutex mu_;\n  int x_ = 0;\n};\n",
+     "mutex-annotation", True),
+    ("MutexLock local alone needs no include", "src/cost/c.cc",
+     "void F() { MutexLock lock(mu_); }\n",
+     "mutex-annotation", False),
+    ("chrono mention in comment ignored for mutex rule", "src/cost/c.cc",
+     "// a std::mutex would be wrong here\n",
+     "mutex-annotation", False),
 
     ("canonical guard ok", "src/cost/sampling.h",
      "#ifndef CDB_COST_SAMPLING_H_\n#define CDB_COST_SAMPLING_H_\n#endif\n",

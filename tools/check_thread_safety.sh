@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Compile-fail probes for the concurrency capability model
+# (src/common/thread_annotations.h + src/common/mutex.h). Three probes:
+#
+#   1. (clang) a TU reading a CDB_GUARDED_BY member without holding its
+#      mutex must NOT compile under -Werror=thread-safety-analysis — proves
+#      the annotations are live attributes, not decorative macros;
+#   2. (clang) the same TU with proper MutexLock scopes must compile clean —
+#      proves the wrappers' ACQUIRE/RELEASE contracts line up so the clean
+#      build is meaningful, not vacuous;
+#   3. (always) a fake mini-repo declaring a raw, unannotated std::mutex
+#      member must be rejected by cdb_lint.py's mutex-annotation rule —
+#      proves the every-mutex-is-annotated invariant is enforced even on
+#      toolchains without clang.
+#
+# Probes 1-2 skip with a notice when no clang++ is on PATH (the GCC-only
+# image): GCC defines the CDB_* annotation macros away, so only clang can
+# check them. CI runs the clang-thread-safety job where clang is guaranteed.
+#
+# Usage: tools/check_thread_safety.sh <repo-root>
+set -u -o pipefail
+
+ROOT="${1:?usage: check_thread_safety.sh <repo-root>}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+# ---------------------------------------------------------------------------
+# Probes 1-2: clang thread-safety analysis actually fires / accepts.
+# ---------------------------------------------------------------------------
+
+CLANGXX=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    CLANGXX="${candidate}"
+    break
+  fi
+done
+
+if [[ -z "${CLANGXX}" ]]; then
+  echo "NOTICE: no clang++ on PATH; skipping the -Wthread-safety" \
+       "compile probes (GCC defines the annotation macros away)." >&2
+else
+  CLANG_FLAGS=(-std=c++20 -I"${ROOT}/src" -fsyntax-only
+               -Wthread-safety -Wthread-safety-beta
+               -Werror=thread-safety-analysis)
+
+  cat > "${TMP}/unguarded.cc" <<'EOF'
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+namespace cdb {
+class Account {
+ public:
+  int Read() { return balance_; }  // unguarded read: must be a hard error
+ private:
+  Mutex mu_;
+  int balance_ CDB_GUARDED_BY(mu_) = 0;
+};
+}  // namespace cdb
+EOF
+
+  if "${CLANGXX}" "${CLANG_FLAGS[@]}" "${TMP}/unguarded.cc" \
+      2> "${TMP}/unguarded.err"; then
+    echo "FAIL: a TU reading a CDB_GUARDED_BY member without the lock" \
+         "compiled cleanly — the thread-safety annotations are not firing" >&2
+    exit 1
+  fi
+  if ! grep -q 'thread-safety\|requires holding' "${TMP}/unguarded.err"; then
+    echo "FAIL: unguarded-access probe failed to compile, but not because" \
+         "of thread-safety analysis:" >&2
+    cat "${TMP}/unguarded.err" >&2
+    exit 1
+  fi
+
+  cat > "${TMP}/guarded.cc" <<'EOF'
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+namespace cdb {
+class Account {
+ public:
+  int Read() CDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+  void Add(int delta) CDB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    AddLocked(delta);
+  }
+ private:
+  void AddLocked(int delta) CDB_REQUIRES(mu_) { balance_ += delta; }
+  Mutex mu_;
+  int balance_ CDB_GUARDED_BY(mu_) = 0;
+};
+}  // namespace cdb
+EOF
+
+  if ! "${CLANGXX}" "${CLANG_FLAGS[@]}" "${TMP}/guarded.cc" \
+      2> "${TMP}/guarded.err"; then
+    echo "FAIL: a TU using the sanctioned MutexLock / CDB_REQUIRES patterns" \
+         "did not compile under thread-safety analysis:" >&2
+    cat "${TMP}/guarded.err" >&2
+    exit 1
+  fi
+  echo "PASS: clang thread-safety analysis rejects unguarded access and" \
+       "accepts the sanctioned locking patterns (${CLANGXX})"
+fi
+
+# ---------------------------------------------------------------------------
+# Probe 3: cdb_lint's mutex-annotation rule rejects a raw std::mutex member.
+# Runs everywhere — it needs only python3.
+# ---------------------------------------------------------------------------
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "NOTICE: python3 not found; skipping the cdb_lint mutex probe." >&2
+  exit 0
+fi
+
+FAKE="${TMP}/fake-repo"
+mkdir -p "${FAKE}/src/exec"
+: > "${FAKE}/src/CMakeLists.txt"
+cat > "${FAKE}/src/exec/probe.h" <<'EOF'
+#ifndef CDB_EXEC_PROBE_H_
+#define CDB_EXEC_PROBE_H_
+#include <mutex>
+namespace cdb {
+class Probe {
+ private:
+  std::mutex mu_;  // raw, unannotated: the linter must reject this
+};
+}  // namespace cdb
+#endif  // CDB_EXEC_PROBE_H_
+EOF
+
+if python3 "${ROOT}/tools/cdb_lint.py" --repo-root "${FAKE}" \
+    > "${TMP}/lint.out" 2>&1; then
+  echo "FAIL: cdb_lint accepted a raw unannotated std::mutex member —" \
+       "the mutex-annotation rule is not firing" >&2
+  cat "${TMP}/lint.out" >&2
+  exit 1
+fi
+if ! grep -q 'mutex-annotation' "${TMP}/lint.out"; then
+  echo "FAIL: cdb_lint rejected the probe repo, but not via the" \
+       "mutex-annotation rule:" >&2
+  cat "${TMP}/lint.out" >&2
+  exit 1
+fi
+echo "PASS: cdb_lint mutex-annotation rejects a raw unannotated std::mutex"
+exit 0
