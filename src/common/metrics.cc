@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <functional>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace cdb {
 namespace {
@@ -33,6 +35,13 @@ int64_t Counter::Value() const {
   return total;
 }
 
+void Counter::Reset(int64_t value) {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+  shards_[0].value.store(value, std::memory_order_relaxed);
+}
+
 int Histogram::BucketFor(int64_t value) {
   if (value <= 0) return 0;
   int bucket = 0;
@@ -48,6 +57,15 @@ void Histogram::Observe(int64_t value) {
   count_.Increment();
   sum_.Increment(value < 0 ? 0 : value);
   buckets_[static_cast<size_t>(BucketFor(value))].Increment();
+}
+
+void Histogram::Reset(int64_t count, int64_t sum,
+                      const std::array<int64_t, kNumBuckets>& buckets) {
+  count_.Reset(count);
+  sum_.Reset(sum);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[static_cast<size_t>(b)].Reset(buckets[static_cast<size_t>(b)]);
+  }
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -136,6 +154,132 @@ std::string MetricsRegistry::DumpJson() const {
   }
   out += "\n}\n";
   return out;
+}
+
+namespace {
+
+// Registry snapshot framing: magic + version up front, FNV-1a 64 trailer.
+constexpr uint32_t kMetricsSnapshotMagic = 0x4342444dU;  // "CDBM".
+constexpr uint32_t kMetricsSnapshotVersion = 1;
+
+}  // namespace
+
+std::string MetricsRegistry::SerializeState() const {
+  ByteWriter writer;
+  writer.PutU32(kMetricsSnapshotMagic);
+  writer.PutU32(kMetricsSnapshotVersion);
+  {
+    MutexLock lock(mutex_);
+    writer.PutU32(static_cast<uint32_t>(counters_.size()));
+    for (const auto& [name, counter] : counters_) {
+      writer.PutString(name);
+      writer.PutI64(counter->Value());
+    }
+    writer.PutU32(static_cast<uint32_t>(gauges_.size()));
+    for (const auto& [name, gauge] : gauges_) {
+      writer.PutString(name);
+      writer.PutI64(gauge->Value());
+    }
+    writer.PutU32(static_cast<uint32_t>(histograms_.size()));
+    for (const auto& [name, histogram] : histograms_) {
+      writer.PutString(name);
+      writer.PutI64(histogram->count());
+      writer.PutI64(histogram->sum());
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        writer.PutI64(histogram->bucket(b));
+      }
+    }
+  }
+  writer.PutU64(SnapshotChecksum(writer.data()));
+  return writer.Take();
+}
+
+Status MetricsRegistry::RestoreState(std::string_view blob) {
+  if (blob.size() < sizeof(uint64_t)) {
+    return Status::DataLoss("metrics snapshot shorter than its checksum");
+  }
+  std::string_view payload = blob.substr(0, blob.size() - sizeof(uint64_t));
+  ByteReader trailer(blob.substr(payload.size()));
+  uint64_t checksum = 0;
+  CDB_RETURN_IF_ERROR(trailer.GetU64(&checksum));
+  if (checksum != SnapshotChecksum(payload)) {
+    return Status::DataLoss("metrics snapshot checksum mismatch");
+  }
+  ByteReader reader(payload);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU32(&magic));
+  CDB_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (magic != kMetricsSnapshotMagic) {
+    return Status::DataLoss("metrics snapshot magic mismatch");
+  }
+  if (version != kMetricsSnapshotVersion) {
+    return Status::FailedPrecondition(
+        "metrics snapshot version " + std::to_string(version) +
+        " not supported (expected " +
+        std::to_string(kMetricsSnapshotVersion) + ")");
+  }
+
+  // Parse fully before mutating, so a corrupt blob leaves the registry as it
+  // was.
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  struct HistogramEntry {
+    std::string name;
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::array<int64_t, Histogram::kNumBuckets> buckets{};
+  };
+  std::vector<HistogramEntry> histograms;
+  uint32_t n = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    int64_t value = 0;
+    CDB_RETURN_IF_ERROR(reader.GetString(&name));
+    CDB_RETURN_IF_ERROR(reader.GetI64(&value));
+    counters.emplace_back(std::move(name), value);
+  }
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    int64_t value = 0;
+    CDB_RETURN_IF_ERROR(reader.GetString(&name));
+    CDB_RETURN_IF_ERROR(reader.GetI64(&value));
+    gauges.emplace_back(std::move(name), value);
+  }
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    HistogramEntry entry;
+    CDB_RETURN_IF_ERROR(reader.GetString(&entry.name));
+    CDB_RETURN_IF_ERROR(reader.GetI64(&entry.count));
+    CDB_RETURN_IF_ERROR(reader.GetI64(&entry.sum));
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      CDB_RETURN_IF_ERROR(reader.GetI64(&entry.buckets[static_cast<size_t>(b)]));
+    }
+    histograms.push_back(std::move(entry));
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss("metrics snapshot has trailing bytes");
+  }
+
+  // Zero everything already registered (handles stay valid), then apply.
+  // get-or-create outside the dump lock is fine: counter()/gauge()/
+  // histogram() take the lock themselves and the restore path is quiescent.
+  {
+    MutexLock lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->Reset(0);
+    for (auto& [name, gauge] : gauges_) gauge->Set(0);
+    for (auto& [name, histogram] : histograms_) {
+      histogram->Reset(0, 0, std::array<int64_t, Histogram::kNumBuckets>{});
+    }
+  }
+  for (const auto& [name, value] : counters) counter(name).Reset(value);
+  for (const auto& [name, value] : gauges) gauge(name).Set(value);
+  for (const HistogramEntry& entry : histograms) {
+    histogram(entry.name).Reset(entry.count, entry.sum, entry.buckets);
+  }
+  return Status::Ok();
 }
 
 std::string MetricsDump(const MetricsRegistry& registry) {

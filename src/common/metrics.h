@@ -36,6 +36,7 @@
 #include <string_view>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace cdb {
@@ -49,6 +50,12 @@ class Counter {
 
   void Increment(int64_t delta = 1);
   [[nodiscard]] int64_t Value() const;
+
+  // Snapshot-restore hook: forces the folded value to `value` (shard 0 takes
+  // it all). NOT part of the monotonic contract and not safe against
+  // concurrent Increment(); call only on a quiescent registry (the
+  // checkpoint/restore path runs before any session steps again).
+  void Reset(int64_t value);
 
  private:
   // One cache line per shard; a thread picks its shard by thread-id hash.
@@ -85,6 +92,11 @@ class Histogram {
   // Bucket index for a value; exposed for tests.
   static int BucketFor(int64_t value);
 
+  // Snapshot-restore hook: overwrites count/sum/buckets wholesale. Same
+  // quiescence requirement as Counter::Reset.
+  void Reset(int64_t count, int64_t sum,
+             const std::array<int64_t, kNumBuckets>& buckets);
+
  private:
   Counter count_;
   Counter sum_;
@@ -111,6 +123,18 @@ class MetricsRegistry {
   [[nodiscard]] std::string Dump() const;
   // The same data as a JSON object with sorted keys (for --metrics-out).
   [[nodiscard]] std::string DumpJson() const;
+
+  // Typed snapshot of every registered metric (counters, gauges, and
+  // histograms kept distinct — a flattened name dump could not round-trip a
+  // histogram through the ".bucketNN" rendering). The blob is versioned and
+  // checksummed like a session snapshot; RestoreState on a corrupt blob
+  // returns Status::DataLoss and leaves the registry untouched-or-zeroed,
+  // never crashes. Restore zeroes metrics absent from the blob (handles stay
+  // valid — metrics are never erased) so a restored registry dumps
+  // byte-identically to the snapshotted one. Both ends must be quiescent (no
+  // concurrent Increment), which the checkpoint path guarantees.
+  [[nodiscard]] std::string SerializeState() const CDB_EXCLUDES(mutex_);
+  Status RestoreState(std::string_view blob) CDB_EXCLUDES(mutex_);
 
  private:
   // Collects every metric as flat (name, value) pairs, sorted by name.

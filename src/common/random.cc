@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -25,6 +26,26 @@ Rng::Rng(uint64_t seed, uint64_t stream)
 double Rng::ClampedGaussian(double mean, double stddev, double lo, double hi) {
   CDB_DCHECK(lo <= hi);
   return std::clamp(Gaussian(mean, stddev), lo, hi);
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (in.fail()) {
+    return Status::DataLoss("Rng::LoadState: malformed mt19937_64 state text");
+  }
+  engine_ = engine;
+  // The unit distribution is stateless in practice, but reset() makes that a
+  // guarantee rather than an implementation detail.
+  unit_.reset();
+  return Status::Ok();
 }
 
 int64_t Rng::Zipf(int64_t n, double s) {

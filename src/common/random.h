@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace cdb {
 
@@ -70,6 +73,16 @@ class Rng {
   Rng Fork() { return Rng(engine_()); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Session-snapshot support: the full engine state as the standard's
+  // space-separated decimal text form (mt19937_64 operator<<). Reloading a
+  // saved state continues the exact draw sequence — the property the
+  // snapshot/resume byte-identity tests depend on. LoadState returns
+  // Status::DataLoss on malformed text. These are the only sanctioned
+  // engine-state accessors; keeping them here keeps serialization inside
+  // common/ (the rng-outside-common lint rule).
+  [[nodiscard]] std::string SaveState() const;
+  Status LoadState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

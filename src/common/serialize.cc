@@ -1,0 +1,86 @@
+#include "common/serialize.h"
+
+namespace cdb {
+
+uint64_t SnapshotChecksum(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void ByteWriter::PutFixed(const void* v, size_t n) {
+  // Little-endian byte order regardless of host: emit bytes low-to-high.
+  const auto* bytes = static_cast<const uint8_t*>(v);
+  uint64_t word = 0;
+  std::memcpy(&word, bytes, n);
+  for (size_t i = 0; i < n; ++i) {
+    out_.push_back(static_cast<char>((word >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+Status ByteReader::GetFixed(void* v, size_t n) {
+  if (remaining() < n) {
+    return Status::DataLoss("snapshot truncated: need " + std::to_string(n) +
+                            " bytes at offset " + std::to_string(pos_) +
+                            ", have " + std::to_string(remaining()));
+  }
+  uint64_t word = 0;
+  for (size_t i = 0; i < n; ++i) {
+    word |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+  }
+  std::memcpy(v, &word, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) {
+    return Status::DataLoss("snapshot truncated: need 1 byte at offset " +
+                            std::to_string(pos_));
+  }
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return Status::Ok();
+}
+
+Status ByteReader::GetBool(bool* v) {
+  uint8_t byte = 0;
+  CDB_RETURN_IF_ERROR(GetU8(&byte));
+  if (byte > 1) {
+    return Status::DataLoss("snapshot corrupt: bool byte " +
+                            std::to_string(byte) + " at offset " +
+                            std::to_string(pos_ - 1));
+  }
+  *v = byte != 0;
+  return Status::Ok();
+}
+
+Status ByteReader::GetString(std::string* s) {
+  uint32_t n = 0;
+  CDB_RETURN_IF_ERROR(GetU32(&n));
+  if (remaining() < n) {
+    return Status::DataLoss("snapshot truncated: string of " +
+                            std::to_string(n) + " bytes at offset " +
+                            std::to_string(pos_) + " overruns the blob");
+  }
+  s->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  CDB_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+}  // namespace cdb

@@ -1,0 +1,90 @@
+// Byte-exact serialization primitives for session snapshots.
+//
+// ByteWriter appends fixed-width little-endian primitives to a growing
+// buffer; ByteReader walks the same layout back with bounds checking and
+// typed errors. The encoding is deliberately dumb: no varints, no field
+// tags, no alignment — a snapshot is a straight-line dump of state in a
+// fixed order, and the *byte identity* of two snapshots of equal state is
+// part of the contract (the round-trip property tests compare blobs with
+// memcmp). Doubles travel as their IEEE-754 bit pattern, never through a
+// decimal round-trip, so restored floating-point state is bit-identical.
+//
+// Integrity: SnapshotChecksum is FNV-1a 64 over the payload. Writers append
+// it last; readers verify it before trusting any field. A truncated,
+// bit-flipped, or over-long blob yields Status::DataLoss — never a crash —
+// and a version word the reader does not speak yields
+// Status::FailedPrecondition (the versioning policy in DESIGN.md).
+#ifndef CDB_COMMON_SERIALIZE_H_
+#define CDB_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdb {
+
+// FNV-1a 64-bit over `data`; the snapshot trailer checksum.
+[[nodiscard]] uint64_t SnapshotChecksum(std::string_view data);
+
+// Append-only little-endian encoder. Take the buffer with Take() (or read
+// data() to checksum a prefix).
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  // IEEE-754 bit pattern; restores bit-identically.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  // Length-prefixed (u32) raw bytes.
+  void PutString(std::string_view s);
+
+  [[nodiscard]] const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void PutFixed(const void* v, size_t n);
+
+  std::string out_;
+};
+
+// Bounds-checked decoder over a borrowed buffer. Every getter returns
+// Status::DataLoss on truncation; remaining() lets callers assert the blob
+// was consumed exactly.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetBool(bool* v);
+  Status GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetI32(int32_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetFixed(v, sizeof(*v)); }
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] size_t position() const { return pos_; }
+
+ private:
+  Status GetFixed(void* v, size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_SERIALIZE_H_

@@ -25,6 +25,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

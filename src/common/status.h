@@ -25,6 +25,12 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kParseError,
   kInternal,
+  // Admission control / quota: the request is well-formed but a bounded
+  // resource (queue slot, tenant budget, session table) cannot grant it now.
+  kResourceExhausted,
+  // Persistent state failed integrity checks (truncated, bit-flipped, or
+  // version-incompatible snapshot blobs).
+  kDataLoss,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -67,6 +73,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

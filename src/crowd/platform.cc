@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/serialize.h"
 #include "common/trace.h"
 
 namespace cdb {
@@ -524,6 +525,134 @@ Result<std::vector<Answer>> CrowdPlatform::FaultyRound(
   return answers;
 }
 
+namespace {
+
+// Answer travels in snapshots with every field: the late buffer carries
+// tick/late metadata the requester's reconciliation depends on.
+void PutAnswer(ByteWriter& writer, const Answer& answer) {
+  writer.PutI64(answer.task);
+  writer.PutI32(answer.worker);
+  writer.PutI32(answer.choice);
+  writer.PutU32(static_cast<uint32_t>(answer.choice_set.size()));
+  for (int choice : answer.choice_set) writer.PutI32(choice);
+  writer.PutString(answer.text);
+  writer.PutI64(answer.tick);
+  writer.PutBool(answer.late);
+}
+
+Status GetAnswer(ByteReader& reader, Answer* answer) {
+  CDB_RETURN_IF_ERROR(reader.GetI64(&answer->task));
+  CDB_RETURN_IF_ERROR(reader.GetI32(&answer->worker));
+  CDB_RETURN_IF_ERROR(reader.GetI32(&answer->choice));
+  uint32_t n = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  answer->choice_set.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CDB_RETURN_IF_ERROR(reader.GetI32(&answer->choice_set[i]));
+  }
+  CDB_RETURN_IF_ERROR(reader.GetString(&answer->text));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&answer->tick));
+  CDB_RETURN_IF_ERROR(reader.GetBool(&answer->late));
+  return Status::Ok();
+}
+
+}  // namespace
+
+void SnapshotPlatformStats(ByteWriter& writer, const PlatformStats& stats) {
+  writer.PutI64(stats.tasks_published);
+  writer.PutI64(stats.answers_collected);
+  writer.PutI64(stats.hits_published);
+  writer.PutI64(stats.shared_hits);
+  writer.PutI64(stats.micro_dollars_spent);
+  writer.PutI64(stats.ticks);
+  writer.PutI64(stats.leases_granted);
+  writer.PutI64(stats.no_shows);
+  writer.PutI64(stats.abandons);
+  writer.PutI64(stats.expiries);
+  writer.PutI64(stats.reposts);
+  writer.PutI64(stats.dead_lettered);
+  writer.PutI64(stats.late_answers);
+  writer.PutI64(stats.duplicates);
+}
+
+Status RestorePlatformStats(ByteReader& reader, PlatformStats* stats) {
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->tasks_published));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->answers_collected));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->hits_published));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->shared_hits));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->micro_dollars_spent));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->ticks));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->leases_granted));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->no_shows));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->abandons));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->expiries));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->reposts));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->dead_lettered));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->late_answers));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->duplicates));
+  return Status::Ok();
+}
+
+void CrowdPlatform::SnapshotState(ByteWriter& writer) const {
+  // Identity guard: a snapshot only restores onto a platform built from the
+  // same seed and worker pool (the pool is drawn from the seed at
+  // construction, so these two fields pin the whole deterministic prefix).
+  writer.PutU64(options_.seed);
+  writer.PutI32(options_.num_workers);
+  writer.PutString(rng_.SaveState());
+  SnapshotPlatformStats(writer, stats_);
+  writer.PutI64(tick_);
+  writer.PutI64(lease_seq_);
+  writer.PutU32(static_cast<uint32_t>(late_answers_.size()));
+  for (const Answer& answer : late_answers_) PutAnswer(writer, answer);
+  writer.PutU32(static_cast<uint32_t>(dead_letter_.size()));
+  for (TaskId id : dead_letter_) writer.PutI64(id);
+  writer.PutU32(static_cast<uint32_t>(delivered_per_task_.size()));
+  for (const auto& [task, n] : delivered_per_task_) {
+    writer.PutI64(task);
+    writer.PutI64(n);
+  }
+}
+
+Status CrowdPlatform::RestoreState(ByteReader& reader) {
+  uint64_t seed = 0;
+  int32_t num_workers = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU64(&seed));
+  CDB_RETURN_IF_ERROR(reader.GetI32(&num_workers));
+  if (seed != options_.seed || num_workers != options_.num_workers) {
+    return Status::FailedPrecondition(
+        "platform snapshot belongs to a different platform configuration "
+        "(seed/worker-pool mismatch)");
+  }
+  std::string rng_state;
+  CDB_RETURN_IF_ERROR(reader.GetString(&rng_state));
+  CDB_RETURN_IF_ERROR(rng_.LoadState(rng_state));
+  CDB_RETURN_IF_ERROR(RestorePlatformStats(reader, &stats_));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&tick_));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&lease_seq_));
+  uint32_t n = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  late_answers_.assign(n, Answer{});
+  for (uint32_t i = 0; i < n; ++i) {
+    CDB_RETURN_IF_ERROR(GetAnswer(reader, &late_answers_[i]));
+  }
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  dead_letter_.assign(n, TaskId{});
+  for (uint32_t i = 0; i < n; ++i) {
+    CDB_RETURN_IF_ERROR(reader.GetI64(&dead_letter_[i]));
+  }
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  delivered_per_task_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    TaskId task = 0;
+    int64_t count = 0;
+    CDB_RETURN_IF_ERROR(reader.GetI64(&task));
+    CDB_RETURN_IF_ERROR(reader.GetI64(&count));
+    delivered_per_task_[task] = count;
+  }
+  return Status::Ok();
+}
+
 std::vector<Answer> CrowdPlatform::TakeLateAnswers() {
   std::vector<Answer> out;
   out.swap(late_answers_);
@@ -607,6 +736,27 @@ std::vector<TaskId> MultiMarket::TakeDeadLetters() {
 
 void MultiMarket::AdvanceTicks(int64_t ticks) {
   for (CrowdPlatform& platform : platforms_) platform.AdvanceTicks(ticks);
+}
+
+void MultiMarket::SnapshotState(ByteWriter& writer) const {
+  writer.PutU32(static_cast<uint32_t>(platforms_.size()));
+  for (const CrowdPlatform& platform : platforms_) {
+    platform.SnapshotState(writer);
+  }
+}
+
+Status MultiMarket::RestoreState(ByteReader& reader) {
+  uint32_t n = 0;
+  CDB_RETURN_IF_ERROR(reader.GetU32(&n));
+  if (n != platforms_.size()) {
+    return Status::FailedPrecondition(
+        "multi-market snapshot has " + std::to_string(n) +
+        " markets, deployment has " + std::to_string(platforms_.size()));
+  }
+  for (CrowdPlatform& platform : platforms_) {
+    CDB_RETURN_IF_ERROR(platform.RestoreState(reader));
+  }
+  return Status::Ok();
 }
 
 PlatformStats MultiMarket::CombinedStats() const {

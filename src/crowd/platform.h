@@ -32,6 +32,8 @@
 
 namespace cdb {
 
+class ByteReader;
+class ByteWriter;
 class Counter;
 class MetricsRegistry;
 class Tracer;
@@ -146,6 +148,12 @@ struct PlatformStats {
 // integer math, so the text matches the historical "%.6f" double format.
 std::string PlatformStatsDump(const PlatformStats& stats);
 
+// Fixed-order binary encoding of PlatformStats for session snapshots (every
+// field, in declaration order). Shared by the platform's own SnapshotState
+// and the session's ExecutionStats serialization.
+void SnapshotPlatformStats(ByteWriter& writer, const PlatformStats& stats);
+Status RestorePlatformStats(ByteReader& reader, PlatformStats* stats);
+
 // Thread affinity: driver-serial. The simulator is stepped only by the one
 // publish path (session/scheduler channel, enforced by the
 // single-publish-path lint rule) on the driver thread; it owns no locks and
@@ -190,6 +198,19 @@ class CrowdPlatform {
   const PlatformStats& stats() const { return stats_; }
   const PlatformOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
+
+  // Session-snapshot hooks. The platform is quiescent between rounds — every
+  // lease settles inside ExecuteRound — so its cross-round persistent state
+  // is exactly: the rng engine, the stats counters, the virtual clock, the
+  // lease sequence, and the undrained late-answer / dead-letter /
+  // delivered-per-task buffers. Everything else (worker pool, registry
+  // mirror) rebuilds deterministically from PlatformOptions at construction.
+  // RestoreState must run on a freshly-constructed platform with the same
+  // options; a seed/worker-count mismatch is a typed error. Restore assigns
+  // stats_ directly and never bumps the registry mirror — the registry is
+  // snapshotted and restored separately (MetricsRegistry::RestoreState).
+  void SnapshotState(ByteWriter& writer) const;
+  Status RestoreState(ByteReader& reader);
 
  private:
   // The pre-fault simulation loop: every leased task is answered immediately.
@@ -257,6 +278,10 @@ class MultiMarket {
 
   const std::vector<CrowdPlatform>& platforms() const { return platforms_; }
   PlatformStats CombinedStats() const;
+
+  // Per-market snapshot/restore (see CrowdPlatform::SnapshotState).
+  void SnapshotState(ByteWriter& writer) const;
+  Status RestoreState(ByteReader& reader);
   // Worker-id offset applied to market `m`.
   int worker_id_offset(size_t m) const { return static_cast<int>(m) * kWorkerIdStride; }
 

@@ -10,8 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/metrics.h"
 #include "bench_util/sim_crowd.h"
+#include "cql/parser.h"
 #include "crowd/platform.h"
+#include "datagen/mini_example.h"
+#include "exec/scheduler.h"
 
 namespace cdb {
 namespace {
@@ -318,6 +322,57 @@ TEST(SimCrowdTest, StatsDumpIsStableFormat) {
   EXPECT_NE(report.stats_dump.find("tasks_published="), std::string::npos);
   EXPECT_NE(report.stats_dump.find("leases_granted="), std::string::npos);
   EXPECT_NE(report.color_dump.find("0="), std::string::npos);
+}
+
+// The merge barrier under a hostile crowd: N sessions sharing one faulty
+// platform still satisfy every conservation law, finish every query, and the
+// whole run is byte-identical across optimizer thread counts. (The
+// single-session hostile path is covered above and in session_test.cc; this
+// closes the scheduler-shaped gap.)
+TEST(FaultDstTest, SchedulerUnderHostileCrowdConservesAndIsDeterministic) {
+  GeneratedDataset dataset = MakeMiniPaperExample();
+  Statement stmt = ParseStatement(kMiniExampleQuery).value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), dataset.catalog).value();
+  EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+
+  std::map<int, std::string> dumps;
+  for (int threads : {1, 8}) {
+    MultiQueryOptions mq;
+    mq.platform.seed = 77;
+    mq.platform.worker_quality_mean = 0.85;
+    mq.platform.redundancy = 3;
+    mq.platform.fault = HostileProfile();
+    MultiQueryScheduler scheduler(mq);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.graph.num_threads = threads;
+    ASSERT_EQ(scheduler.AddQuery(&query, options, truth), 0u);
+    ASSERT_EQ(scheduler.AddQuery(&query, options, truth), 1u);
+    Result<std::vector<ExecutionResult>> results = scheduler.RunAll();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results.value().size(), 2u);
+    CheckConservation(scheduler.platform_stats());
+
+    std::string dump = PlatformStatsDump(scheduler.platform_stats());
+    for (size_t i = 0; i < results.value().size(); ++i) {
+      const ExecutionStats& stats = results.value()[i].stats;
+      dump += "\nsession" + std::to_string(i) +
+              ": rounds=" + std::to_string(stats.rounds) +
+              " tasks=" + std::to_string(stats.tasks_asked) +
+              " answers=" + std::to_string(stats.worker_answers) +
+              " late=" + std::to_string(stats.late_answers) +
+              " reposted=" + std::to_string(stats.reposted_tasks) +
+              " results=" + std::to_string(results.value()[i].answers.size());
+    }
+    dumps[threads] = dump;
+    // Hostile faults actually fired — the run was not accidentally clean.
+    EXPECT_GT(scheduler.platform_stats().abandons +
+                  scheduler.platform_stats().late_answers +
+                  scheduler.platform_stats().expiries,
+              0);
+  }
+  EXPECT_EQ(dumps[1], dumps[8]);
 }
 
 }  // namespace

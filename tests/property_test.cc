@@ -4,8 +4,13 @@
 
 #include <set>
 
+#include "bench_util/metrics.h"
 #include "bench_util/sim_crowd.h"
 #include "common/random.h"
+#include "common/serialize.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "exec/session.h"
 #include "cost/known_color.h"
 #include "flow/min_cut.h"
 #include "graph/candidates.h"
@@ -277,6 +282,139 @@ TEST_P(FaultRobustnessTest, NoisyWorkersNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultRobustnessTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+// --- Session snapshot round-trip properties (exec/session_snapshot.cc) ---
+//
+// The blob contract: Restore(Snapshot(s)) is the identity (re-snapshotting
+// the restored session reproduces the original bytes exactly), the bytes do
+// not depend on the optimizer thread count, and every way of damaging a blob
+// is a typed Status — never a crash, never a half-restored session.
+
+ExecutorOptions SnapshotCrowd(uint64_t seed, int threads) {
+  ExecutorOptions options;
+  options.platform.worker_quality_mean = 0.85;
+  options.platform.redundancy = 3;
+  options.platform.seed = seed;
+  options.num_threads = threads;
+  options.graph.num_threads = threads;
+  options.quality_control = (seed % 2) == 0;
+  if (options.quality_control) options.golden_tasks = 3;
+  if (seed % 3 == 0) {
+    FaultProfile& fault = options.platform.fault;
+    fault.abandon_prob = 0.2;
+    fault.straggler_prob = 0.15;
+    fault.straggler_delay_ticks = 4;
+    fault.duplicate_prob = 0.1;
+    fault.no_show_prob = 0.1;
+    fault.task_deadline_ticks = 8;
+  }
+  return options;
+}
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SnapshotRoundTripTest()
+      : dataset_(MakeMiniPaperExample()),
+        query_(AnalyzeSelect(
+                   std::get<SelectStatement>(
+                       ParseStatement(kMiniExampleQuery).value()),
+                   dataset_.catalog)
+                   .value()),
+        truth_(MakeEdgeTruth(&dataset_, &query_)) {}
+
+  // A session advanced a seed-dependent number of phases (so the sweep hits
+  // every phase and both empty and loaded round buffers across the suite).
+  std::string BlobAfterSteps(int threads, int steps) {
+    QuerySession session(&query_, SnapshotCrowd(GetParam(), threads), truth_);
+    for (int s = 0; s < steps; ++s) {
+      Result<bool> more = session.Step();
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.value()) break;
+    }
+    return session.Snapshot();
+  }
+
+  GeneratedDataset dataset_;
+  ResolvedQuery query_;
+  EdgeTruthFn truth_;
+};
+
+TEST_P(SnapshotRoundTripTest, RestoreThenSnapshotReproducesBytes) {
+  const int steps = static_cast<int>(GetParam() % 11);
+  const std::string blob = BlobAfterSteps(1, steps);
+
+  QuerySession restored(&query_, SnapshotCrowd(GetParam(), 1), truth_);
+  Status status = restored.Restore(blob);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(blob, restored.Snapshot());
+}
+
+TEST_P(SnapshotRoundTripTest, BytesStableAcrossThreadCounts) {
+  const int steps = static_cast<int>(GetParam() % 11);
+  EXPECT_EQ(BlobAfterSteps(1, steps), BlobAfterSteps(8, steps));
+}
+
+TEST_P(SnapshotRoundTripTest, TruncatedBlobIsTypedError) {
+  const std::string blob = BlobAfterSteps(1, static_cast<int>(GetParam() % 7));
+  // Every truncation point: seed-strided to keep the sweep fast, but always
+  // including the degenerate 0/1-byte and missing-trailer cases.
+  const size_t stride = 1 + GetParam() % 17;
+  std::vector<size_t> cuts = {0, 1, blob.size() - 1, blob.size() - 9};
+  for (size_t cut = 2; cut + 2 < blob.size(); cut += stride) cuts.push_back(cut);
+  for (size_t cut : cuts) {
+    QuerySession session(&query_, SnapshotCrowd(GetParam(), 1), truth_);
+    Status status = session.Restore(blob.substr(0, cut));
+    EXPECT_FALSE(status.ok()) << "cut=" << cut;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST_P(SnapshotRoundTripTest, BitFlippedBlobIsTypedError) {
+  const std::string blob = BlobAfterSteps(1, static_cast<int>(GetParam() % 7));
+  const size_t stride = 1 + (blob.size() / 24);
+  for (size_t pos = GetParam() % stride; pos < blob.size(); pos += stride) {
+    std::string damaged = blob;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ (1 << (GetParam() % 8)));
+    QuerySession session(&query_, SnapshotCrowd(GetParam(), 1), truth_);
+    Status status = session.Restore(damaged);
+    // A flip anywhere (payload or trailer) breaks the checksum.
+    EXPECT_FALSE(status.ok()) << "pos=" << pos;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << "pos=" << pos;
+  }
+}
+
+TEST_P(SnapshotRoundTripTest, UnknownVersionIsTypedError) {
+  std::string blob = BlobAfterSteps(1, static_cast<int>(GetParam() % 7));
+  // Bump the version word (bytes 4..7) and re-seal the checksum so only the
+  // version — not integrity — is wrong.
+  std::string payload = blob.substr(0, blob.size() - sizeof(uint64_t));
+  const uint32_t version = QuerySession::kSnapshotVersion + 1 +
+                           static_cast<uint32_t>(GetParam() % 5);
+  for (size_t i = 0; i < 4; ++i) {
+    payload[4 + i] = static_cast<char>((version >> (8 * i)) & 0xff);
+  }
+  std::string resealed = payload;
+  uint64_t checksum = SnapshotChecksum(resealed);
+  for (size_t i = 0; i < 8; ++i) {
+    resealed.push_back(static_cast<char>((checksum >> (8 * i)) & 0xff));
+  }
+  QuerySession session(&query_, SnapshotCrowd(GetParam(), 1), truth_);
+  Status status = session.Restore(resealed);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST_P(SnapshotRoundTripTest, RestoreRequiresFreshSession) {
+  const std::string blob = BlobAfterSteps(1, 3);
+  QuerySession used(&query_, SnapshotCrowd(GetParam(), 1), truth_);
+  ASSERT_TRUE(used.Step().value());
+  Status status = used.Restore(blob);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
 
 }  // namespace
 }  // namespace cdb

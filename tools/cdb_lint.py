@@ -372,6 +372,88 @@ def check_cmake_ownership(root: str) -> List[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: snapshot-discipline
+# --------------------------------------------------------------------------
+
+# Every data member of QuerySession must either be serialized — its name
+# appears in code (not comments) of exec/session_snapshot.cc — or carry an
+# explicit `// cdb-snapshot: transient(<reason>)` marker on its declaration
+# line or within the two lines above it. This keeps Snapshot()/Restore()
+# honest as the session grows: a new field that is silently absent from
+# checkpoints fails lint, not a resumed query at 2am.
+SNAPSHOT_HEADER_REL = "src/exec/session.h"
+SNAPSHOT_IMPL_REL = "src/exec/session_snapshot.cc"
+SNAPSHOT_CLASS_RE = re.compile(r"^\s*class\s+QuerySession\b")
+SNAPSHOT_TRANSIENT_RE = re.compile(r"//\s*cdb-snapshot:\s*transient\(")
+# A data-member declaration: trailing-underscore identifier, optional
+# initializer, terminated by ';'. Function declarations are excluded by the
+# caller (any line containing '(').
+SNAPSHOT_MEMBER_RE = re.compile(
+    r"\b([A-Za-z_]\w*_)\s*(?:=[^;{}]*|\{[^;]*\})?;")
+
+
+def check_snapshot_discipline(root: str) -> List[Finding]:
+    header_path = os.path.join(root, *SNAPSHOT_HEADER_REL.split("/"))
+    impl_path = os.path.join(root, *SNAPSHOT_IMPL_REL.split("/"))
+    try:
+        with open(header_path, encoding="utf-8") as f:
+            header = f.read()
+    except OSError:
+        return []  # No session header: nothing to police.
+    try:
+        with open(impl_path, encoding="utf-8") as f:
+            impl = f.read()
+    except OSError:
+        impl = ""  # Snapshot file deleted: every member below is a finding.
+    impl_code = "\n".join(code for _, _, code in iter_code_lines(impl))
+
+    # Collect the QuerySession class body via brace depth over
+    # comment-stripped lines.
+    body: List[Tuple[int, str, str]] = []
+    depth = 0
+    in_class = False
+    for lineno, raw, code in iter_code_lines(header):
+        if not in_class:
+            if SNAPSHOT_CLASS_RE.search(code):
+                in_class = True
+                depth = code.count("{") - code.count("}")
+            continue
+        depth += code.count("{") - code.count("}")
+        if depth <= 0:  # The class-closing '};'.
+            break
+        body.append((lineno, raw, code))
+
+    findings = []
+    # A transient marker covers exactly the next member declaration:
+    # intervening comment lines (marker continuations) keep it pending, any
+    # other code — or the declaration it annotates — consumes it. A fixed
+    # lookback window would let one member's marker leak onto its neighbor.
+    marker_pending = False
+    for lineno, raw, code in body:
+        if SNAPSHOT_TRANSIENT_RE.search(raw):
+            marker_pending = True
+        members = ([] if "(" in code  # Function declarations, not data.
+                   else [m.group(1)
+                         for m in SNAPSHOT_MEMBER_RE.finditer(code)])
+        if members:
+            for member in members:
+                if re.search(r"\b" + re.escape(member) + r"\b", impl_code):
+                    continue
+                if marker_pending or suppressed(raw, "snapshot-discipline"):
+                    continue
+                findings.append(Finding(
+                    SNAPSHOT_HEADER_REL, lineno, "snapshot-discipline",
+                    f"QuerySession::{member} is neither serialized in "
+                    f"{SNAPSHOT_IMPL_REL} nor marked "
+                    "'// cdb-snapshot: transient(<reason>)' — restored "
+                    "sessions would silently drop this state"))
+            marker_pending = False
+        elif code.strip():
+            marker_pending = False
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: single-publish-path
 # --------------------------------------------------------------------------
 
@@ -651,6 +733,7 @@ def lint_repo(root: str) -> List[Finding]:
         for rule in PER_FILE_RULES:
             findings.extend(rule(rel, text))
     findings.extend(check_cmake_ownership(root))
+    findings.extend(check_snapshot_discipline(root))
     return findings
 
 
@@ -908,7 +991,44 @@ def run_self_test() -> int:
             failures += 1
         print(f"[{status}] cmake ownership flags only the orphan .cc")
 
-    total = len(SELF_TEST_CASES) + 1
+    # snapshot-discipline fixture: a fake QuerySession with one serialized
+    # member, one marked-transient member, and one silently dropped member.
+    # Only the dropped one may be flagged, and a comment mention in the
+    # snapshot file must not count as serialization.
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "src", "exec"))
+        with open(os.path.join(tmp, "src", "exec", "session.h"), "w",
+                  encoding="utf-8") as f:
+            f.write(
+                "class QuerySession {\n"
+                " public:\n"
+                "  int Steps();\n"
+                " private:\n"
+                "  // cdb-snapshot: transient(alias owned by the caller)\n"
+                "  int* transient_;\n"
+                "  int covered_;\n"
+                "  int dropped_;\n"
+                "};\n"
+                "int after_class_not_a_member_;\n")
+        with open(os.path.join(tmp, "src", "exec", "session_snapshot.cc"),
+                  "w", encoding="utf-8") as f:
+            f.write("void Snap() { covered_ = 1; }\n"
+                    "// dropped_ appears only in this comment\n")
+        got = check_snapshot_discipline(tmp)
+        dropped_flagged = (len(got) == 1
+                           and got[0].rule == "snapshot-discipline"
+                           and "dropped_" in got[0].message)
+        status = "PASS" if dropped_flagged else "FAIL"
+        if not dropped_flagged:
+            failures += 1
+            detail = "; ".join(f.render() for f in got) or "no findings"
+            print(f"[{status}] snapshot discipline flags only the dropped "
+                  f"member, got {detail}")
+        else:
+            print(f"[{status}] snapshot discipline flags only the dropped "
+                  "member")
+
+    total = len(SELF_TEST_CASES) + 2
     print(f"self-test: {total - failures}/{total} cases passed")
     return 1 if failures else 0
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates a freshly generated BENCH_service.json against the checked-in one.
+
+The service bench's admission/throughput counters (submitted, rejections,
+admitted, completed, peak live sessions, waves, steps, checkpoints and their
+byte volume) are deterministic in the bench seed, so they must match the
+golden file exactly — drift means the admission-control flow or the snapshot
+format changed behavior. Wall-clock fields are machine-dependent and are
+gated by absolute requirements instead: the run must sustain at least
+--min-completed sessions with --min-peak-live of them concurrently live,
+every admission-control path must have fired (typed rejections on both the
+queue and the budget ledger), nothing may fail, throughput must clear
+--min-sessions-per-sec, and the p99 per-session step latency must stay under
+--max-p99-step-micros.
+
+Usage:
+  tools/check_bench_service.py --golden BENCH_service.json --fresh fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+DETERMINISTIC = (
+    "sessions", "tenants", "submitted", "rejected_queue", "rejected_budget",
+    "admitted", "completed", "failed", "peak_live_sessions", "waves", "steps",
+    "checkpoints", "checkpoint_bytes",
+)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "cdb-bench-service-v1":
+        raise SystemExit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--golden", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--min-completed", type=int, default=1000,
+                        help="sessions the run must finish")
+    parser.add_argument("--min-peak-live", type=int, default=1000,
+                        help="concurrent live sessions the run must sustain")
+    parser.add_argument("--min-sessions-per-sec", type=float, default=50.0,
+                        help="hard throughput floor")
+    parser.add_argument("--max-p99-step-micros", type=int, default=50000,
+                        help="hard p99 per-session step latency ceiling")
+    args = parser.parse_args()
+
+    golden = load(args.golden)
+    fresh = load(args.fresh)
+    errors = []
+
+    if set(golden) != set(fresh):
+        errors.append(f"workload sets differ: golden={sorted(golden)} "
+                      f"fresh={sorted(fresh)}")
+
+    for name in sorted(set(golden) & set(fresh)):
+        g, f = golden[name], fresh[name]
+        for counter in DETERMINISTIC:
+            if g[counter] != f[counter]:
+                errors.append(f"{name}/{counter}: golden {g[counter]} != "
+                              f"fresh {f[counter]} (deterministic counter "
+                              f"drifted — admission or snapshot behavior "
+                              f"changed)")
+        # Absolute requirements on the fresh run (ISSUE acceptance bar).
+        if f["completed"] < args.min_completed:
+            errors.append(f"{name}: completed {f['completed']} < "
+                          f"{args.min_completed}")
+        if f["peak_live_sessions"] < args.min_peak_live:
+            errors.append(f"{name}: peak_live_sessions "
+                          f"{f['peak_live_sessions']} < {args.min_peak_live}")
+        if f["rejected_queue"] + f["rejected_budget"] <= 0:
+            errors.append(f"{name}: admission control never fired "
+                          f"(no typed rejections)")
+        if f["failed"] != 0:
+            errors.append(f"{name}: {f['failed']} sessions failed")
+        if f["checkpoints"] <= 0 or f["checkpoint_bytes"] <= 0:
+            errors.append(f"{name}: periodic checkpointing never ran")
+        if f["sessions_per_sec"] < args.min_sessions_per_sec:
+            errors.append(f"{name}: sessions_per_sec "
+                          f"{f['sessions_per_sec']} below floor "
+                          f"{args.min_sessions_per_sec}")
+        if f["p99_step_micros"] > args.max_p99_step_micros:
+            errors.append(f"{name}: p99_step_micros {f['p99_step_micros']} "
+                          f"above ceiling {args.max_p99_step_micros}")
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(set(golden) & set(fresh))} workload(s) validated "
+          f"against {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
