@@ -7,9 +7,12 @@
 // differs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util/metrics.h"
@@ -89,8 +92,8 @@ void BM_CutSimulation(benchmark::State& state) {
   std::vector<std::vector<EdgeId>> cuts;
   for (VertexId v = 0; v < graph.num_vertices() && cuts.size() < 256; ++v) {
     for (int p = 0; p < graph.num_predicates(); ++p) {
-      const std::vector<EdgeId>& edges = graph.IncidentEdges(v, p);
-      if (!edges.empty()) cuts.push_back(edges);
+      EdgeSpan edges = graph.IncidentEdges(v, p);
+      if (!edges.empty()) cuts.emplace_back(edges.begin(), edges.end());
     }
   }
   size_t i = 0;
@@ -173,17 +176,27 @@ BENCHMARK(BM_EditDistanceJoin)
     ->Args({1, 1})
     ->Args({0, 1});
 
+// Second knob mirrors the sim-join pairs: state.range(1) routes every sample
+// through the legacy rebuild-per-call selection (1) or the cached flat
+// structures (0). Orderings are byte-identical; only the wall clock differs.
 void BM_SampleMinCutOrder(benchmark::State& state) {
   ResolvedQuery query = ThreeJoinQuery();
   QueryGraph graph = QueryGraph::Build(query, GraphOptions{}).value();
   SamplingOptions options;
   options.num_samples = 100;  // The paper's real-experiment sample count.
   options.num_threads = static_cast<int>(state.range(0));
+  options.legacy_selection = state.range(1) == 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(SampleMinCutOrder(graph, options));
   }
 }
-BENCHMARK(BM_SampleMinCutOrder)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SampleMinCutOrder)
+    ->ArgNames({"threads", "legacy"})
+    ->Args({1, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({0, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EmTruthInference(benchmark::State& state) {
   // Synthetic workload at round scale: 2000 tasks x 5 answers from a pool of
@@ -372,6 +385,132 @@ void RunSimJoinFunnel(const std::string& path) {
   std::fclose(file);
 }
 
+// --- Optimizer selection harness (--optimizer-out=PATH) ---------------------
+// Runs SampleMinCutOrder with the legacy rebuild-per-sample selection and the
+// cached flat path over synthetic join graphs of each shape class and writes
+// BENCH_optimizer.json: per-path wall time, the ordering length, and an
+// FNV-1a checksum of the edge ordering. Graphs and orderings are
+// deterministic in the workload seed, so CI regenerates the file and diffs
+// the counters exactly; wall-clock fields are compared as flat/legacy ratios
+// with tolerance (tools/check_bench_optimizer.py).
+
+struct OptimizerWorkload {
+  const char* name;
+  // Relation-level shape as predicate endpoint pairs.
+  std::vector<std::pair<int, int>> preds;
+  int rows;  // Tuples per relation; edges are ~rows^2*density per predicate.
+  uint64_t seed;
+  double density = 0.5;
+  double weight_lo = 0.3;  // Edge matching probabilities; higher ranges make
+  double weight_hi = 0.95; // sampled colorings mostly blue (small cuts).
+};
+
+QueryGraph MakeOptimizerGraph(const OptimizerWorkload& w) {
+  std::vector<PredicateInfo> preds;
+  int num_rels = 0;
+  for (const auto& [a, b] : w.preds) {
+    preds.push_back(PredicateInfo{true, false, a, b});
+    num_rels = std::max({num_rels, a + 1, b + 1});
+  }
+  Rng rng(w.seed);
+  std::vector<QueryGraph::SyntheticEdge> edges;
+  for (int p = 0; p < static_cast<int>(preds.size()); ++p) {
+    for (int a = 0; a < w.rows; ++a) {
+      for (int b = 0; b < w.rows; ++b) {
+        if (!rng.Bernoulli(w.density)) continue;
+        edges.push_back({p, a, b, rng.Uniform(w.weight_lo, w.weight_hi)});
+      }
+    }
+  }
+  return QueryGraph::MakeSynthetic(num_rels, preds, edges);
+}
+
+uint64_t OrderChecksum(const std::vector<EdgeId>& order) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis.
+  for (EdgeId e : order) {
+    uint32_t bits = static_cast<uint32_t>(e);
+    for (int i = 0; i < 4; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xffu;
+      hash *= 1099511628211ULL;  // FNV-1a prime.
+    }
+  }
+  return hash;
+}
+
+struct SelectionRun {
+  double wall_ms = 0.0;
+  std::vector<EdgeId> order;
+};
+
+SelectionRun RunSelection(const QueryGraph& graph, bool legacy, int samples) {
+  SamplingOptions options;
+  options.num_samples = samples;
+  options.num_threads = 1;  // Pure path comparison, no pool variance.
+  options.legacy_selection = legacy;
+  WallTimer timer;
+  SelectionRun run;
+  run.order = SampleMinCutOrder(graph, options);
+  run.wall_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  return run;
+}
+
+void RunOptimizerBench(const std::string& path) {
+  // One workload per shape class at a small size, a mid-size chain with the
+  // default weight band, and two large mostly-blue graphs. The large chain is
+  // the headline: the per-sample rebuild cost the cache amortizes grows with
+  // the pair count, and the high matching probabilities (realistic after the
+  // epsilon filter) keep the min cuts — the cost both paths share — small.
+  const OptimizerWorkload workloads[] = {
+      {"star_4rel", {{0, 1}, {0, 2}, {0, 3}}, 20, 7},
+      {"cyclic_3rel", {{0, 1}, {1, 2}, {2, 0}}, 20, 11},
+      {"chain_4rel", {{0, 1}, {1, 2}, {2, 3}}, 20, 13},
+      {"chain_4rel_large", {{0, 1}, {1, 2}, {2, 3}}, 56, 17},
+      {"cyclic_4rel_midblue_96",
+       {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+       96, 19, 0.5, 0.88, 0.99},
+      {"chain_4rel_midblue_120",
+       {{0, 1}, {1, 2}, {2, 3}},
+       120, 17, 0.5, 0.88, 0.99},
+  };
+  const int samples = 100;
+  std::string json = "{\n  \"schema\": \"cdb-bench-optimizer-v1\",\n"
+                     "  \"threads\": 1,\n";
+  json += StrPrintf("  \"samples\": %d,\n  \"workloads\": [\n", samples);
+  bool first = true;
+  for (const OptimizerWorkload& w : workloads) {
+    QueryGraph graph = MakeOptimizerGraph(w);
+    std::fprintf(stderr, "optimizer bench: %s (%d edges)...\n", w.name,
+                 graph.num_edges());
+    SelectionRun legacy = RunSelection(graph, /*legacy=*/true, samples);
+    SelectionRun flat = RunSelection(graph, /*legacy=*/false, samples);
+    CDB_CHECK_MSG(legacy.order == flat.order,
+                  "legacy and flat sampler orderings diverged");
+    double speedup =
+        flat.wall_ms > 0.0 ? legacy.wall_ms / flat.wall_ms : 0.0;
+    if (!first) json += ",\n";
+    first = false;
+    json += StrPrintf(
+        "    {\"name\": \"%s\", \"edges\": %d, \"order_len\": %lld,\n"
+        "     \"checksum_legacy\": \"%016llx\", \"checksum_flat\": "
+        "\"%016llx\",\n"
+        "     \"legacy\": {\"wall_ms\": %.3f},\n"
+        "     \"flat\": {\"wall_ms\": %.3f},\n"
+        "     \"speedup_flat_over_legacy\": %.2f}",
+        w.name, graph.num_edges(),
+        static_cast<long long>(legacy.order.size()),
+        static_cast<unsigned long long>(OrderChecksum(legacy.order)),
+        static_cast<unsigned long long>(OrderChecksum(flat.order)),
+        legacy.wall_ms, flat.wall_ms, speedup);
+    std::fprintf(stderr, "  legacy %.1f ms, flat %.1f ms, speedup %.2fx\n",
+                 legacy.wall_ms, flat.wall_ms, speedup);
+  }
+  json += "\n  ]\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  CDB_CHECK_MSG(file != nullptr, "cannot open --optimizer-out file");
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+}
+
 }  // namespace
 }  // namespace cdb
 
@@ -380,16 +519,25 @@ void RunSimJoinFunnel(const std::string& path) {
 // harness that writes BENCH_simjoin.json.
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string optimizer_out;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
       continue;
     }
+    if (std::strncmp(argv[i], "--optimizer-out=", 16) == 0) {
+      optimizer_out = argv[i] + 16;
+      continue;
+    }
     passthrough.push_back(argv[i]);
   }
   if (!metrics_out.empty()) {
     cdb::RunSimJoinFunnel(metrics_out);
+    return 0;
+  }
+  if (!optimizer_out.empty()) {
+    cdb::RunOptimizerBench(optimizer_out);
     return 0;
   }
   int bench_argc = static_cast<int>(passthrough.size());

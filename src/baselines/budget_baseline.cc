@@ -144,10 +144,13 @@ Result<ExecutionResult> BudgetBaselineExecutor::Run() {
   // Outer loop: start from each tuple of the first relation, preferring the
   // ones with the heaviest outgoing edge.
   std::vector<VertexId> starts = graph_.relation_vertices(plan.order[0]);
+  std::vector<EdgeId> incident;  // Reused across comparator calls.
   std::stable_sort(starts.begin(), starts.end(), [&](VertexId a, VertexId b) {
     auto best_weight = [&](VertexId v) {
       double best = 0.0;
-      for (EdgeId e : graph_.AllIncidentEdges(v)) {
+      incident.clear();
+      graph_.AppendIncidentEdges(v, &incident);
+      for (EdgeId e : incident) {
         best = std::max(best, graph_.edge(e).weight);
       }
       return best;

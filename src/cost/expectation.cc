@@ -1,7 +1,7 @@
 #include "cost/expectation.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <vector>
 
 namespace cdb {
 namespace {
@@ -19,13 +19,24 @@ double RedProbability(const GraphEdge& edge) {
   return 0.0;
 }
 
+// Flat memo over the dense (vertex, predicate) key space — the per-slot
+// term of Eq. 1 is recomputed at most once per ordering pass.
+struct TermMemo {
+  explicit TermMemo(size_t num_slots)
+      : value(num_slots, 0.0), computed(num_slots, 0) {}
+
+  std::vector<double> value;
+  std::vector<uint8_t> computed;
+};
+
 // One Eq.-1 term: the expectation contribution of endpoint `v` for predicate
 // `p` — Prob(all of v's p-edges RED) * (#edges invalidated) / x.
 double EndpointTerm(const QueryGraph& graph, Pruner& pruner, VertexId v, int p,
-                    std::unordered_map<int64_t, double>& cache) {
-  int64_t key = static_cast<int64_t>(v) * graph.num_predicates() + p;
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+                    TermMemo& memo) {
+  const size_t key =
+      static_cast<size_t>(v) * static_cast<size_t>(graph.num_predicates()) +
+      static_cast<size_t>(p);
+  if (memo.computed[key]) return memo.value[key];
 
   std::vector<EdgeId> valid_edges;
   double red_all = 1.0;
@@ -40,27 +51,33 @@ double EndpointTerm(const QueryGraph& graph, Pruner& pruner, VertexId v, int p,
     term = red_all * static_cast<double>(alpha) /
            static_cast<double>(valid_edges.size());
   }
-  cache.emplace(key, term);
+  memo.value[key] = term;
+  memo.computed[key] = 1;
   return term;
+}
+
+size_t NumSlots(const QueryGraph& graph) {
+  return static_cast<size_t>(graph.num_vertices()) *
+         static_cast<size_t>(graph.num_predicates());
 }
 
 }  // namespace
 
 double PruningExpectation(const QueryGraph& graph, Pruner& pruner, EdgeId e) {
-  std::unordered_map<int64_t, double> cache;
+  TermMemo memo(NumSlots(graph));
   const GraphEdge& edge = graph.edge(e);
-  return EndpointTerm(graph, pruner, edge.u, edge.pred, cache) +
-         EndpointTerm(graph, pruner, edge.v, edge.pred, cache);
+  return EndpointTerm(graph, pruner, edge.u, edge.pred, memo) +
+         EndpointTerm(graph, pruner, edge.v, edge.pred, memo);
 }
 
 std::vector<ScoredEdge> ExpectationOrder(const QueryGraph& graph,
                                          Pruner& pruner) {
-  std::unordered_map<int64_t, double> cache;
+  TermMemo memo(NumSlots(graph));
   std::vector<ScoredEdge> out;
   for (EdgeId e : pruner.RemainingTasks()) {
     const GraphEdge& edge = graph.edge(e);
-    double expectation = EndpointTerm(graph, pruner, edge.u, edge.pred, cache) +
-                         EndpointTerm(graph, pruner, edge.v, edge.pred, cache);
+    double expectation = EndpointTerm(graph, pruner, edge.u, edge.pred, memo) +
+                         EndpointTerm(graph, pruner, edge.v, edge.pred, memo);
     out.push_back({e, expectation});
   }
   std::stable_sort(out.begin(), out.end(),

@@ -1,9 +1,16 @@
 // Task selection when every edge color is known (Section 5.1.1). Used
 // directly by the OptTree-style oracle analyses and per-sample by the
 // sampling-based min-cut greedy (Section 5.1.2).
+//
+// Each selection has two implementations with byte-identical output: the
+// legacy rebuild-per-call path (the identity oracle) and a cached path over
+// precomputed color-independent structures (StarCache here, MinCutCache in
+// flow/min_cut.h, both bundled by cost/structure_cache.h) that the sampler
+// reuses across thousands of samples.
 #ifndef CDB_COST_KNOWN_COLOR_H_
 #define CDB_COST_KNOWN_COLOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/query_graph.h"
@@ -20,9 +27,45 @@ std::vector<EdgeId> SelectTasksKnownColors(const QueryGraph& graph,
 
 // The star-join rule, exposed for testing: for each center tuple, if it has a
 // BLUE edge to every leaf relation all its edges must be asked; otherwise ask
-// only the leaf relation with the fewest (all-RED) edges.
+// only the leaf relation with the fewest (all-RED) edges. `rel_graph` must be
+// BuildRelGraph(graph) — callers that already hold one pass it in instead of
+// rebuilding it per call.
+std::vector<EdgeId> StarSelection(const QueryGraph& graph,
+                                  const RelGraph& rel_graph, int center_rel,
+                                  const std::vector<EdgeColor>& colors);
+// Convenience wrapper that builds the RelGraph itself.
 std::vector<EdgeId> StarSelection(const QueryGraph& graph, int center_rel,
                                   const std::vector<EdgeColor>& colors);
+
+// Color-independent skeleton of the star rule for one center relation: the
+// per-(tuple, group) edge buckets and the per-neighbor member units, in the
+// exact order the legacy construction enumerated them. Buckets drive both
+// "ask all edges of t" and the cheapest-group tie-break (bucket sizes
+// included), units drive group satisfaction; only the color tests remain
+// per call.
+struct StarCache {
+  int center_rel = -1;
+  int num_groups = 0;  // Adjacent groups of the center relation.
+  std::vector<int32_t> group_pred_counts;  // Predicates per adjacent group.
+  // Bucket of (tuple ti, group gi) lives at slot ti * num_groups + gi:
+  // bucket_edges[bucket_offsets[slot] .. bucket_offsets[slot + 1]).
+  std::vector<uint32_t> bucket_offsets;
+  std::vector<EdgeId> bucket_edges;
+  // Units of the same slot: unit_members[unit_offsets[slot] ..
+  // unit_offsets[slot + 1]), each unit group_pred_counts[gi] consecutive
+  // entries (kNoEdge = predicate has no edge to that neighbor).
+  std::vector<uint32_t> unit_offsets;
+  std::vector<EdgeId> unit_members;
+};
+
+StarCache BuildStarCache(const QueryGraph& graph, const RelGraph& rel_graph,
+                         int center_rel);
+
+// Cached star rule: fills `out` with the same (sorted, deduplicated) edge set
+// as StarSelection. `out` is cleared first.
+void StarSelection(const QueryGraph& graph, const StarCache& cache,
+                   const std::vector<EdgeColor>& colors,
+                   std::vector<EdgeId>* out);
 
 }  // namespace cdb
 

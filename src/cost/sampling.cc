@@ -1,12 +1,14 @@
 #include "cost/sampling.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "cost/known_color.h"
+#include "cost/structure_cache.h"
 #include "graph/structure.h"
 
 namespace cdb {
@@ -36,11 +38,44 @@ struct OccurrenceReduction {
   }
 };
 
+// Draws the coloring of sample `s` into `colors`: known colors are kept,
+// unknown edges are BLUE with probability omega(e). Scans the SoA columns;
+// the Rng consumption order (unknown edges in ascending id) is part of the
+// bit-identity contract with the legacy path.
+void SampleColors(const QueryGraph& graph, uint64_t seed, int64_t s,
+                  std::vector<EdgeColor>* colors) {
+  Rng rng(seed, static_cast<uint64_t>(s));
+  const std::vector<uint8_t>& known = graph.edge_colors();
+  const std::vector<double>& weights = graph.edge_weights();
+  colors->resize(known.size());
+  for (size_t e = 0; e < known.size(); ++e) {
+    (*colors)[e] =
+        known[e] != static_cast<uint8_t>(EdgeColor::kUnknown)
+            ? static_cast<EdgeColor>(known[e])
+            : (rng.Bernoulli(weights[e]) ? EdgeColor::kBlue : EdgeColor::kRed);
+  }
+}
+
 }  // namespace
 
 std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
                                       const SamplingOptions& options) {
+  return SampleMinCutOrder(graph, options, nullptr);
+}
+
+std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
+                                      const SamplingOptions& options,
+                                      const StructureCache* cache) {
   OccurrenceReduction reduction(static_cast<size_t>(graph.num_edges()));
+
+  // The color-independent selection skeleton is built once and shared
+  // read-only by all workers (unless the caller supplied one, or the legacy
+  // oracle path was requested).
+  std::optional<StructureCache> local_cache;
+  if (!options.legacy_selection && cache == nullptr) {
+    local_cache.emplace(StructureCache::Build(graph));
+    cache = &*local_cache;
+  }
 
   // Each sample is seeded independently as Rng(seed, s), so colorings do not
   // depend on how samples are batched into chunks; occurrence counts merge by
@@ -50,19 +85,20 @@ std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
       0, options.num_samples, /*grain=*/1,
       [&](int64_t chunk_begin, int64_t chunk_end, int /*chunk*/) {
         std::vector<int64_t> local(graph.num_edges(), 0);
-        std::vector<EdgeColor> colors(graph.num_edges());
+        // Per-worker scratch, reused across this chunk's samples
+        // (reset-not-rebuild: buffers keep their capacity).
+        SelectionArena arena;
         for (int64_t s = chunk_begin; s < chunk_end; ++s) {
-          Rng rng(options.seed, static_cast<uint64_t>(s));
-          // Sample a possible graph: each unknown edge is BLUE with
-          // probability omega(e); known colors are kept.
-          for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-            const GraphEdge& edge = graph.edge(e);
-            colors[e] = edge.color != EdgeColor::kUnknown
-                            ? edge.color
-                            : (rng.Bernoulli(edge.weight) ? EdgeColor::kBlue
-                                                          : EdgeColor::kRed);
+          SampleColors(graph, options.seed, s, &arena.colors);
+          if (options.legacy_selection) {
+            for (EdgeId e : SelectTasksKnownColors(graph, arena.colors)) {
+              ++local[e];
+            }
+          } else {
+            SelectTasksKnownColors(graph, arena.colors, *cache, &arena,
+                                   &arena.selected);
+            for (EdgeId e : arena.selected) ++local[e];
           }
-          for (EdgeId e : SelectTasksKnownColors(graph, colors)) ++local[e];
         }
         reduction.Fold(local);
       },
@@ -72,13 +108,18 @@ std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
   // Unknown crowd edges, by descending occurrence; never-selected edges
   // trail, ordered by weight (more likely BLUE, thus more likely needed).
   std::vector<EdgeId> order;
+  const std::vector<uint8_t>& colors = graph.edge_colors();
+  const std::vector<uint8_t>& is_crowd = graph.edge_crowd_flags();
+  const std::vector<double>& weights = graph.edge_weights();
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    const GraphEdge& edge = graph.edge(e);
-    if (edge.is_crowd && edge.color == EdgeColor::kUnknown) order.push_back(e);
+    if (is_crowd[e] != 0 &&
+        colors[e] == static_cast<uint8_t>(EdgeColor::kUnknown)) {
+      order.push_back(e);
+    }
   }
   std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
     if (occurrences[a] != occurrences[b]) return occurrences[a] > occurrences[b];
-    return graph.edge(a).weight > graph.edge(b).weight;
+    return weights[a] > weights[b];
   });
   return order;
 }

@@ -14,6 +14,8 @@
 
 namespace cdb {
 
+struct StructureCache;
+
 struct SamplingOptions {
   int num_samples = 100;  // The paper's real experiments use 100 samples.
   uint64_t seed = 1;
@@ -22,6 +24,10 @@ struct SamplingOptions {
   // serially. Each sample s draws from Rng(seed, s), so the result is
   // bit-identical at every thread count.
   int num_threads = 0;
+  // Run every sample through the legacy rebuild-per-call selection instead
+  // of the cached flat path. Byte-identical output, much slower; exists as
+  // the identity oracle for tests and the perf-trajectory benches.
+  bool legacy_selection = false;
 };
 
 // Returns the currently-unknown crowd edges ordered by descending occurrence
@@ -29,6 +35,13 @@ struct SamplingOptions {
 // ordered by descending weight (they may still need asking later).
 std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
                                       const SamplingOptions& options);
+
+// Same, reusing a caller-built StructureCache (ignored on the legacy path;
+// built internally when null). The cache is shared read-only across worker
+// threads; per-worker scratch arenas are reused across that worker's samples.
+std::vector<EdgeId> SampleMinCutOrder(const QueryGraph& graph,
+                                      const SamplingOptions& options,
+                                      const StructureCache* cache);
 
 }  // namespace cdb
 

@@ -1,0 +1,31 @@
+#include "cost/structure_cache.h"
+
+namespace cdb {
+
+StructureCache StructureCache::Build(const QueryGraph& graph) {
+  StructureCache cache;
+  cache.rel_graph = BuildRelGraph(graph);
+  cache.structure = Classify(cache.rel_graph);
+  if (cache.structure == JoinStructure::kStar) {
+    cache.star_center = StarCenter(cache.rel_graph);
+    cache.star = BuildStarCache(graph, cache.rel_graph, cache.star_center);
+  } else {
+    cache.plan = BuildChainPlan(graph);
+    cache.min_cut = BuildMinCutCache(graph, cache.rel_graph, cache.plan);
+  }
+  return cache;
+}
+
+void SelectTasksKnownColors(const QueryGraph& graph,
+                            const std::vector<EdgeColor>& colors,
+                            const StructureCache& cache, SelectionArena* arena,
+                            std::vector<EdgeId>* out) {
+  if (cache.structure == JoinStructure::kStar) {
+    StarSelection(graph, cache.star, colors, out);
+    return;
+  }
+  out->clear();
+  ChainMinCutSelection(graph, cache.min_cut, colors, &arena->flow, out);
+}
+
+}  // namespace cdb

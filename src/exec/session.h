@@ -41,6 +41,7 @@
 
 #include "common/status.h"
 #include "cost/ledger.h"
+#include "cost/structure_cache.h"
 #include "cql/analyzer.h"
 #include "crowd/platform.h"
 #include "graph/candidates.h"
@@ -90,6 +91,11 @@ struct ExecutorOptions {
   // answers (instead of the flat 0.7 prior).
   int golden_tasks = 0;
   int sampling_samples = 100;
+  // Route the sampling min-cut through the legacy rebuild-per-sample
+  // selection instead of the cached flat structures. Byte-identical task
+  // orderings and colors either way (the optimizer identity suite proves
+  // it); exists for tests and the perf-trajectory benches.
+  bool sampling_legacy_selection = false;
   // Threads for the optimizer's parallel stages (sampling min-cut, EM truth
   // inference; graph.num_threads covers the build-time similarity joins):
   // <= 0 = all hardware threads, 1 = the exact serial path. Results are
@@ -386,6 +392,9 @@ class QuerySession {
   EdgeTruthFn truth_;
   QueryGraph graph_;
   std::optional<Pruner> pruner_;
+  // cdb-snapshot: transient(color-independent optimizer structures; rebuilt
+  // deterministically from the restored graph, never serialized)
+  std::optional<StructureCache> structure_cache_;
 
   std::unique_ptr<PlatformPublisher> owned_publisher_;
   // cdb-snapshot: transient(alias set at construction; points at

@@ -367,6 +367,12 @@ Status QuerySession::Restore(std::string_view blob) {
     }
     pruner_.emplace(&graph_);
     pruner_->Recompute();
+    // The optimizer's structure cache is transient: rebuilt from the graph
+    // under the same conditions StepBuildGraph uses, never serialized.
+    if (!options_.budget && options_.cost_method == CostMethod::kSampling &&
+        !options_.sampling_legacy_selection) {
+      structure_cache_.emplace(StructureCache::Build(graph_));
+    }
   }
 
   CDB_RETURN_IF_ERROR(GetEdgeList(reader, &sampling_order_));

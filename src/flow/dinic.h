@@ -2,6 +2,14 @@
 // flow network (Section 5.1.1): blue edges get infinite capacity, red edges
 // capacity 1, so the min cut is the smallest set of RED edges refuting every
 // alternative chain.
+//
+// Arcs live in a flat array and per-node adjacency is a CSR index built
+// count-then-fill on first Compute(). The blocking-flow DFS walks each
+// node's arcs in reverse insertion order — the exact order the previous
+// head-inserted intrusive list produced — so augmenting paths, residual
+// capacities, and therefore the reported min cut are unchanged. Reset()
+// reuses every buffer's capacity, so a caller running many flows of similar
+// size (the per-sample selection loop) allocates only on the first.
 #ifndef CDB_FLOW_DINIC_H_
 #define CDB_FLOW_DINIC_H_
 
@@ -12,26 +20,30 @@ namespace cdb {
 
 class MaxFlow {
  public:
-  explicit MaxFlow(int num_nodes) : head_(num_nodes, -1) {}
+  explicit MaxFlow(int num_nodes = 0) : num_nodes_(num_nodes) {}
 
-  int num_nodes() const { return static_cast<int>(head_.size()); }
+  // Drops all nodes and arcs and starts over with `num_nodes` nodes, keeping
+  // the underlying buffer capacity (reset-not-rebuild).
+  void Reset(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
 
   // Adds a node and returns its id.
-  int AddNode() {
-    head_.push_back(-1);
-    return num_nodes() - 1;
-  }
+  int AddNode() { return num_nodes_++; }
 
   // Adds a directed arc with the given capacity; returns the arc id. The
   // reverse (residual) arc is id ^ 1.
   int AddArc(int from, int to, int64_t capacity);
 
-  // Runs Dinic from s to t; returns the max-flow value. May be called once.
+  // Runs Dinic from s to t; returns the max-flow value. May be called once
+  // per Reset().
   int64_t Compute(int s, int t);
 
   // After Compute: nodes reachable from s in the residual network (the
   // source side of a min cut).
   std::vector<bool> SourceSide(int s) const;
+  // Same, into a caller-reused buffer (resized to num_nodes, values 0/1).
+  void SourceSideInto(int s, std::vector<uint8_t>* reachable) const;
 
   int arc_from(int id) const { return arcs_[id ^ 1].to; }
   int arc_to(int id) const { return arcs_[id].to; }
@@ -43,18 +55,27 @@ class MaxFlow {
  private:
   struct Arc {
     int to = 0;
-    int next = -1;  // Next arc out of the same node (intrusive list).
     int64_t capacity = 0;
     int64_t original_capacity = 0;
   };
 
+  // Builds the CSR adjacency (arc ids per node, insertion order).
+  void BuildIndex();
   [[nodiscard]] bool Bfs(int s, int t);
   int64_t Dfs(int v, int t, int64_t limit);
 
+  int num_nodes_ = 0;
+  bool indexed_ = false;
   std::vector<Arc> arcs_;
-  std::vector<int> head_;
-  std::vector<int> level_;
-  std::vector<int> iter_;
+  // CSR: arc ids out of node v are csr_arcs_[node_offsets_[v] ..
+  // node_offsets_[v + 1]), ascending id = insertion order. The DFS walks
+  // them descending to match the legacy head-inserted list.
+  std::vector<uint32_t> node_offsets_;
+  std::vector<int32_t> csr_arcs_;
+  std::vector<int32_t> level_;
+  // Per-node DFS cursor: absolute index into csr_arcs_, walked downward.
+  std::vector<int32_t> iter_;
+  std::vector<int32_t> queue_;
 };
 
 }  // namespace cdb

@@ -9,25 +9,53 @@
 
 namespace cdb {
 
-const std::vector<EdgeId> QueryGraph::kEmptyEdgeList;
-
 VertexId QueryGraph::InternVertex(int rel, int64_t row) {
   auto [it, inserted] = vertex_index_[rel].try_emplace(
       row, static_cast<VertexId>(vertices_.size()));
   if (inserted) {
     vertices_.push_back(Vertex{rel, row});
+    vertex_rel_pos_.push_back(
+        static_cast<int32_t>(relation_vertices_[rel].size()));
     relation_vertices_[rel].push_back(it->second);
-    incident_.emplace_back(predicates_.size());
   }
   return it->second;
 }
 
 void QueryGraph::AddEdge(VertexId u, VertexId v, int p, double weight,
                          bool is_crowd, EdgeColor color) {
-  EdgeId id = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(GraphEdge{u, v, p, weight, color, is_crowd});
-  incident_[u][p].push_back(id);
-  incident_[v][p].push_back(id);
+  CDB_DCHECK(!finalized_);
+  edge_u_.push_back(u);
+  edge_v_.push_back(v);
+  edge_pred_.push_back(p);
+  edge_weight_.push_back(weight);
+  edge_color_.push_back(static_cast<uint8_t>(color));
+  edge_is_crowd_.push_back(is_crowd ? 1 : 0);
+}
+
+void QueryGraph::Finalize() {
+  CDB_DCHECK(!finalized_);
+  const size_t num_slots = static_cast<size_t>(num_vertices()) *
+                           static_cast<size_t>(num_predicates());
+  // Count-then-fill. The legacy layout pushed each edge id into slot (u, p)
+  // then slot (v, p) while iterating edges in id order, so per-slot postings
+  // were ascending ids (with a self-loop's id appearing twice in a row);
+  // filling in the same order reproduces that byte-for-byte.
+  incidence_offsets_.assign(num_slots + 1, 0);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    ++incidence_offsets_[IncidenceSlot(edge_u_[e], edge_pred_[e]) + 1];
+    ++incidence_offsets_[IncidenceSlot(edge_v_[e], edge_pred_[e]) + 1];
+  }
+  for (size_t s = 1; s <= num_slots; ++s) {
+    incidence_offsets_[s] += incidence_offsets_[s - 1];
+  }
+  incidence_edges_.resize(static_cast<size_t>(num_edges()) * 2);
+  std::vector<uint32_t> cursor(incidence_offsets_.begin(),
+                               incidence_offsets_.end() - 1);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    incidence_edges_[cursor[IncidenceSlot(edge_u_[e], edge_pred_[e])]++] = e;
+    incidence_edges_[cursor[IncidenceSlot(edge_v_[e], edge_pred_[e])]++] = e;
+  }
+  finalized_ = true;
 }
 
 VertexId QueryGraph::FindVertex(int rel, int64_t row) const {
@@ -36,31 +64,43 @@ VertexId QueryGraph::FindVertex(int rel, int64_t row) const {
   return it == index.end() ? kNoVertex : it->second;
 }
 
-const std::vector<EdgeId>& QueryGraph::IncidentEdges(VertexId v, int p) const {
+EdgeSpan QueryGraph::IncidentEdges(VertexId v, int p) const {
   CDB_DCHECK(v >= 0 && v < num_vertices());
-  if (p < 0 || p >= num_predicates()) return kEmptyEdgeList;
-  return incident_[v][p];
+  CDB_DCHECK(finalized_);
+  if (p < 0 || p >= num_predicates()) return EdgeSpan();
+  const size_t slot = IncidenceSlot(v, p);
+  return EdgeSpan(incidence_edges_.data() + incidence_offsets_[slot],
+                  incidence_offsets_[slot + 1] - incidence_offsets_[slot]);
 }
 
 std::vector<EdgeId> QueryGraph::AllIncidentEdges(VertexId v) const {
   std::vector<EdgeId> out;
-  for (const auto& per_pred : incident_[v]) {
-    out.insert(out.end(), per_pred.begin(), per_pred.end());
-  }
+  AppendIncidentEdges(v, &out);
   return out;
 }
 
+void QueryGraph::AppendIncidentEdges(VertexId v,
+                                     std::vector<EdgeId>* out) const {
+  CDB_DCHECK(v >= 0 && v < num_vertices());
+  CDB_DCHECK(finalized_);
+  // Per-predicate slots of one vertex are contiguous in the CSR index, so the
+  // concatenation over predicates is a single contiguous range.
+  const size_t begin = incidence_offsets_[IncidenceSlot(v, 0)];
+  const size_t end = incidence_offsets_[IncidenceSlot(v, num_predicates() - 1) + 1];
+  out->insert(out->end(), incidence_edges_.data() + begin,
+              incidence_edges_.data() + end);
+}
+
 VertexId QueryGraph::Opposite(EdgeId e, VertexId v) const {
-  const GraphEdge& edge = edges_[e];
-  CDB_DCHECK(edge.u == v || edge.v == v);
-  return edge.u == v ? edge.v : edge.u;
+  CDB_DCHECK(edge_u_[e] == v || edge_v_[e] == v);
+  return edge_u_[e] == v ? edge_v_[e] : edge_u_[e];
 }
 
 void QueryGraph::SetColor(EdgeId e, EdgeColor color) {
-  GraphEdge& edge = edges_[e];
-  CDB_CHECK_MSG(edge.color == EdgeColor::kUnknown || edge.color == color,
+  CDB_CHECK_MSG(edge_color_[e] == static_cast<uint8_t>(EdgeColor::kUnknown) ||
+                    edge_color_[e] == static_cast<uint8_t>(color),
                 "recoloring an edge with a different color");
-  edge.color = color;
+  edge_color_[e] = static_cast<uint8_t>(color);
 }
 
 void QueryGraph::RecolorEdge(EdgeId e, EdgeColor color) {
@@ -68,15 +108,15 @@ void QueryGraph::RecolorEdge(EdgeId e, EdgeColor color) {
   // Flip-only contract: recoloring corrects evidence on an edge that was
   // already colored. An uncolored edge was pruned before it was ever asked;
   // late evidence must not resurrect it (the caller filters those out).
-  CDB_CHECK_MSG(edges_[e].color != EdgeColor::kUnknown,
+  CDB_CHECK_MSG(edge_color_[e] != static_cast<uint8_t>(EdgeColor::kUnknown),
                 "RecolorEdge on an uncolored (pruned-unasked) edge");
-  edges_[e].color = color;
+  edge_color_[e] = static_cast<uint8_t>(color);
 }
 
 int64_t QueryGraph::CountEdges(EdgeColor color) const {
   int64_t count = 0;
-  for (const GraphEdge& edge : edges_) {
-    if (edge.color == color) ++count;
+  for (uint8_t c : edge_color_) {
+    if (c == static_cast<uint8_t>(color)) ++count;
   }
   return count;
 }
@@ -84,15 +124,15 @@ int64_t QueryGraph::CountEdges(EdgeColor color) const {
 std::string QueryGraph::DebugString() const {
   std::string out;
   for (EdgeId e = 0; e < num_edges(); ++e) {
-    const GraphEdge& edge = edges_[e];
-    const Vertex& u = vertices_[edge.u];
-    const Vertex& v = vertices_[edge.v];
-    const char* color = edge.color == EdgeColor::kBlue    ? "BLUE"
-                        : edge.color == EdgeColor::kRed   ? "RED"
-                                                          : "?";
+    const Vertex& u = vertices_[edge_u_[e]];
+    const Vertex& v = vertices_[edge_v_[e]];
+    const EdgeColor c = edge_color(e);
+    const char* color = c == EdgeColor::kBlue  ? "BLUE"
+                        : c == EdgeColor::kRed ? "RED"
+                                               : "?";
     out += StrPrintf("e%d pred%d (r%d:%lld)-(r%d:%lld) w=%.2f %s\n", e,
-                     edge.pred, u.rel, static_cast<long long>(u.row), v.rel,
-                     static_cast<long long>(v.row), edge.weight, color);
+                     edge_pred_[e], u.rel, static_cast<long long>(u.row), v.rel,
+                     static_cast<long long>(v.row), edge_weight_[e], color);
   }
   return out;
 }
@@ -127,6 +167,7 @@ QueryGraph QueryGraph::MakeSynthetic(int num_base_relations,
     graph.relation_sizes_[rel] =
         static_cast<int64_t>(graph.relation_vertices_[rel].size());
   }
+  graph.Finalize();
   return graph;
 }
 
@@ -239,6 +280,7 @@ Result<QueryGraph> QueryGraph::Build(const ResolvedQuery& query,
     graph.relation_sizes_[rel] =
         static_cast<int64_t>(graph.relation_vertices_[rel].size());
   }
+  graph.Finalize();
   return graph;
 }
 

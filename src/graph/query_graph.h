@@ -7,9 +7,17 @@
 // epsilon; traditional predicates contribute weight-1 edges that are colored
 // BLUE without crowdsourcing. Crowd edges start Unknown and are colored BLUE
 // (values match) or RED (they do not) from crowd answers.
+//
+// Storage layout: edges live in parallel SoA columns (endpoints, predicate,
+// weight, color, crowd flag) and incidence is a CSR index over
+// (vertex, predicate) slots, built count-then-fill by Finalize() with
+// postings in the exact order the legacy nested-vector layout emitted them
+// (ascending edge id per slot). The optimizer's per-sample loops scan the
+// columns directly; the `GraphEdge` accessor remains for cold paths.
 #ifndef CDB_GRAPH_QUERY_GRAPH_H_
 #define CDB_GRAPH_QUERY_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -40,6 +48,8 @@ struct Vertex {
   int64_t row = 0;  // Row index in the base table; 0 for selection vertices.
 };
 
+// A materialized view of one edge, assembled from the SoA columns. Cheap to
+// copy; hot loops should prefer the per-column accessors below.
 struct GraphEdge {
   VertexId u = kNoVertex;  // Endpoint in the predicate's left relation.
   VertexId v = kNoVertex;  // Endpoint in the predicate's right relation.
@@ -70,6 +80,30 @@ struct GraphOptions {
   bool sim_signature_filter = true;
   // Optional sink for the simjoin.* funnel counters (borrowed, may be null).
   MetricsRegistry* sim_metrics = nullptr;
+};
+
+// Non-owning view over the edge ids of one incidence slot (or a
+// concatenation of slots). Points into the graph's CSR index; invalidated if
+// the graph is destroyed or rebuilt. Converts implicitly to
+// std::vector<EdgeId> for legacy call sites that copied the list.
+class EdgeSpan {
+ public:
+  EdgeSpan() = default;
+  EdgeSpan(const EdgeId* data, size_t size) : data_(data), size_(size) {}
+  const EdgeId* begin() const { return data_; }
+  const EdgeId* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  EdgeId operator[](size_t i) const { return data_[i]; }
+  EdgeId front() const { return data_[0]; }
+  EdgeId back() const { return data_[size_ - 1]; }
+  operator std::vector<EdgeId>() const {  // NOLINT(google-explicit-constructor)
+    return std::vector<EdgeId>(begin(), end());
+  }
+
+ private:
+  const EdgeId* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 // The materialized tuple-level graph. Vertices exist only for tuples with at
@@ -118,9 +152,35 @@ class QueryGraph {
 
   // --- Vertices and edges ---
   int32_t num_vertices() const { return static_cast<int32_t>(vertices_.size()); }
-  int32_t num_edges() const { return static_cast<int32_t>(edges_.size()); }
+  int32_t num_edges() const { return static_cast<int32_t>(edge_u_.size()); }
   const Vertex& vertex(VertexId v) const { return vertices_[v]; }
-  const GraphEdge& edge(EdgeId e) const { return edges_[e]; }
+  // Assembles one edge from the columns. Returned by value; binding the
+  // result to `const GraphEdge&` at legacy call sites stays valid through
+  // lifetime extension.
+  GraphEdge edge(EdgeId e) const {
+    return GraphEdge{edge_u_[e],
+                     edge_v_[e],
+                     edge_pred_[e],
+                     edge_weight_[e],
+                     static_cast<EdgeColor>(edge_color_[e]),
+                     edge_is_crowd_[e] != 0};
+  }
+
+  // --- SoA edge columns (hot-path accessors) ---
+  VertexId edge_u(EdgeId e) const { return edge_u_[e]; }
+  VertexId edge_v(EdgeId e) const { return edge_v_[e]; }
+  int edge_pred(EdgeId e) const { return edge_pred_[e]; }
+  double edge_weight(EdgeId e) const { return edge_weight_[e]; }
+  EdgeColor edge_color(EdgeId e) const {
+    return static_cast<EdgeColor>(edge_color_[e]);
+  }
+  bool edge_is_crowd(EdgeId e) const { return edge_is_crowd_[e] != 0; }
+  // Whole columns for bulk per-sample scans. Color values are EdgeColor.
+  const std::vector<double>& edge_weights() const { return edge_weight_; }
+  const std::vector<uint8_t>& edge_colors() const { return edge_color_; }
+  const std::vector<uint8_t>& edge_crowd_flags() const {
+    return edge_is_crowd_;
+  }
 
   // Vertex lookup; kNoVertex if the tuple has no edges.
   VertexId FindVertex(int rel, int64_t row) const;
@@ -128,11 +188,20 @@ class QueryGraph {
   const std::vector<VertexId>& relation_vertices(int rel) const {
     return relation_vertices_[rel];
   }
+  // Position of `v` within relation_vertices(vertex(v).rel) — a dense
+  // per-relation tuple index. Flat replacement for the hash-map position
+  // lookups the flow layering used to rebuild per call.
+  int32_t relation_position(VertexId v) const { return vertex_rel_pos_[v]; }
 
-  // Edges incident to `v` for predicate `p` (empty if none).
-  const std::vector<EdgeId>& IncidentEdges(VertexId v, int p) const;
-  // All edges incident to `v` (concatenation over predicates).
+  // Edges incident to `v` for predicate `p` (empty if none). Postings are in
+  // ascending edge-id order, matching the legacy nested-vector emission.
+  EdgeSpan IncidentEdges(VertexId v, int p) const;
+  // All edges incident to `v` (concatenation over predicates). Allocates;
+  // hot callers should use AppendIncidentEdges with a reused buffer.
   std::vector<EdgeId> AllIncidentEdges(VertexId v) const;
+  // Appends all edges incident to `v` to `out` (same order as
+  // AllIncidentEdges) without allocating a fresh vector per call.
+  void AppendIncidentEdges(VertexId v, std::vector<EdgeId>* out) const;
   // The endpoint of `e` opposite to `v`.
   VertexId Opposite(EdgeId e, VertexId v) const;
 
@@ -156,6 +225,15 @@ class QueryGraph {
   VertexId InternVertex(int rel, int64_t row);
   void AddEdge(VertexId u, VertexId v, int p, double weight, bool is_crowd,
                EdgeColor color);
+  // Builds the CSR incidence index (count-then-fill). Called once at the end
+  // of Build()/MakeSynthetic(); edge/vertex sets are frozen afterwards
+  // (colors stay mutable).
+  void Finalize();
+
+  size_t IncidenceSlot(VertexId v, int p) const {
+    return static_cast<size_t>(v) * static_cast<size_t>(num_predicates()) +
+           static_cast<size_t>(p);
+  }
 
   int num_base_relations_ = 0;
   std::vector<PredicateInfo> predicates_;
@@ -163,14 +241,24 @@ class QueryGraph {
   std::vector<int64_t> relation_sizes_;
 
   std::vector<Vertex> vertices_;
-  std::vector<GraphEdge> edges_;
-  // vertex_index_[rel] maps row -> VertexId.
+  // SoA edge columns; index is EdgeId.
+  std::vector<VertexId> edge_u_;
+  std::vector<VertexId> edge_v_;
+  std::vector<int> edge_pred_;
+  std::vector<double> edge_weight_;
+  std::vector<uint8_t> edge_color_;     // EdgeColor values.
+  std::vector<uint8_t> edge_is_crowd_;  // 0/1.
+  // vertex_index_[rel] maps row -> VertexId (interning only; decision paths
+  // use the flat columns).
   std::vector<std::unordered_map<int64_t, VertexId>> vertex_index_;
   std::vector<std::vector<VertexId>> relation_vertices_;
-  // incident_[v][p] lists edge ids of predicate p at vertex v.
-  std::vector<std::vector<std::vector<EdgeId>>> incident_;
-
-  static const std::vector<EdgeId> kEmptyEdgeList;
+  // vertex_rel_pos_[v] = index of v within relation_vertices_[vertex(v).rel].
+  std::vector<int32_t> vertex_rel_pos_;
+  // CSR incidence over (vertex, predicate) slots: edge ids for slot s live in
+  // incidence_edges_[incidence_offsets_[s] .. incidence_offsets_[s + 1]).
+  std::vector<uint32_t> incidence_offsets_;
+  std::vector<EdgeId> incidence_edges_;
+  bool finalized_ = false;
 };
 
 }  // namespace cdb

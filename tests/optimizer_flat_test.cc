@@ -1,0 +1,440 @@
+// Legacy-vs-flat byte-identity for the optimizer data layouts: the CSR
+// incidence index and SoA edge columns of QueryGraph, the cached
+// StructureCache selection skeletons (star buckets + Lemma-1 layer pairs),
+// the reusable FlowArena/Dinic scratch, and the SampleMinCutOrder fast path.
+// The legacy rebuild-per-call implementations are retained as the identity
+// oracle; every test here asserts the flat path reproduces them byte for
+// byte across join shapes, seeds, colorings, and thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util/metrics.h"
+#include "common/random.h"
+#include "cost/known_color.h"
+#include "cost/sampling.h"
+#include "cost/structure_cache.h"
+#include "cql/parser.h"
+#include "datagen/mini_example.h"
+#include "exec/executor.h"
+#include "flow/dinic.h"
+#include "flow/min_cut.h"
+#include "graph/query_graph.h"
+#include "graph/structure.h"
+#include "tests/test_util.h"
+
+namespace cdb {
+namespace {
+
+enum class Shape { kChain, kStar, kStarParallel, kTree, kCyclic };
+
+const Shape kAllShapes[] = {Shape::kChain, Shape::kStar, Shape::kStarParallel,
+                            Shape::kTree, Shape::kCyclic};
+
+const char* ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kChain:
+      return "chain";
+    case Shape::kStar:
+      return "star";
+    case Shape::kStarParallel:
+      return "star-parallel";
+    case Shape::kTree:
+      return "tree";
+    case Shape::kCyclic:
+      return "cyclic";
+  }
+  return "?";
+}
+
+// A random synthetic graph of the given relation-level shape: every
+// predicate gets a random bipartite edge set (density ~0.5) with weights in
+// [0.3, 0.95). Deterministic in (shape, seed, size).
+QueryGraph MakeShapeGraph(Shape shape, uint64_t seed, int size) {
+  std::vector<PredicateInfo> preds;
+  switch (shape) {
+    case Shape::kChain:
+      preds = {{true, false, 0, 1}, {true, false, 1, 2}, {true, false, 2, 3}};
+      break;
+    case Shape::kStar:
+      preds = {{true, false, 0, 1}, {true, false, 0, 2}, {true, false, 0, 3}};
+      break;
+    case Shape::kStarParallel:
+      // Two parallel predicates on the 0-1 pair exercise the multi-member
+      // units of the star rule. Parallel predicates collapse into one group,
+      // so three distinct leaves are needed to stay a star (two groups would
+      // classify as a chain).
+      preds = {{true, false, 0, 1},
+               {true, false, 0, 1},
+               {true, false, 0, 2},
+               {true, false, 0, 3}};
+      break;
+    case Shape::kTree:
+      preds = {{true, false, 0, 1},
+               {true, false, 1, 2},
+               {true, false, 2, 3},
+               {true, false, 2, 4}};
+      break;
+    case Shape::kCyclic:
+      preds = {{true, false, 0, 1}, {true, false, 1, 2}, {true, false, 2, 0}};
+      break;
+  }
+  Rng rng(seed, static_cast<uint64_t>(shape));
+  std::vector<QueryGraph::SyntheticEdge> edges;
+  for (int p = 0; p < static_cast<int>(preds.size()); ++p) {
+    bool any = false;
+    for (int a = 0; a < size; ++a) {
+      for (int b = 0; b < size; ++b) {
+        if (!rng.Bernoulli(0.5)) continue;
+        any = true;
+        edges.push_back({p, a, b, rng.Uniform(0.3, 0.95)});
+      }
+    }
+    // Every predicate needs at least one edge so the relation-level shape is
+    // the intended one.
+    if (!any) edges.push_back({p, 0, 0, rng.Uniform(0.3, 0.95)});
+  }
+  int num_rels = 0;
+  for (const PredicateInfo& info : preds) {
+    num_rels = std::max({num_rels, info.left_rel + 1, info.right_rel + 1});
+  }
+  return QueryGraph::MakeSynthetic(num_rels, preds, edges);
+}
+
+std::vector<EdgeColor> RandomFullColoring(const QueryGraph& graph, Rng& rng) {
+  std::vector<EdgeColor> colors(static_cast<size_t>(graph.num_edges()));
+  for (auto& c : colors) {
+    c = rng.Bernoulli(0.5) ? EdgeColor::kBlue : EdgeColor::kRed;
+  }
+  return colors;
+}
+
+TEST(ShapeGraphTest, ClassifiesAsIntended) {
+  auto classify = [](Shape shape) {
+    QueryGraph graph = MakeShapeGraph(shape, 7, 5);
+    return Classify(BuildRelGraph(graph));
+  };
+  EXPECT_EQ(classify(Shape::kChain), JoinStructure::kChain);
+  EXPECT_EQ(classify(Shape::kStar), JoinStructure::kStar);
+  EXPECT_EQ(classify(Shape::kStarParallel), JoinStructure::kStar);
+  EXPECT_EQ(classify(Shape::kTree), JoinStructure::kTree);
+  EXPECT_EQ(classify(Shape::kCyclic), JoinStructure::kCyclic);
+}
+
+// --- CSR incidence invariants -------------------------------------------
+
+// The CSR postings must reproduce the legacy nested-vector emission order:
+// per (vertex, predicate) slot, ascending edge id (AddEdge appended ids in
+// increasing order), and each edge appears in exactly its two endpoint
+// slots.
+TEST(QueryGraphFlatTest, CsrIncidenceMatchesLegacyEmissionOrder) {
+  for (Shape shape : kAllShapes) {
+    SCOPED_TRACE(ShapeName(shape));
+    QueryGraph graph = MakeShapeGraph(shape, 11, 6);
+    int64_t total_postings = 0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (int p = 0; p < graph.num_predicates(); ++p) {
+        // Brute-force expectation from the SoA columns, in edge-id order —
+        // the order the legacy incident_[v][p] push_backs produced.
+        std::vector<EdgeId> expected;
+        for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+          if (graph.edge_pred(e) != p) continue;
+          if (graph.edge_u(e) == v) expected.push_back(e);
+          if (graph.edge_v(e) == v) expected.push_back(e);
+        }
+        EdgeSpan span = graph.IncidentEdges(v, p);
+        ASSERT_EQ(std::vector<EdgeId>(span.begin(), span.end()), expected);
+        total_postings += static_cast<int64_t>(span.size());
+      }
+    }
+    EXPECT_EQ(total_postings, 2 * static_cast<int64_t>(graph.num_edges()));
+  }
+}
+
+TEST(QueryGraphFlatTest, AppendIncidentEdgesMatchesAllIncidentEdges) {
+  QueryGraph graph = MakeShapeGraph(Shape::kTree, 3, 6);
+  std::vector<EdgeId> buffer = {kNoEdge};  // Pre-existing content survives.
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    std::vector<EdgeId> fresh = graph.AllIncidentEdges(v);
+    // AllIncidentEdges is the concatenation over predicates.
+    std::vector<EdgeId> concat;
+    for (int p = 0; p < graph.num_predicates(); ++p) {
+      EdgeSpan span = graph.IncidentEdges(v, p);
+      concat.insert(concat.end(), span.begin(), span.end());
+    }
+    EXPECT_EQ(fresh, concat);
+    size_t before = buffer.size();
+    graph.AppendIncidentEdges(v, &buffer);
+    EXPECT_EQ(std::vector<EdgeId>(buffer.begin() + before, buffer.end()),
+              fresh);
+  }
+  EXPECT_EQ(buffer.front(), kNoEdge);
+}
+
+TEST(QueryGraphFlatTest, RelationPositionMatchesVertexLists) {
+  for (Shape shape : kAllShapes) {
+    QueryGraph graph = MakeShapeGraph(shape, 5, 6);
+    for (int rel = 0; rel < graph.num_relations(); ++rel) {
+      const std::vector<VertexId>& vs = graph.relation_vertices(rel);
+      for (size_t i = 0; i < vs.size(); ++i) {
+        EXPECT_EQ(graph.relation_position(vs[i]), static_cast<int32_t>(i));
+        EXPECT_EQ(graph.vertex(vs[i]).rel, rel);
+      }
+    }
+  }
+}
+
+TEST(QueryGraphFlatTest, SoAColumnsAgreeWithEdgeAccessor) {
+  QueryGraph graph = MakeShapeGraph(Shape::kCyclic, 17, 6);
+  graph.SetColor(0, EdgeColor::kRed);
+  graph.SetColor(1, EdgeColor::kBlue);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const GraphEdge& edge = graph.edge(e);
+    EXPECT_EQ(edge.u, graph.edge_u(e));
+    EXPECT_EQ(edge.v, graph.edge_v(e));
+    EXPECT_EQ(edge.pred, graph.edge_pred(e));
+    EXPECT_EQ(edge.weight, graph.edge_weight(e));
+    EXPECT_EQ(edge.color, graph.edge_color(e));
+    EXPECT_EQ(edge.is_crowd, graph.edge_is_crowd(e));
+    EXPECT_EQ(static_cast<EdgeColor>(graph.edge_colors()[e]), edge.color);
+    EXPECT_EQ(graph.edge_weights()[e], edge.weight);
+  }
+}
+
+// --- Known-color selection: cached vs legacy ----------------------------
+
+TEST(StructureCacheTest, SelectTasksKnownColorsMatchesLegacy) {
+  for (Shape shape : kAllShapes) {
+    SCOPED_TRACE(ShapeName(shape));
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      QueryGraph graph = MakeShapeGraph(shape, seed, 6);
+      StructureCache cache = StructureCache::Build(graph);
+      SelectionArena arena;
+      Rng rng(seed, 99);
+      for (int trial = 0; trial < 25; ++trial) {
+        std::vector<EdgeColor> colors = RandomFullColoring(graph, rng);
+        std::vector<EdgeId> legacy = SelectTasksKnownColors(graph, colors);
+        std::vector<EdgeId> cached;
+        SelectTasksKnownColors(graph, colors, cache, &arena, &cached);
+        ASSERT_EQ(cached, legacy)
+            << ShapeName(shape) << " seed=" << seed << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(StructureCacheTest, StarSelectionHoistedRelGraphMatchesWrapper) {
+  for (Shape shape : {Shape::kStar, Shape::kStarParallel}) {
+    QueryGraph graph = MakeShapeGraph(shape, 13, 6);
+    RelGraph rel_graph = BuildRelGraph(graph);
+    const int center = StarCenter(rel_graph);
+    ASSERT_GE(center, 0);
+    Rng rng(13, 7);
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<EdgeColor> colors = RandomFullColoring(graph, rng);
+      EXPECT_EQ(StarSelection(graph, rel_graph, center, colors),
+                StarSelection(graph, center, colors));
+    }
+  }
+}
+
+TEST(StructureCacheTest, StarCacheMatchesLegacyStarSelection) {
+  for (Shape shape : {Shape::kStar, Shape::kStarParallel}) {
+    SCOPED_TRACE(ShapeName(shape));
+    QueryGraph graph = MakeShapeGraph(shape, 21, 7);
+    RelGraph rel_graph = BuildRelGraph(graph);
+    const int center = StarCenter(rel_graph);
+    StarCache cache = BuildStarCache(graph, rel_graph, center);
+    Rng rng(21, 3);
+    std::vector<EdgeId> cached;
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<EdgeColor> colors = RandomFullColoring(graph, rng);
+      StarSelection(graph, cache, colors, &cached);
+      ASSERT_EQ(cached, StarSelection(graph, rel_graph, center, colors));
+    }
+  }
+}
+
+// The same arena reused across many colorings produces exactly what a fresh
+// arena produces — the reset-not-rebuild contract.
+TEST(StructureCacheTest, ArenaResetEqualsFresh) {
+  for (Shape shape : {Shape::kChain, Shape::kTree, Shape::kCyclic}) {
+    SCOPED_TRACE(ShapeName(shape));
+    QueryGraph graph = MakeShapeGraph(shape, 31, 6);
+    StructureCache cache = StructureCache::Build(graph);
+    SelectionArena reused;
+    Rng rng(31, 5);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<EdgeColor> colors = RandomFullColoring(graph, rng);
+      std::vector<EdgeId> from_reused;
+      SelectTasksKnownColors(graph, colors, cache, &reused, &from_reused);
+      SelectionArena fresh;
+      std::vector<EdgeId> from_fresh;
+      SelectTasksKnownColors(graph, colors, cache, &fresh, &from_fresh);
+      ASSERT_EQ(from_reused, from_fresh) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(StructureCacheTest, ChainMinCutCachedMatchesLegacyOrdering) {
+  for (Shape shape : {Shape::kChain, Shape::kTree, Shape::kCyclic}) {
+    SCOPED_TRACE(ShapeName(shape));
+    QueryGraph graph = MakeShapeGraph(shape, 41, 6);
+    RelGraph rel_graph = BuildRelGraph(graph);
+    ChainPlan plan = BuildChainPlan(graph);
+    MinCutCache cache = BuildMinCutCache(graph, rel_graph, plan);
+    FlowArena arena;
+    Rng rng(41, 9);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<EdgeColor> colors = RandomFullColoring(graph, rng);
+      ChainSelection legacy = ChainMinCutSelection(graph, plan, colors);
+      std::vector<EdgeId> cached;
+      ChainMinCutSelection(graph, cache, colors, &arena, &cached);
+      // The cached path emits blue-chain edges then cut edges — the exact
+      // AllEdges() order of the oracle.
+      ASSERT_EQ(cached, legacy.AllEdges()) << "trial=" << trial;
+    }
+  }
+}
+
+// --- Dinic reset-not-rebuild --------------------------------------------
+
+TEST(MaxFlowTest, ResetReusesBuffersWithIdenticalResults) {
+  // Two different small networks through one reused instance vs fresh ones.
+  auto build = [](MaxFlow& flow, int variant) {
+    const int s = flow.AddNode();
+    const int t = flow.AddNode();
+    const int a = flow.AddNode();
+    const int b = flow.AddNode();
+    flow.AddArc(s, a, 3);
+    flow.AddArc(s, b, variant == 0 ? 2 : 5);
+    flow.AddArc(a, b, 1);
+    flow.AddArc(a, t, 2);
+    flow.AddArc(b, t, 4);
+    return std::make_pair(s, t);
+  };
+  MaxFlow reused(0);
+  for (int variant : {0, 1, 0, 1}) {
+    reused.Reset(0);
+    auto [s, t] = build(reused, variant);
+    MaxFlow fresh(0);
+    auto [fs, ft] = build(fresh, variant);
+    EXPECT_EQ(reused.Compute(s, t), fresh.Compute(fs, ft));
+    EXPECT_EQ(reused.SourceSide(s), fresh.SourceSide(fs));
+  }
+}
+
+// --- Sampler: legacy vs flat, serial vs parallel ------------------------
+
+TEST(SamplerIdentityTest, LegacyVsFlatAcrossShapesSeedsThreads) {
+  for (Shape shape : kAllShapes) {
+    SCOPED_TRACE(ShapeName(shape));
+    for (uint64_t seed : {1u, 7u}) {
+      QueryGraph graph = MakeShapeGraph(shape, seed, 6);
+      // Pre-color a few edges so samples mix known and unknown colors.
+      if (graph.num_edges() >= 4) {
+        graph.SetColor(0, EdgeColor::kBlue);
+        graph.SetColor(graph.num_edges() / 2, EdgeColor::kRed);
+      }
+      std::vector<EdgeId> reference;
+      for (int threads : {1, 8}) {
+        SamplingOptions options;
+        options.num_samples = 40;
+        options.seed = seed * 1000 + 17;
+        options.num_threads = threads;
+        options.legacy_selection = true;
+        std::vector<EdgeId> legacy = SampleMinCutOrder(graph, options);
+        options.legacy_selection = false;
+        std::vector<EdgeId> flat = SampleMinCutOrder(graph, options);
+        ASSERT_EQ(flat, legacy) << "threads=" << threads << " seed=" << seed;
+        // A caller-built cache changes nothing.
+        StructureCache cache = StructureCache::Build(graph);
+        ASSERT_EQ(SampleMinCutOrder(graph, options, &cache), legacy);
+        if (threads == 1) {
+          reference = legacy;
+        } else {
+          ASSERT_EQ(legacy, reference) << "thread-count variance";
+        }
+      }
+    }
+  }
+}
+
+// --- Session-level identity ---------------------------------------------
+
+std::string ColorDump(const QueryGraph& graph) {
+  std::string out;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    switch (graph.edge(e).color) {
+      case EdgeColor::kBlue:
+        out += 'B';
+        break;
+      case EdgeColor::kRed:
+        out += 'R';
+        break;
+      default:
+        out += '?';
+        break;
+    }
+  }
+  return out;
+}
+
+ResolvedQuery ResolveQuery(const GeneratedDataset& ds, const std::string& cql) {
+  Statement stmt = ParseStatement(cql).value();
+  return AnalyzeSelect(std::get<SelectStatement>(stmt), ds.catalog).value();
+}
+
+// Full-pipeline identity: a session whose sampler runs the legacy
+// rebuild-per-sample selection ends in the same colors, answers, and round
+// structure as one on the cached flat path — clean and hostile crowds, 1
+// and 8 threads.
+TEST(SamplerIdentityTest, SessionColorOutcomesLegacyVsFlat) {
+  GeneratedDataset dataset = MakeMiniPaperExample();
+  ResolvedQuery query = ResolveQuery(dataset, kMiniExampleQuery);
+  EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+  for (bool hostile : {false, true}) {
+    SCOPED_TRACE(hostile ? "hostile" : "clean");
+    for (int threads : {1, 8}) {
+      ExecutorOptions options;
+      options.cost_method = CostMethod::kSampling;
+      options.sampling_samples = 30;
+      options.platform.worker_quality_mean = 0.85;
+      options.platform.redundancy = 3;
+      options.platform.seed = 99;
+      options.num_threads = threads;
+      options.graph.num_threads = threads;
+      if (hostile) {
+        FaultProfile& fault = options.platform.fault;
+        fault.abandon_prob = 0.25;
+        fault.straggler_prob = 0.2;
+        fault.straggler_delay_ticks = 6;
+        fault.duplicate_prob = 0.1;
+        fault.no_show_prob = 0.15;
+        fault.task_deadline_ticks = 8;
+      }
+
+      options.sampling_legacy_selection = true;
+      QuerySession legacy_session(&query, options, truth);
+      ExecutionResult legacy = legacy_session.RunToCompletion().value();
+      std::string legacy_colors = ColorDump(legacy_session.graph());
+
+      options.sampling_legacy_selection = false;
+      QuerySession flat_session(&query, options, truth);
+      ExecutionResult flat = flat_session.RunToCompletion().value();
+
+      EXPECT_EQ(ColorDump(flat_session.graph()), legacy_colors);
+      EXPECT_EQ(flat.answers, legacy.answers);
+      EXPECT_EQ(flat.stats.tasks_asked, legacy.stats.tasks_asked);
+      EXPECT_EQ(flat.stats.rounds, legacy.stats.rounds);
+      EXPECT_EQ(flat.stats.round_sizes, legacy.stats.round_sizes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

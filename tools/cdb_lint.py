@@ -595,20 +595,32 @@ def check_wallclock(path: str, text: str) -> List[Finding]:
 # --------------------------------------------------------------------------
 # Rule: flat-index-hot-path
 # --------------------------------------------------------------------------
-# The similarity-join hot paths are flat: CSR posting lists plus dense-id
-# arenas (similarity/csr_index.h), probed by bounds arithmetic and linear
-# scans. A hash lookup (find/count/at/operator[]) on an unordered container
-# inside src/similarity/ is either a probe-loop regression or a deliberate
-# build/encode-phase use — the latter carries a reasoned
+# The per-record and per-sample hot paths are flat: CSR posting lists plus
+# dense-id arenas in the similarity joins (similarity/csr_index.h), and SoA
+# edge columns / CSR incidence / cached selection skeletons in the optimizer
+# (graph/query_graph.h, cost/structure_cache.h, flow/min_cut.h), probed by
+# bounds arithmetic and linear scans. A hash lookup (find/count/at/
+# operator[]) on an unordered container inside these directories is either a
+# probe/sample-loop regression or a deliberate build/encode-phase use — the
+# latter carries a reasoned
 # `// cdb-lint: disable=flat-index-hot-path <why>` comment.
 
-SIMILARITY_DIR = "src/similarity"
+FLAT_INDEX_DIRS = {
+    "src/similarity": "probe loops are flat (CSR postings + dense-id "
+                      "arenas, see similarity/csr_index.h)",
+    "src/cost": "per-sample selection loops are flat (SoA edge columns + "
+                "cached skeletons, see cost/structure_cache.h)",
+    "src/flow": "per-sample flow loops are flat (CSR adjacency + reusable "
+                "arenas, see flow/min_cut.h)",
+}
 UNORDERED_LOOKUP_RE = re.compile(r"\b(\w+)\s*(?:\.\s*(?:find|count|at)\s*\(|\[)")
 
 
 def check_flat_index_hot_path(path: str, text: str) -> List[Finding]:
     norm = path.replace(os.sep, "/")
-    if not norm.startswith(SIMILARITY_DIR + "/"):
+    hint = next((why for d, why in FLAT_INDEX_DIRS.items()
+                 if norm.startswith(d + "/")), None)
+    if hint is None:
         return []
     names = _unordered_names(text)
     if not names:
@@ -622,9 +634,8 @@ def check_flat_index_hot_path(path: str, text: str) -> List[Finding]:
                 findings.append(Finding(
                     path, lineno, "flat-index-hot-path",
                     f"hash lookup on unordered container '{m.group(1)}' in "
-                    "src/similarity/; probe loops are flat (CSR postings + "
-                    "dense-id arenas, see similarity/csr_index.h) — use the "
-                    "flat structures, or justify a build-phase lookup with "
+                    f"{os.path.dirname(norm)}/; {hint} — use the flat "
+                    "structures, or justify a build-phase lookup with "
                     "// cdb-lint: disable=flat-index-hot-path <reason>"))
                 break
     return findings
@@ -901,11 +912,29 @@ SELF_TEST_CASES = [
     ("vector subscript is fine", "src/similarity/join.cc",
      "std::vector<int> postings;\nint x = postings[0];\n",
      "flat-index-hot-path", False),
-    ("unordered lookup outside similarity", "src/graph/g.cc",
+    ("unordered lookup outside flat-index dirs", "src/graph/g.cc",
      "std::unordered_map<int, int> cache;\nauto it = cache.find(k);\n",
      "flat-index-hot-path", False),
     ("declaration alone is fine", "src/similarity/join.cc",
      "std::unordered_map<std::string, int> ids;\nids.reserve(100);\n",
+     "flat-index-hot-path", False),
+    ("hash find in cost sample loop", "src/cost/sampling.cc",
+     "std::unordered_map<int64_t, double> memo;\n"
+     "auto it = memo.find(key);\n",
+     "flat-index-hot-path", True),
+    ("hash subscript in flow layering", "src/flow/min_cut.cc",
+     "std::unordered_map<int, int> pos;\nint i = pos[v];\n",
+     "flat-index-hot-path", True),
+    ("unordered_set count in flow", "src/flow/dinic.cc",
+     "std::unordered_set<int> seen;\nif (seen.count(v)) return;\n",
+     "flat-index-hot-path", True),
+    ("suppressed cache-build lookup in cost", "src/cost/structure_cache.cc",
+     "std::unordered_map<int, int> ids;\n"
+     "auto it = ids.find(k);  "
+     "// cdb-lint: disable=flat-index-hot-path one-time cache build\n",
+     "flat-index-hot-path", False),
+    ("flat vectors in cost are fine", "src/cost/expectation.cc",
+     "std::vector<double> memo;\ndouble v = memo[key];\n",
      "flat-index-hot-path", False),
 
     ("raw std::mutex member in src", "src/exec/e.h",

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compares a freshly generated BENCH_optimizer.json against the checked-in one.
+
+The graphs and sampler orderings are deterministic in the workload seeds, so
+the edge counts, ordering lengths, and ordering checksums must match the
+golden file exactly — any drift means the sampler or a selection path changed
+behavior. The legacy and flat checksums must also agree within the fresh run:
+that is the cached-structures identity contract measured end to end.
+Wall-clock numbers are machine-dependent, so only the flat-vs-legacy *ratio*
+is compared: the fresh speedup may not regress more than --tolerance below
+the golden speedup, and the headline large-chain workload must keep a floor
+speedup regardless of the golden value.
+
+Usage:
+  tools/check_bench_optimizer.py --golden BENCH_optimizer.json --fresh fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+COUNTERS = ("edges", "order_len", "checksum_legacy", "checksum_flat")
+HEADLINE = "chain_4rel_midblue_120"
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "cdb-bench-optimizer-v1":
+        raise SystemExit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--golden", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup regression")
+    parser.add_argument("--min-headline-speedup", type=float, default=5.0,
+                        help="hard floor for the large-chain speedup")
+    args = parser.parse_args()
+
+    golden = load(args.golden)
+    fresh = load(args.fresh)
+    errors = []
+
+    if set(golden) != set(fresh):
+        errors.append(f"workload sets differ: golden={sorted(golden)} "
+                      f"fresh={sorted(fresh)}")
+
+    for name in sorted(set(golden) & set(fresh)):
+        g, f = golden[name], fresh[name]
+        for counter in COUNTERS:
+            gv, fv = g[counter], f[counter]
+            if gv != fv:
+                errors.append(f"{name}/{counter}: golden {gv!r} != fresh "
+                              f"{fv!r} (deterministic value drifted — the "
+                              f"sampler or a selection path changed behavior)")
+        # The identity contract, measured on the fresh run: the legacy
+        # rebuild-per-sample path and the cached flat path must produce the
+        # same ordering byte for byte.
+        if f["checksum_legacy"] != f["checksum_flat"]:
+            errors.append(f"{name}: legacy and flat orderings diverged "
+                          f"({f['checksum_legacy']} vs {f['checksum_flat']})")
+        # Perf ratio: tolerate noise, fail real regressions. Small-graph
+        # workloads carry little ratio signal — counters gate them above.
+        if g["speedup_flat_over_legacy"] < 1.5:
+            continue
+        floor = g["speedup_flat_over_legacy"] * (1.0 - args.tolerance)
+        got = f["speedup_flat_over_legacy"]
+        if got < floor:
+            errors.append(f"{name}: speedup regressed: fresh {got:.2f}x < "
+                          f"{floor:.2f}x (golden "
+                          f"{g['speedup_flat_over_legacy']:.2f}x "
+                          f"- {args.tolerance:.0%})")
+
+    if HEADLINE in fresh:
+        got = fresh[HEADLINE]["speedup_flat_over_legacy"]
+        if got < args.min_headline_speedup:
+            errors.append(f"{HEADLINE}: headline speedup {got:.2f}x below the "
+                          f"{args.min_headline_speedup:.1f}x floor")
+
+    if errors:
+        for error in errors:
+            print(f"check_bench_optimizer: {error}", file=sys.stderr)
+        return 1
+    print(f"check_bench_optimizer: OK ({len(fresh)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
