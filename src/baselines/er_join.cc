@@ -5,57 +5,18 @@
 
 #include "common/logging.h"
 #include "exec/session.h"
+#include "graph/propagation.h"
 #include "quality/truth_inference.h"
 
 namespace cdb {
-namespace {
 
-// Union-find over vertex ids with a list of cluster-level non-match facts
-// (kept as original vertex pairs; roots are resolved lazily).
-class ClusterState {
- public:
-  explicit ClusterState(int num_vertices) : parent_(num_vertices) {
-    for (int i = 0; i < num_vertices; ++i) parent_[i] = i;
-  }
-
-  int Find(int x) {
-    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
-    return x;
-  }
-
-  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
-
-  bool SameCluster(int a, int b) { return Find(a) == Find(b); }
-
-  void AddNonMatch(VertexId a, VertexId b) { non_matches_.push_back({a, b}); }
-
-  // Snapshots the non-match facts at current cluster roots. Unions only
-  // happen between rounds, so a per-round snapshot makes KnownNonMatch an
-  // O(1) hash probe instead of a scan over all recorded facts.
-  void SnapshotNonMatches() {
-    non_match_keys_.clear();
-    for (const auto& [x, y] : non_matches_) {
-      non_match_keys_.insert(RootKey(Find(x), Find(y)));
-    }
-  }
-
-  bool KnownNonMatch(VertexId a, VertexId b) {
-    return non_match_keys_.count(RootKey(Find(a), Find(b))) > 0;
-  }
-
- private:
-  static uint64_t RootKey(int ra, int rb) {
-    if (ra > rb) std::swap(ra, rb);
-    return (static_cast<uint64_t>(static_cast<uint32_t>(ra)) << 32) |
-           static_cast<uint32_t>(rb);
-  }
-
-  std::vector<int> parent_;
-  std::vector<std::pair<VertexId, VertexId>> non_matches_;
-  std::unordered_set<uint64_t> non_match_keys_;
-};
-
-}  // namespace
+// Cluster bookkeeping lives in MatchClusters (graph/propagation.h), shared
+// with the executor's answer-propagation layer. Its non-match facts are
+// keyed at current cluster roots and re-rooted inside Union(), which retires
+// the old per-round SnapshotNonMatches step: facts snapshotted at
+// round-start roots went stale the moment a union re-rooted a cluster, so a
+// KnownNonMatch probe could miss a deducible non-match and re-ask (or batch)
+// the pair.
 
 const char* ErMethodName(ErMethod method) {
   return method == ErMethod::kTrans ? "Trans" : "ACD";
@@ -106,7 +67,7 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
       return graph_.edge(a).weight > graph_.edge(b).weight;
     });
 
-    ClusterState clusters(graph_.num_vertices());
+    MatchClusters clusters(graph_.num_vertices());
     size_t next = 0;
     while (next < pairs.size()) {
       // One ER round: walk the remaining pairs in order; infer what we can;
@@ -115,7 +76,6 @@ Result<ExecutionResult> ErJoinExecutor::Run() {
       std::vector<EdgeId> batch;
       std::unordered_set<int64_t> clusters_in_batch;
       std::vector<EdgeId> deferred;
-      clusters.SnapshotNonMatches();
       for (size_t i = next; i < pairs.size(); ++i) {
         EdgeId e = pairs[i];
         const GraphEdge& edge = graph_.edge(e);

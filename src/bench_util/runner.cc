@@ -91,6 +91,7 @@ Result<ExecutionResult> RunOnce(Method method, const ResolvedQuery& query,
       options.sampling_samples = config.sampling_samples;
       options.budget = config.budget;
       options.round_limit = config.round_limit;
+      options.propagation = config.propagation;
       options.num_threads = config.num_threads;
       options.graph.num_threads = config.num_threads;
       options.metrics = config.metrics;

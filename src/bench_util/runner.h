@@ -44,6 +44,10 @@ struct RunConfig {
   std::optional<int64_t> budget;
   std::optional<int> round_limit;
   uint64_t seed = 1;
+  // Answer propagation (CDB family only): deduce colors by transitive
+  // closure between rounds instead of asking the crowd. Off by default so
+  // existing benches keep the legacy task counts.
+  PropagationOptions propagation;
   // Optimizer thread count (<= 0 = all hardware threads, 1 = serial); metric
   // outputs are bit-identical either way, only selection_ms moves.
   int num_threads = 0;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <variant>
 
 #include "bench_util/metrics.h"
 #include "cql/parser.h"
 #include "datagen/mini_example.h"
+#include "graph/propagation.h"
 #include "graph/pruning.h"
 
 namespace cdb {
@@ -39,6 +41,7 @@ Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
   options.num_threads = config.num_threads;
   options.budget = config.budget;
   options.retry = config.retry;
+  options.propagation = config.propagation;
   options.platform.seed = config.seed;
   options.platform.num_workers = config.num_workers;
   options.platform.redundancy = config.redundancy;
@@ -163,6 +166,48 @@ Result<SimCrowdReport> RunSimCrowd(const SimCrowdConfig& config) {
   if (unique_total > ps.answers_collected + ps.late_answers) {
     Violate(v, FormatInt("unique observations exceed deliveries", unique_total,
                          ps.answers_collected + ps.late_answers));
+  }
+
+  // --- Cluster consistency (answer propagation): rebuild every predicate's
+  // match clusters from the crowd-evidenced colors alone and check each
+  // deduced color against them — no pair may end up both matched and
+  // non-matched. Noise-free crowds only: noisy majority votes can already be
+  // mutually inconsistent before any deduction happens. ---
+  if (config.propagation.enabled && config.worker_quality_mean == 1.0 &&
+      config.worker_quality_stddev == 0.0) {
+    const QuerySession& session = executor.session();
+    std::map<int, MatchClusters> domains;
+    auto domain = [&](int pred) -> MatchClusters& {
+      return domains.try_emplace(pred, graph.num_vertices()).first->second;
+    };
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const GraphEdge& edge = graph.edge(e);
+      if (!edge.is_crowd ||
+          session.edge_provenance(e) != EdgeProvenance::kAsked) {
+        continue;
+      }
+      if (edge.color == EdgeColor::kBlue) {
+        domain(edge.pred).Union(edge.u, edge.v);
+      } else if (edge.color == EdgeColor::kRed) {
+        domain(edge.pred).AddNonMatch(edge.u, edge.v);
+      }
+    }
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const GraphEdge& edge = graph.edge(e);
+      if (!edge.is_crowd ||
+          session.edge_provenance(e) != EdgeProvenance::kDeduced) {
+        continue;
+      }
+      MatchClusters& d = domain(edge.pred);
+      if (edge.color == EdgeColor::kBlue && !d.SameCluster(edge.u, edge.v)) {
+        Violate(v, FormatInt("deduced match outside its cluster", e, 0));
+      }
+      if (edge.color == EdgeColor::kRed &&
+          (d.SameCluster(edge.u, edge.v) ||
+           !d.KnownNonMatch(edge.u, edge.v))) {
+        Violate(v, FormatInt("deduced non-match contradicts clusters", e, 0));
+      }
+    }
   }
 
   return report;

@@ -39,6 +39,7 @@ struct SimCrowdConfig {
   int num_threads = 1;              // Optimizer threads (EM, sampling).
   std::optional<int64_t> budget;    // Budget-aware mode (Section 5.1.3).
   RetryOptions retry;               // Requester-side repost policy.
+  PropagationOptions propagation;   // Answer-propagation deduction layer.
   // Observability sinks (borrowed, may be null): the determinism tests point
   // these at a registry/tracer and byte-compare MetricsDump()/DumpJson()
   // across thread counts, exactly like stats_dump/color_dump.

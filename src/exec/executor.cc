@@ -20,4 +20,9 @@ const QueryGraph& CdbExecutor::graph() const {
   return session_->graph();
 }
 
+const QuerySession& CdbExecutor::session() const {
+  CDB_CHECK_MSG(session_ != nullptr, "session() before Run()");
+  return *session_;
+}
+
 }  // namespace cdb

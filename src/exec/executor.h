@@ -38,6 +38,10 @@ class CdbExecutor {
   // The graph after Run() — e.g. for inspecting colors in tests.
   const QueryGraph& graph() const;
 
+  // The session after Run() — e.g. for inspecting edge provenance when the
+  // answer-propagation layer is enabled.
+  const QuerySession& session() const;
+
  private:
   const ResolvedQuery* query_;
   ExecutorOptions options_;

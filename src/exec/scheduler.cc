@@ -85,6 +85,7 @@ MultiQueryScheduler::MultiQueryScheduler(const MultiQueryOptions& options)
     metrics_.dedup_hits = &reg.counter("scheduler.dedup_hits");
     metrics_.cache_hits = &reg.counter("scheduler.cache_hits");
     metrics_.budget_denied = &reg.counter("scheduler.budget_denied");
+    metrics_.dedup_tasks_saved = &reg.counter("scheduler.dedup_tasks_saved");
   }
   platform_ = std::make_unique<CrowdPlatform>(
       options_.platform,
@@ -157,12 +158,27 @@ TaskId MultiQueryScheduler::ResolveGlobal(size_t session, const Task& task,
   return g;
 }
 
+bool MultiQueryScheduler::SkipDeducedFanout(size_t session, TaskId global,
+                                            TaskId local) {
+  // A session that already deduced this edge's color from transitive closure
+  // no longer needs the shared answers: delivering them anyway would either
+  // be ignored or promote the edge back into the reconcile path one answer
+  // at a time. The answers stay cached for other subscribers.
+  if (!sessions_[session]->HoldsDeducedColorFor(local)) return false;
+  if (deduced_fanout_counted_.insert({global, session}).second) {
+    ++stats_.dedup_tasks_saved;
+    Bump(metrics_.dedup_tasks_saved);
+  }
+  return true;
+}
+
 void MultiQueryScheduler::RouteLateAnswers() {
   for (const Answer& answer : platform_->TakeLateAnswers()) {
     answer_cache_[answer.task].push_back(answer);
     auto it = subscribers_.find(answer.task);
     if (it == subscribers_.end()) continue;
     for (const auto& [j, local] : it->second) {
+      if (SkipDeducedFanout(j, answer.task, local)) continue;
       Answer translated = answer;
       translated.task = local;
       pending_late_[j].push_back(translated);
@@ -202,6 +218,7 @@ Result<std::vector<Answer>> MultiQueryScheduler::DirectPublish(
     auto it = subscribers_.find(answer.task);
     if (it == subscribers_.end()) continue;
     for (const auto& [j, local] : it->second) {
+      if (j != session && SkipDeducedFanout(j, answer.task, local)) continue;
       Answer translated = answer;
       translated.task = local;
       if (j == session) {
@@ -299,6 +316,7 @@ Result<std::vector<ExecutionResult>> MultiQueryScheduler::RunAll() {
         auto it = subscribers_.find(answer.task);
         if (it == subscribers_.end()) continue;
         for (const auto& [j, local] : it->second) {
+          if (SkipDeducedFanout(j, answer.task, local)) continue;
           Answer translated = answer;
           translated.task = local;
           if (sessions_[j]->waiting_for_answers()) {

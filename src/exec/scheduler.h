@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,6 +63,11 @@ struct MultiQueryStats {
   int64_t dedup_hits = 0;       // Asks served by a same-round identical ask.
   int64_t cache_hits = 0;       // Asks served from an earlier round's answers.
   int64_t budget_denied = 0;    // Asks dropped by the global ledger.
+  // Shared tasks whose answer fan-out was skipped because the subscriber
+  // session had already deduced that edge's color (answer propagation):
+  // counted once per (task, session), instead of double-charging the ledger
+  // with an answer the session can no longer use.
+  int64_t dedup_tasks_saved = 0;
 };
 
 // Thread affinity: driver-serial. The scheduler, its sessions, and the
@@ -110,6 +116,10 @@ class MultiQueryScheduler {
   // Drains the shared platform's late answers into per-session queues.
   void RouteLateAnswers();
   TaskTruth GlobalTaskTruth(const Task& task) const;
+  // True (and counted, once per (global, session)) when fan-out of an answer
+  // for global task `global` to session `session` should be skipped because
+  // the session already deduced local edge `local`'s color.
+  bool SkipDeducedFanout(size_t session, TaskId global, TaskId local);
 
   // Cached registry handles mirroring stats_ (null when metrics disabled).
   struct SchedulerMetrics {
@@ -120,6 +130,7 @@ class MultiQueryScheduler {
     Counter* dedup_hits = nullptr;
     Counter* cache_hits = nullptr;
     Counter* budget_denied = nullptr;
+    Counter* dedup_tasks_saved = nullptr;
   };
 
   MultiQueryOptions options_;
@@ -143,6 +154,9 @@ class MultiQueryScheduler {
   // Per-session queues of translated out-of-band answers / dead letters.
   std::vector<std::vector<Answer>> pending_late_;
   std::vector<std::vector<TaskId>> pending_dead_;
+  // (global task, session) pairs already counted under dedup_tasks_saved, so
+  // each redundant answer stream is a single saving, not one per answer.
+  std::set<std::pair<TaskId, size_t>> deduced_fanout_counted_;
 };
 
 }  // namespace cdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -134,6 +135,9 @@ QuerySession::QuerySession(const ResolvedQuery* query,
     metrics_.recolored_edges = &reg.counter("session.recolored_edges");
     metrics_.fallback_colored = &reg.counter("session.fallback_colored");
     metrics_.dedup_tasks_saved = &reg.counter("session.dedup_tasks_saved");
+    metrics_.deduced_edges = &reg.counter("session.deduced_edges");
+    metrics_.deduction_invalidations =
+        &reg.counter("session.deduction_invalidations");
     metrics_.round_size = &reg.histogram("session.round_size");
   }
   policy_ = assigner_.AsPolicy();
@@ -247,6 +251,9 @@ Result<bool> QuerySession::StepBuildGraph() {
   }
   CDB_ASSIGN_OR_RETURN(graph_, QueryGraph::Build(*query_, graph_options));
   pruner_.emplace(&graph_);
+  edge_provenance_.assign(static_cast<size_t>(graph_.num_edges()),
+                          static_cast<uint8_t>(EdgeProvenance::kNone));
+  if (options_.propagation.enabled) deduction_.emplace(&graph_);
 
   // Golden warm-up (Appendix E): estimate worker qualities from known-truth
   // tasks before any query task is assigned.
@@ -317,6 +324,11 @@ Result<bool> QuerySession::StepSelectTasks() {
         ordered_.push_back(e);
       }
     }
+  }
+  // Deduction-aware ordering hook: the base cost-control order breaks ties;
+  // asks that stand to resolve the most other edges move to the front.
+  if (options_.propagation.enabled && options_.propagation.expected_yield_order) {
+    ReorderByDeductionYield();
   }
   result_.stats.selection_ms += timer.ElapsedMs();
 
@@ -465,11 +477,21 @@ Result<bool> QuerySession::StepInfer() {
 }
 
 Result<bool> QuerySession::StepColor() {
+  const bool propagate = options_.propagation.enabled;
+  // Crowd-evidenced edges first: their colors are the facts the deduction
+  // domains fold in before anything is deduced from them.
+  std::vector<EdgeId> answerless;
   for (EdgeId e : round_edges_) {
     int truth_choice = inference_.Truth(e);
+    if (propagate && truth_choice < 0) {
+      answerless.push_back(e);
+      continue;
+    }
     EdgeColor color;
+    EdgeProvenance provenance;
     if (truth_choice >= 0) {
       color = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+      provenance = EdgeProvenance::kAsked;
     } else {
       // Graceful degradation: no answers ever arrived for this edge (task
       // starved or budget exhausted mid-round). Color by the
@@ -479,9 +501,34 @@ Result<bool> QuerySession::StepColor() {
       Bump(metrics_.fallback_colored);
       color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
                                            : EdgeColor::kRed;
+      provenance = EdgeProvenance::kFallback;
     }
     graph_.SetColor(e, color);
+    edge_provenance_[static_cast<size_t>(e)] = static_cast<uint8_t>(provenance);
+    if (propagate) deduction_->Observe(e, color);
   }
+  // Answerless round edges (starved, budget-denied, dedup-dropped): this
+  // round's answers may already imply their color, which beats the
+  // similarity-prior fallback. A deduced color keeps kDeduced provenance —
+  // the edge was published, so a late answer for it can still arrive and
+  // promote it to crowd evidence (ReconcileLate).
+  for (EdgeId e : answerless) {
+    EdgeColor color = deduction_->Deduce(e);
+    EdgeProvenance provenance;
+    if (color != EdgeColor::kUnknown) {
+      provenance = EdgeProvenance::kDeduced;
+      ++result_.stats.deduced_edges;
+      Bump(metrics_.deduced_edges);
+    } else {
+      ++result_.stats.fallback_colored;
+      Bump(metrics_.fallback_colored);
+      color = graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue : EdgeColor::kRed;
+      provenance = EdgeProvenance::kFallback;
+    }
+    graph_.SetColor(e, color);
+    edge_provenance_[static_cast<size_t>(e)] = static_cast<uint8_t>(provenance);
+  }
+  if (propagate) PropagateDeductions();
   result_.stats.tasks_asked += static_cast<int64_t>(round_edges_.size());
   result_.stats.round_sizes.push_back(static_cast<int64_t>(round_edges_.size()));
   ++result_.stats.rounds;
@@ -507,6 +554,28 @@ Result<bool> QuerySession::StepPrune() {
 Result<bool> QuerySession::Finish() {
   // Fold in any straggler answers still in flight after the last round.
   ReconcileLate();
+  // A terminal invalidate-and-rederive can leave edges uncolored (their
+  // deduction's premise flipped) with no further round to re-ask them. In
+  // unbounded runs the propagation-off executor terminates with every valid
+  // edge colored; keep that invariant by closing the stragglers with the
+  // similarity-prior fallback. Bounded runs (budget / round limit) may
+  // legitimately end partially colored either way.
+  if (options_.propagation.enabled && !options_.budget &&
+      !options_.round_limit) {
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (!graph_.edge_is_crowd(e) ||
+          graph_.edge_color(e) != EdgeColor::kUnknown ||
+          !pruner_->EdgeValid(e)) {
+        continue;
+      }
+      ++result_.stats.fallback_colored;
+      Bump(metrics_.fallback_colored);
+      graph_.SetColor(e, graph_.edge(e).weight >= 0.5 ? EdgeColor::kBlue
+                                                      : EdgeColor::kRed);
+      edge_provenance_[static_cast<size_t>(e)] =
+          static_cast<uint8_t>(EdgeProvenance::kFallback);
+    }
+  }
   ExecutionStats& stats = result_.stats;
   std::sort(stats.starved_task_ids.begin(), stats.starved_task_ids.end());
   stats.starved_task_ids.erase(
@@ -581,6 +650,15 @@ void QuerySession::ReconcileLate() {
     int truth_choice = inference.Truth(e);
     if (truth_choice < 0) continue;
     EdgeColor want = truth_choice == 0 ? EdgeColor::kBlue : EdgeColor::kRed;
+    // Crowd evidence arrived for a color that had none: the deduced (or
+    // prior-guessed) color is now backed — or contradicted — by real
+    // answers. Either way the edge becomes crowd-evidenced.
+    if (edge_provenance_[static_cast<size_t>(e)] !=
+        static_cast<uint8_t>(EdgeProvenance::kAsked)) {
+      edge_provenance_[static_cast<size_t>(e)] =
+          static_cast<uint8_t>(EdgeProvenance::kAsked);
+      if (edge.color == want) continue;
+    }
     if (graph_.edge(e).color != want) {
       graph_.RecolorEdge(e, want);
       ++result_.stats.recolored_edges;
@@ -588,7 +666,91 @@ void QuerySession::ReconcileLate() {
       flipped = true;
     }
   }
-  if (flipped) pruner_->Recompute();
+  if (flipped) {
+    // Every deduced color is a theorem over the crowd-evidenced ones; a flip
+    // withdraws a premise, so the whole closure is invalidated and
+    // re-derived rather than patched edge by edge.
+    if (options_.propagation.enabled) RebuildDeductions();
+    pruner_->Recompute();
+  }
+}
+
+bool QuerySession::HoldsDeducedColorFor(TaskId task) const {
+  if (task < 0 || static_cast<size_t>(task) >= edge_provenance_.size()) {
+    return false;
+  }
+  return edge_provenance_[static_cast<size_t>(task)] ==
+         static_cast<uint8_t>(EdgeProvenance::kDeduced);
+}
+
+void QuerySession::PropagateDeductions() {
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (!graph_.edge_is_crowd(e) ||
+        graph_.edge_color(e) != EdgeColor::kUnknown) {
+      continue;
+    }
+    EdgeColor color = deduction_->Deduce(e);
+    if (color == EdgeColor::kUnknown) continue;
+    graph_.SetColor(e, color);
+    edge_provenance_[static_cast<size_t>(e)] =
+        static_cast<uint8_t>(EdgeProvenance::kDeduced);
+    ++result_.stats.deduced_edges;
+    Bump(metrics_.deduced_edges);
+  }
+}
+
+void QuerySession::RebuildDeductions() {
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (edge_provenance_[static_cast<size_t>(e)] !=
+        static_cast<uint8_t>(EdgeProvenance::kDeduced)) {
+      continue;
+    }
+    graph_.UncolorEdge(e);
+    edge_provenance_[static_cast<size_t>(e)] =
+        static_cast<uint8_t>(EdgeProvenance::kNone);
+    ++result_.stats.deduction_invalidations;
+    Bump(metrics_.deduction_invalidations);
+  }
+  deduction_->Reset();
+  // Ascending re-observation rebuilds the same partition and fact set as any
+  // other order would (both are order-independent in the observed set).
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    if (edge_provenance_[static_cast<size_t>(e)] ==
+        static_cast<uint8_t>(EdgeProvenance::kAsked)) {
+      deduction_->Observe(e, graph_.edge_color(e));
+    }
+  }
+  PropagateDeductions();
+}
+
+void QuerySession::ReorderByDeductionYield() {
+  if (ordered_.size() < 2) return;
+  // yield(e) = the number of still-askable edges between e's endpoint
+  // clusters, e included: any answer for e resolves them all (a blue answer
+  // merges the clusters and transitivity colors the rest blue; a red answer
+  // records the non-match fact and anti-transitivity colors them red).
+  // A duplicate — a second edge of a cluster pair that already has an
+  // earlier ask in the order — has an expected yield of ~0: its pair's
+  // representative resolves it by transitivity before its turn comes. So the
+  // re-rank demotes duplicates behind every representative and otherwise
+  // preserves the cost-control order (which already minimizes expected asks
+  // per edge); the representative of each pair carries the pair's whole
+  // yield. By the time the batcher reaches the deferred duplicates, their
+  // pair's answer has usually arrived and deduction colors them for free.
+  std::set<std::tuple<int, int32_t, int32_t>> represented;
+  std::vector<EdgeId> reordered;
+  reordered.reserve(ordered_.size());
+  std::vector<EdgeId> deferred;
+  for (EdgeId e : ordered_) {
+    auto [ra, rb] = deduction_->ClusterPair(e);
+    if (represented.insert({graph_.edge_pred(e), ra, rb}).second) {
+      reordered.push_back(e);
+    } else {
+      deferred.push_back(e);
+    }
+  }
+  reordered.insert(reordered.end(), deferred.begin(), deferred.end());
+  ordered_.swap(reordered);
 }
 
 std::string QuerySession::EdgeValueString(VertexId v, int pred) const {

@@ -45,6 +45,7 @@
 #include "cql/analyzer.h"
 #include "crowd/platform.h"
 #include "graph/candidates.h"
+#include "graph/propagation.h"
 #include "graph/pruning.h"
 #include "graph/query_graph.h"
 #include "latency/scheduler.h"
@@ -76,6 +77,32 @@ struct RetryOptions {
   int64_t backoff_max_ticks = 64;  // capped here.
 };
 
+// Answer propagation (ROADMAP item 3; graph/propagation.h): fold each
+// round's crowd-evidenced colors into per-predicate match clusters and
+// deduce still-unknown edges by transitivity/anti-transitivity before the
+// next selection runs, so deducible edges are never published. Off by
+// default: the propagation-off executor is byte-identical to the pre-
+// propagation one.
+struct PropagationOptions {
+  bool enabled = false;
+  // Re-rank each round's candidate tasks by expected deduction yield (the
+  // number of still-askable edges one answer for the task resolves — the
+  // expected-optimal labeling-order heuristic), descending, stable over the
+  // base cost-control order. Only read when `enabled` is set.
+  bool expected_yield_order = true;
+};
+
+// How an edge's current color came to be (answer-propagation bookkeeping).
+// Only kAsked colors feed the deduction domains: fallback colors are
+// similarity-prior guesses, and treating a guess as a fact could merge two
+// clusters a crowd answer separated.
+enum class EdgeProvenance : uint8_t {
+  kNone = 0,      // Uncolored, or a born-colored traditional edge.
+  kAsked = 1,     // Crowd evidence (truth inference over real answers).
+  kDeduced = 2,   // Transitive/anti-transitive deduction; no crowd evidence.
+  kFallback = 3,  // Similarity-prior fallback; no crowd evidence either.
+};
+
 struct ExecutorOptions {
   CostMethod cost_method = CostMethod::kExpectation;
   bool quality_control = false;  // CDB+: EM inference + entropy assignment.
@@ -104,6 +131,7 @@ struct ExecutorOptions {
   std::optional<int64_t> budget;     // Budget-aware mode (Section 5.1.3).
   std::optional<int> round_limit;    // Figure-22 latency constraint.
   RetryOptions retry;                // Timeout/repost policy under faults.
+  PropagationOptions propagation;    // Transitive deduction (off = legacy).
   // Observability sinks (borrowed, may be null = disabled). Propagated into
   // the owned platform/markets; the session itself emits `session.*` metrics
   // and one tick-keyed span per Step().
@@ -163,6 +191,12 @@ struct ExecutionStats {
   // Tasks this session wanted that MultiQueryScheduler served from another
   // session's identical ask instead of publishing again (0 standalone).
   int64_t dedup_tasks_saved = 0;
+  // Answer propagation (0 with propagation off): edges colored by
+  // transitive/anti-transitive deduction instead of a crowd ask, and deduced
+  // colors invalidated because late evidence flipped a premise (cumulative;
+  // an edge re-deduced after an invalidation counts in both).
+  int64_t deduced_edges = 0;
+  int64_t deduction_invalidations = 0;
   // Final platform-side accounting (combined across markets); the DST
   // harness checks its conservation laws and byte-dumps it for determinism
   // comparisons.
@@ -293,6 +327,18 @@ class QuerySession {
   // by another session's identical task.
   void RecordDedupSavings(int64_t tasks_saved);
 
+  // True when `task` is one of this session's edge tasks and its edge
+  // currently holds a deduced (not crowd-evidenced) color. The scheduler's
+  // answer fan-out skips such sessions: a deduced color makes the shared
+  // answer redundant, and serving it anyway would double-charge the dedup
+  // ledger (scheduler.dedup_tasks_saved counts the skip instead).
+  bool HoldsDeducedColorFor(TaskId task) const;
+
+  // Provenance of edge `e`'s current color (tests and invariant sweeps).
+  EdgeProvenance edge_provenance(EdgeId e) const {
+    return static_cast<EdgeProvenance>(edge_provenance_[static_cast<size_t>(e)]);
+  }
+
   // The final result; valid once done(). Leaves the session drained.
   ExecutionResult TakeResult();
 
@@ -329,7 +375,8 @@ class QuerySession {
 
   // The snapshot format version Snapshot() writes (bumped on any layout
   // change; Restore() rejects other versions with a typed error).
-  static constexpr uint32_t kSnapshotVersion = 1;
+  // Version 2 added per-edge color provenance and the propagation counters.
+  static constexpr uint32_t kSnapshotVersion = 2;
 
  private:
   // Runs the body of `phase` (Step() wraps this with per-phase accounting).
@@ -352,6 +399,17 @@ class QuerySession {
   int64_t Absorb(const std::vector<Answer>& batch);
   InferenceResult InferAll();
   void ReconcileLate();
+  // Answer propagation (all no-ops unless options_.propagation.enabled):
+  // colors every unknown crowd edge the deduction domains imply (one
+  // ascending sweep is the full closure — Deduce() never mutates the
+  // domains, and a deduced color adds nothing they do not already imply).
+  void PropagateDeductions();
+  // Invalidate-and-rederive after crowd evidence changed: uncolors every
+  // deduced edge, resets the domains, re-observes the crowd-evidenced
+  // colors, and re-runs the sweep.
+  void RebuildDeductions();
+  // Stable-sorts ordered_ by descending expected deduction yield.
+  void ReorderByDeductionYield();
   std::vector<Task> MakeTasks(const std::vector<EdgeId>& edges) const;
   std::string EdgeValueString(VertexId v, int pred) const;
   PhaseCounters& Counters() {
@@ -374,6 +432,8 @@ class QuerySession {
     Counter* recolored_edges = nullptr;
     Counter* fallback_colored = nullptr;
     Counter* dedup_tasks_saved = nullptr;
+    Counter* deduced_edges = nullptr;
+    Counter* deduction_invalidations = nullptr;
     Histogram* round_size = nullptr;
   };
 
@@ -392,6 +452,14 @@ class QuerySession {
   EdgeTruthFn truth_;
   QueryGraph graph_;
   std::optional<Pruner> pruner_;
+  // Per-edge EdgeProvenance values, sized with the graph; serialized so a
+  // restored session knows which colors are deductions.
+  std::vector<uint8_t> edge_provenance_;
+  // cdb-snapshot: transient(pure index over the graph's colors and
+  // edge_provenance_; Restore() re-observes the crowd-evidenced colors in
+  // ascending edge order, which rebuilds the same partition and fact set —
+  // both are order-independent in the observed edge set)
+  std::optional<DeductionState> deduction_;
   // cdb-snapshot: transient(color-independent optimizer structures; rebuilt
   // deterministically from the restored graph, never serialized)
   std::optional<StructureCache> structure_cache_;

@@ -1,11 +1,11 @@
 // QuerySession::Snapshot()/Restore(): the durable checkpoint format behind
 // the service layer (exec/service.h).
 //
-// Layout (version 1, all little-endian, FNV-1a 64 trailer over everything
+// Layout (version 2, all little-endian, FNV-1a 64 trailer over everything
 // before it):
 //
 //   magic u32 | version u32 | phase u8
-//   graph_built bool | [num_edges u32 | color u8 ...]
+//   graph_built bool | [num_edges u32 | color u8 ... | provenance u8 ...]
 //   sampling_order | all_observations | worker_quality | posteriors
 //   budget spent i64
 //   ordered | round_edges | round_tasks | inference
@@ -204,6 +204,8 @@ void PutStats(ByteWriter& writer, const ExecutionStats& stats) {
     writer.PutI64(pc.answers);
   }
   writer.PutI64(stats.dedup_tasks_saved);
+  writer.PutI64(stats.deduced_edges);
+  writer.PutI64(stats.deduction_invalidations);
   SnapshotPlatformStats(writer, stats.platform);
 }
 
@@ -235,6 +237,8 @@ Status GetStats(ByteReader& reader, ExecutionStats* stats) {
     CDB_RETURN_IF_ERROR(reader.GetI64(&pc.answers));
   }
   CDB_RETURN_IF_ERROR(reader.GetI64(&stats->dedup_tasks_saved));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->deduced_edges));
+  CDB_RETURN_IF_ERROR(reader.GetI64(&stats->deduction_invalidations));
   CDB_RETURN_IF_ERROR(RestorePlatformStats(reader, &stats->platform));
   return Status::Ok();
 }
@@ -258,6 +262,10 @@ std::string QuerySession::Snapshot() const {
     for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
       writer.PutU8(static_cast<uint8_t>(graph_.edge(e).color));
     }
+    // Color provenance rides next to the colors: a restored session must
+    // know which colors are deductions (invalidatable) and which are crowd
+    // evidence (the deduction domains' rebuild inputs).
+    for (uint8_t provenance : edge_provenance_) writer.PutU8(provenance);
   }
 
   PutEdgeList(writer, sampling_order_);
@@ -365,8 +373,34 @@ Status QuerySession::Restore(std::string_view blob) {
       }
       graph_.SetColor(e, want);
     }
+    edge_provenance_.assign(static_cast<size_t>(graph_.num_edges()),
+                            static_cast<uint8_t>(EdgeProvenance::kNone));
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      uint8_t provenance = 0;
+      CDB_RETURN_IF_ERROR(reader.GetU8(&provenance));
+      if (provenance > static_cast<uint8_t>(EdgeProvenance::kFallback)) {
+        return Status::DataLoss("session snapshot: edge provenance byte " +
+                                std::to_string(provenance) + " out of range");
+      }
+      edge_provenance_[static_cast<size_t>(e)] = provenance;
+    }
     pruner_.emplace(&graph_);
     pruner_->Recompute();
+    // The deduction domains are transient: re-observing the crowd-evidenced
+    // colors in ascending edge order rebuilds the same partition and fact
+    // set the snapshotted session held (both are order-independent in the
+    // observed set). Deduced colors are already in the restored graph, so no
+    // re-deduction sweep runs — and none is needed, the restored state was
+    // already a closure.
+    if (options_.propagation.enabled) {
+      deduction_.emplace(&graph_);
+      for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+        if (edge_provenance_[static_cast<size_t>(e)] ==
+            static_cast<uint8_t>(EdgeProvenance::kAsked)) {
+          deduction_->Observe(e, graph_.edge_color(e));
+        }
+      }
+    }
     // The optimizer's structure cache is transient: rebuilt from the graph
     // under the same conditions StepBuildGraph uses, never serialized.
     if (!options_.budget && options_.cost_method == CostMethod::kSampling &&

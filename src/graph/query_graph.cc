@@ -113,6 +113,14 @@ void QueryGraph::RecolorEdge(EdgeId e, EdgeColor color) {
   edge_color_[e] = static_cast<uint8_t>(color);
 }
 
+void QueryGraph::UncolorEdge(EdgeId e) {
+  CDB_CHECK_MSG(edge_is_crowd_[e] != 0,
+                "UncolorEdge on a born-colored traditional edge");
+  CDB_CHECK_MSG(edge_color_[e] != static_cast<uint8_t>(EdgeColor::kUnknown),
+                "UncolorEdge on an edge that is already uncolored");
+  edge_color_[e] = static_cast<uint8_t>(EdgeColor::kUnknown);
+}
+
 int64_t QueryGraph::CountEdges(EdgeColor color) const {
   int64_t count = 0;
   for (uint8_t c : edge_color_) {

@@ -215,6 +215,13 @@ class QueryGraph {
   // stale.
   void RecolorEdge(EdgeId e, EdgeColor color);
 
+  // Reverts a colored crowd edge to kUnknown. Only the answer-propagation
+  // layer may do this, and only to colors it deduced itself (a late answer
+  // invalidated the deduction's premises; the closure is re-derived). Crowd
+  // evidence is never uncolored, and born-colored traditional edges never
+  // change.
+  void UncolorEdge(EdgeId e);
+
   // Convenience counters.
   int64_t CountEdges(EdgeColor color) const;
 

@@ -315,6 +315,53 @@ TEST(SimCrowdTest, HostileSweepProducesLateAnswers) {
   EXPECT_GT(total_late, 0);
 }
 
+TEST(SimCrowdTest, PropagationStaysClusterConsistentUnderHostileCrowd) {
+  // Satellite regression for the invalidate-and-rederive path: under the
+  // hostile profile late answers promote and flip crowd-evidenced edges
+  // after deductions were made from them. ReconcileLate must rebuild the
+  // closure, so RunSimCrowd's cluster-consistency sweep (active here: the
+  // crowd is noise-free, so asked colors are mutually consistent) must find
+  // no pair that is both matched and non-matched, on top of every standing
+  // invariant — and reruns must stay byte-identical.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SimCrowdConfig config;
+    config.seed = seed;
+    config.fault = HostileProfile();
+    config.propagation.enabled = true;
+    Result<SimCrowdReport> report = RunSimCrowd(config);
+    ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().message();
+    for (const std::string& violation : report->violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+    if (seed == 1) {
+      SimCrowdReport rerun = RunSimCrowd(config).value();
+      EXPECT_EQ(rerun.stats_dump, report->stats_dump);
+      EXPECT_EQ(rerun.color_dump, report->color_dump);
+    }
+  }
+}
+
+TEST(SimCrowdTest, PropagationSurvivesExtremeStragglers) {
+  // The straggler-heavy late-answer profile with the deduction layer on:
+  // flips may orphan deduced colors whole rounds after they were derived;
+  // the terminal reconcile must still leave every valid edge colored and
+  // the clusters consistent.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SimCrowdConfig config;
+    config.seed = seed;
+    config.fault.straggler_prob = 0.6;
+    config.fault.straggler_delay_ticks = 30;
+    config.fault.task_deadline_ticks = 4;
+    config.fault.abandon_prob = 0.1;
+    config.propagation.enabled = true;
+    SimCrowdReport report = RunSimCrowd(config).value();
+    for (const std::string& violation : report.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+  }
+}
+
 TEST(SimCrowdTest, StatsDumpIsStableFormat) {
   SimCrowdConfig config;
   config.seed = 3;

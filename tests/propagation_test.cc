@@ -1,0 +1,488 @@
+// Property suite for the answer-propagation layer (label: propagate).
+//
+// MatchClusters unit properties pin the fact re-rooting contract (the
+// er_join bug this PR fixes: non-match facts keyed at stale round-start
+// roots); DeductionState properties check soundness, closure idempotence and
+// observation-order independence against the entity ground truth; the
+// end-to-end properties check that a noise-free oracle crowd makes
+// propagation invisible in the final colors, that snapshots round-trip the
+// (transient, rebuilt) deduction state mid-run, that runs are byte-identical
+// across optimizer thread counts, and that the scheduler stops fanning
+// shared answers out to sessions that already deduced the edge.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bench_util/queries.h"
+#include "common/random.h"
+#include "bench_util/runner.h"
+#include "bench_util/sim_crowd.h"
+#include "cql/parser.h"
+#include "datagen/award_dataset.h"
+#include "datagen/mini_example.h"
+#include "datagen/paper_dataset.h"
+#include "exec/scheduler.h"
+#include "graph/propagation.h"
+#include "graph/query_graph.h"
+
+namespace cdb {
+namespace {
+
+// --- MatchClusters: the union-find + cluster-level non-match facts. ---
+
+TEST(MatchClustersTest, ReRootsNonMatchFactsWhenUnionMovesTheRoot) {
+  // The er_join regression: a fact recorded against a cluster's root must
+  // survive that cluster being absorbed into another (the old per-round
+  // snapshot went stale here and KnownNonMatch missed deducible pairs).
+  MatchClusters clusters(6);
+  clusters.AddNonMatch(0, 3);
+  clusters.Union(3, 4);  // 3's cluster re-roots or absorbs; the fact follows.
+  EXPECT_TRUE(clusters.KnownNonMatch(0, 3));
+  EXPECT_TRUE(clusters.KnownNonMatch(0, 4));
+  clusters.Union(4, 5);
+  EXPECT_TRUE(clusters.KnownNonMatch(0, 5));
+  // And from the other endpoint's side.
+  clusters.Union(0, 1);
+  EXPECT_TRUE(clusters.KnownNonMatch(1, 5));
+  EXPECT_FALSE(clusters.KnownNonMatch(1, 2));
+}
+
+TEST(MatchClustersTest, FactFollowsTheAbsorbedRootIntoTheLargerCluster) {
+  // Force the absorption direction: {1,2} (size 2) absorbs {3} (size 1), so
+  // the fact keyed at root 3 must be re-keyed onto {1,2}'s root.
+  MatchClusters clusters(6);
+  clusters.Union(1, 2);
+  clusters.AddNonMatch(5, 3);
+  clusters.Union(3, 1);
+  EXPECT_TRUE(clusters.SameCluster(1, 3));
+  EXPECT_TRUE(clusters.KnownNonMatch(5, 1));
+  EXPECT_TRUE(clusters.KnownNonMatch(5, 2));
+  EXPECT_TRUE(clusters.KnownNonMatch(5, 3));
+}
+
+TEST(MatchClustersTest, ConflictingEvidenceCountsAndMatchWins) {
+  MatchClusters clusters(4);
+  clusters.AddNonMatch(0, 1);
+  EXPECT_EQ(clusters.conflicts(), 0);
+  clusters.Union(0, 1);  // Contradicts the fact: match wins, fact dropped.
+  EXPECT_EQ(clusters.conflicts(), 1);
+  EXPECT_TRUE(clusters.SameCluster(0, 1));
+  EXPECT_FALSE(clusters.KnownNonMatch(0, 1));
+  clusters.AddNonMatch(0, 1);  // Same-cluster fact: conflict, not recorded.
+  EXPECT_EQ(clusters.conflicts(), 2);
+  EXPECT_FALSE(clusters.KnownNonMatch(0, 1));
+}
+
+TEST(MatchClustersTest, ClusterCountTracksUnions) {
+  MatchClusters clusters(5);
+  EXPECT_EQ(clusters.num_clusters(), 5);
+  clusters.Union(0, 1);
+  clusters.Union(2, 3);
+  clusters.Union(1, 2);
+  clusters.Union(0, 3);  // Already together: no change.
+  EXPECT_EQ(clusters.num_clusters(), 2);
+}
+
+// --- DeductionState properties against entity ground truth. ---
+//
+// The paper-dataset 2J query gives a graph whose crowd edges follow entity
+// clusters with duplicates, so transitive chains genuinely exist (the mini
+// example is too sparse to deduce anything).
+
+class DeductionPropertyTest : public ::testing::Test {
+ protected:
+  DeductionPropertyTest() {
+    PaperDatasetOptions options;
+    options.scale = 0.1;
+    dataset_ = GeneratePaperDataset(options);
+    const std::string cql = PaperQueries()[0].cql;  // 2J.
+    Statement stmt = ParseStatement(cql).value();
+    query_ = AnalyzeSelect(std::get<SelectStatement>(stmt), dataset_.catalog)
+                 .value();
+    graph_ = QueryGraph::Build(query_, GraphOptions()).value();
+    truth_ = MakeEdgeTruth(&dataset_, &query_);
+  }
+
+  // The crowd edges a seed-dependent coin marks as "answered".
+  std::vector<EdgeId> ObservedSubset(uint64_t seed) {
+    Rng rng(seed);
+    std::vector<EdgeId> observed;
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (graph_.edge(e).is_crowd && rng.Bernoulli(0.6)) observed.push_back(e);
+    }
+    return observed;
+  }
+
+  EdgeColor TruthColor(EdgeId e) {
+    return truth_(graph_, e) ? EdgeColor::kBlue : EdgeColor::kRed;
+  }
+
+  GeneratedDataset dataset_;
+  ResolvedQuery query_;
+  QueryGraph graph_;
+  EdgeTruthFn truth_;
+};
+
+TEST_F(DeductionPropertyTest, DeductionsAreSoundAgainstConsistentTruth) {
+  // Observing any subset of truthful answers, every deducible color must
+  // equal the ground truth: transitivity over true matches and
+  // anti-transitivity over true non-matches can never contradict an
+  // entity-consistent world.
+  int64_t total_deduced = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    DeductionState deduction(&graph_);
+    std::vector<EdgeId> observed = ObservedSubset(seed);
+    std::vector<uint8_t> is_observed(graph_.num_edges(), 0);
+    for (EdgeId e : observed) {
+      deduction.Observe(e, TruthColor(e));
+      is_observed[e] = 1;
+    }
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (!graph_.edge(e).is_crowd || is_observed[e]) continue;
+      EdgeColor deduced = deduction.Deduce(e);
+      if (deduced == EdgeColor::kUnknown) continue;
+      ++total_deduced;
+      EXPECT_EQ(deduced, TruthColor(e)) << "seed " << seed << " edge " << e;
+    }
+    EXPECT_EQ(deduction.conflicts(), 0) << "seed " << seed;
+  }
+  // The property must not be vacuous: the chains exist and fire.
+  EXPECT_GT(total_deduced, 0);
+}
+
+TEST_F(DeductionPropertyTest, OneSweepIsAFullClosure) {
+  // Deduce() never feeds deduced colors back into the domains, so a second
+  // sweep over the same state finds exactly the same set — closure in one
+  // ascending pass, which is what StepColor relies on.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    DeductionState deduction(&graph_);
+    for (EdgeId e : ObservedSubset(seed)) deduction.Observe(e, TruthColor(e));
+    std::vector<EdgeColor> first;
+    std::vector<EdgeColor> second;
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      first.push_back(deduction.Deduce(e));
+    }
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      second.push_back(deduction.Deduce(e));
+    }
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST_F(DeductionPropertyTest, ObservationOrderDoesNotMatter) {
+  // The partition and the fact set depend only on the observed edge SET when
+  // the observations are mutually consistent — the property that justifies
+  // rebuilding the transient deduction state in ascending edge order on
+  // Restore() and after a late-answer flip.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<EdgeId> observed = ObservedSubset(seed);
+
+    DeductionState ascending(&graph_);
+    for (EdgeId e : observed) ascending.Observe(e, TruthColor(e));
+
+    std::vector<EdgeId> shuffled = observed;
+    Rng rng(seed * 977);
+    rng.Shuffle(shuffled);
+    DeductionState permuted(&graph_);
+    for (EdgeId e : shuffled) permuted.Observe(e, TruthColor(e));
+
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      ASSERT_EQ(ascending.Deduce(e), permuted.Deduce(e))
+          << "seed " << seed << " edge " << e;
+    }
+  }
+}
+
+TEST_F(DeductionPropertyTest, ResetForgetsEverything) {
+  DeductionState deduction(&graph_);
+  for (EdgeId e : ObservedSubset(1)) deduction.Observe(e, TruthColor(e));
+  deduction.Reset();
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    EXPECT_EQ(deduction.Deduce(e), EdgeColor::kUnknown);
+  }
+}
+
+// --- End-to-end properties through the executor. ---
+
+TEST(PropagationExecutorTest, OracleCrowdMakesPropagationInvisible) {
+  // With a noise-free crowd every deduced color equals what the crowd would
+  // have answered, so propagation on/off must land on identical final colors
+  // and identical query answers — only the task counts may differ.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SimCrowdConfig off;
+    off.seed = seed;
+    SimCrowdReport report_off = RunSimCrowd(off).value();
+
+    SimCrowdConfig on = off;
+    on.propagation.enabled = true;
+    SimCrowdReport report_on = RunSimCrowd(on).value();
+
+    EXPECT_EQ(report_off.color_dump, report_on.color_dump) << "seed " << seed;
+    EXPECT_EQ(report_off.result.answers.size(),
+              report_on.result.answers.size())
+        << "seed " << seed;
+    for (const std::string& violation : report_on.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+    EXPECT_LE(report_on.result.stats.tasks_asked,
+              report_off.result.stats.tasks_asked)
+        << "seed " << seed;
+  }
+}
+
+TEST(PropagationExecutorTest, PropagationOffIsByteIdenticalToLegacy) {
+  // The off-path acceptance: a default-constructed PropagationOptions leaves
+  // the executor byte-identical — same stats dump, same colors — to a run
+  // that never heard of propagation (provenance bookkeeping is passive).
+  for (uint64_t seed : {2u, 9u}) {
+    SimCrowdConfig config;
+    config.seed = seed;
+    config.fault.straggler_prob = 0.4;
+    config.fault.straggler_delay_ticks = 12;
+    config.fault.task_deadline_ticks = 5;
+    SimCrowdReport a = RunSimCrowd(config).value();
+    SimCrowdReport b = RunSimCrowd(config).value();
+    EXPECT_EQ(a.stats_dump, b.stats_dump);
+    EXPECT_EQ(a.color_dump, b.color_dump);
+  }
+}
+
+TEST(PropagationExecutorTest, ByteIdenticalAcrossThreadCountsWithPropagation) {
+  // 1-vs-8-thread byte identity with the deduction layer on (plus EM quality
+  // control and sampling min-cut, the two parallel optimizer stages).
+  for (uint64_t seed : {1u, 7u}) {
+    std::string reference_stats;
+    std::string reference_colors;
+    for (int threads : {1, 8}) {
+      SimCrowdConfig config;
+      config.seed = seed;
+      config.quality_control = true;
+      config.cost_method = CostMethod::kSampling;
+      config.num_threads = threads;
+      config.propagation.enabled = true;
+      SimCrowdReport report = RunSimCrowd(config).value();
+      if (reference_stats.empty()) {
+        reference_stats = report.stats_dump;
+        reference_colors = report.color_dump;
+      } else {
+        EXPECT_EQ(report.stats_dump, reference_stats)
+            << "seed " << seed << " threads " << threads;
+        EXPECT_EQ(report.color_dump, reference_colors)
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(PropagationExecutorTest, TransBaselineIsExactOnOracleCrowd) {
+  // Satellite regression for the shared MatchClusters: the Trans baseline
+  // leans on KnownNonMatch between rounds, so a stale (pre-fix) fact table
+  // would either re-ask deducible pairs or miscolor them. With a perfect
+  // crowd its F1 must be exact.
+  PaperDatasetOptions options;
+  options.scale = 0.1;
+  GeneratedDataset dataset = GeneratePaperDataset(options);
+  RunConfig config;
+  config.worker_quality = 1.0;
+  config.worker_quality_stddev = 0.0;
+  config.repetitions = 1;
+  config.num_threads = 1;
+  RunOutcome outcome =
+      RunMethod(Method::kTrans, dataset, PaperQueries()[0].cql, config)
+          .value();
+  EXPECT_DOUBLE_EQ(outcome.f1, 1.0);
+}
+
+// --- Snapshot round-trip with live deduction state. ---
+
+class PropagationSnapshotTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  PropagationSnapshotTest()
+      : dataset_(MakeMiniPaperExample()),
+        query_(AnalyzeSelect(
+                   std::get<SelectStatement>(
+                       ParseStatement(kMiniExampleQuery).value()),
+                   dataset_.catalog)
+                   .value()),
+        truth_(MakeEdgeTruth(&dataset_, &query_)) {}
+
+  ExecutorOptions Options() const {
+    ExecutorOptions options;
+    options.platform.seed = GetParam();
+    options.platform.redundancy = 3;
+    options.propagation.enabled = true;
+    FaultProfile& fault = options.platform.fault;
+    fault.straggler_prob = 0.3;
+    fault.straggler_delay_ticks = 10;
+    fault.task_deadline_ticks = 5;
+    fault.abandon_prob = 0.15;
+    return options;
+  }
+
+  static std::string Colors(const QuerySession& session) {
+    std::string out;
+    for (EdgeId e = 0; e < session.graph().num_edges(); ++e) {
+      switch (session.graph().edge(e).color) {
+        case EdgeColor::kBlue:
+          out += 'B';
+          break;
+        case EdgeColor::kRed:
+          out += 'R';
+          break;
+        default:
+          out += '?';
+          break;
+      }
+      out += static_cast<char>(
+          '0' + static_cast<int>(session.edge_provenance(e)));
+    }
+    return out;
+  }
+
+  GeneratedDataset dataset_;
+  ResolvedQuery query_;
+  EdgeTruthFn truth_;
+};
+
+TEST_P(PropagationSnapshotTest, MidRunRoundTripRebuildsDeductionState) {
+  // Snapshot a propagation-on session mid-run (deduction domains live),
+  // restore into a fresh session, and finish both: the blob must round-trip
+  // byte-exactly and the restored session must converge to the same colors
+  // AND the same provenance — proof the transient deduction state was
+  // rebuilt, not lost.
+  const int steps = static_cast<int>(GetParam() % 13);
+  QuerySession original(&query_, Options(), truth_);
+  for (int s = 0; s < steps; ++s) {
+    Result<bool> more = original.Step();
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+  }
+  const std::string blob = original.Snapshot();
+
+  QuerySession restored(&query_, Options(), truth_);
+  Status status = restored.Restore(blob);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(blob, restored.Snapshot());
+
+  auto finish = [](QuerySession& session) {
+    while (true) {
+      Result<bool> more = session.Step();
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.value()) break;
+    }
+  };
+  finish(original);
+  finish(restored);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(Colors(original), Colors(restored));
+  EXPECT_EQ(original.TakeResult().answers.size(),
+            restored.TakeResult().answers.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSnapshotTest,
+                         ::testing::Range<uint64_t>(1, 14));
+
+// --- Scheduler: deduced edges cancel pending shared fan-out. ---
+
+TEST(PropagationSchedulerTest, DeducedEdgesSuppressSharedAnswerFanout) {
+  // Two sessions run the same award 2J query on a straggler-heavy shared
+  // platform (retries off, one expiry allowed) with propagation on: whole
+  // tasks starve past the deadline, their edges get deduced from the asked
+  // neighbors, and the straggling answers — arriving whole rounds later —
+  // must then be dropped at the fan-out (counted once per task under
+  // scheduler.dedup_tasks_saved) instead of delivered. The reconcile flips
+  // from the answers that DO land also drive the invalidate-and-rederive
+  // path, so its counter must fire too.
+  AwardDatasetOptions dataset_options;
+  dataset_options.scale = 0.1;
+  GeneratedDataset dataset = GenerateAwardDataset(dataset_options);
+  const std::string cql = AwardQueries()[0].cql;
+  Statement stmt = ParseStatement(cql).value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), dataset.catalog).value();
+  EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+
+  int64_t total_saved = 0;
+  int64_t total_deduced = 0;
+  int64_t total_invalidations = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    MultiQueryOptions mq;
+    mq.platform.seed = seed;
+    mq.platform.redundancy = 3;
+    mq.platform.fault.straggler_prob = 0.5;
+    mq.platform.fault.straggler_delay_ticks = 40;
+    mq.platform.fault.task_deadline_ticks = 3;
+    mq.platform.fault.max_task_expiries = 1;
+    MultiQueryScheduler scheduler(mq);
+    ExecutorOptions options;
+    options.num_threads = 1;
+    options.graph.num_threads = 1;
+    options.propagation.enabled = true;
+    options.retry.enabled = false;
+    scheduler.AddQuery(&query, options, truth);
+    scheduler.AddQuery(&query, options, truth);
+    Result<std::vector<ExecutionResult>> results = scheduler.RunAll();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    total_saved += scheduler.stats().dedup_tasks_saved;
+    for (const ExecutionResult& result : results.value()) {
+      total_deduced += result.stats.deduced_edges;
+      total_invalidations += result.stats.deduction_invalidations;
+    }
+  }
+  // The mechanisms fired: edges were deduced, flips invalidated and
+  // re-derived deductions, and pending shared answer streams were cancelled
+  // by deduced colors.
+  EXPECT_GT(total_deduced, 0);
+  EXPECT_GT(total_invalidations, 0);
+  EXPECT_GT(total_saved, 0);
+}
+
+TEST(PropagationSchedulerTest, SuppressedFanoutRunsAreDeterministic) {
+  // Same hostile configuration as above, run twice: the skip bookkeeping is
+  // part of the decision path, so the whole multi-query run must stay
+  // byte-reproducible.
+  AwardDatasetOptions dataset_options;
+  dataset_options.scale = 0.1;
+  GeneratedDataset dataset = GenerateAwardDataset(dataset_options);
+  const std::string cql = AwardQueries()[0].cql;
+  Statement stmt = ParseStatement(cql).value();
+  ResolvedQuery query =
+      AnalyzeSelect(std::get<SelectStatement>(stmt), dataset.catalog).value();
+  EdgeTruthFn truth = MakeEdgeTruth(&dataset, &query);
+
+  std::vector<std::string> dumps;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    MultiQueryOptions mq;
+    mq.platform.seed = 5;
+    mq.platform.redundancy = 3;
+    mq.platform.fault.straggler_prob = 0.5;
+    mq.platform.fault.straggler_delay_ticks = 40;
+    mq.platform.fault.task_deadline_ticks = 3;
+    mq.platform.fault.max_task_expiries = 1;
+    MultiQueryScheduler scheduler(mq);
+    ExecutorOptions options;
+    options.num_threads = 1;
+    options.graph.num_threads = 1;
+    options.propagation.enabled = true;
+    options.retry.enabled = false;
+    scheduler.AddQuery(&query, options, truth);
+    scheduler.AddQuery(&query, options, truth);
+    Result<std::vector<ExecutionResult>> results = scheduler.RunAll();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    std::string dump = PlatformStatsDump(scheduler.platform_stats());
+    dump += "\nsaved=" + std::to_string(scheduler.stats().dedup_tasks_saved);
+    for (size_t i = 0; i < scheduler.num_sessions(); ++i) {
+      const QueryGraph& graph = scheduler.session(i).graph();
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        dump += static_cast<char>('0' + static_cast<int>(graph.edge(e).color));
+      }
+    }
+    dumps.push_back(std::move(dump));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+}  // namespace
+}  // namespace cdb

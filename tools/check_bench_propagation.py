@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates a freshly generated BENCH_propagation.json against the golden.
+
+The propagation bench runs each representative query twice from the same
+seed — propagation off (the legacy executor) and on (the transitive
+deduction layer) — against a noise-free oracle crowd, so every reported
+field is a pure function of the bench seed and must match the checked-in
+golden exactly; drift means the executor's ask schedule, the deduction
+closure, or the expected-yield ordering changed behavior.
+
+On top of golden equality the fresh run must clear the acceptance bar on its
+own: propagation may never ask MORE tasks than the legacy path on any
+workload, it must save at least --min-tasks-saved tasks in aggregate, it
+must actually deduce edges (the savings are not vacuous), and each
+workload's F1 with propagation on must equal the F1 with propagation off
+(the oracle crowd makes deduction sound, so any gap is a closure bug).
+
+Usage:
+  tools/check_bench_propagation.py --golden BENCH_propagation.json \\
+      --fresh fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+DETERMINISTIC = (
+    "tasks_off", "tasks_on", "dollars_off", "dollars_on", "deduced_edges",
+    "deduction_invalidations", "f1_off", "f1_on",
+)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "cdb-bench-propagation-v1":
+        raise SystemExit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {w["name"]: w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--golden", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--min-tasks-saved", type=int, default=100,
+                        help="aggregate tasks propagation must save")
+    args = parser.parse_args()
+
+    golden = load(args.golden)
+    fresh = load(args.fresh)
+    errors = []
+
+    if set(golden) != set(fresh):
+        errors.append(f"workload sets differ: golden={sorted(golden)} "
+                      f"fresh={sorted(fresh)}")
+
+    total_saved = 0
+    total_deduced = 0
+    for name in sorted(set(golden) & set(fresh)):
+        g, f = golden[name], fresh[name]
+        for counter in DETERMINISTIC:
+            if g[counter] != f[counter]:
+                errors.append(f"{name}/{counter}: golden {g[counter]} != "
+                              f"fresh {f[counter]} (deterministic counter "
+                              f"drifted — ask schedule or deduction closure "
+                              f"changed behavior)")
+        # Absolute requirements on the fresh run (ISSUE acceptance bar).
+        if f["tasks_on"] > f["tasks_off"]:
+            errors.append(f"{name}: propagation asked more tasks "
+                          f"({f['tasks_on']} on vs {f['tasks_off']} off)")
+        if abs(f["f1_on"] - f["f1_off"]) > 1e-9:
+            errors.append(f"{name}: F1 diverged under the oracle crowd "
+                          f"({f['f1_on']} on vs {f['f1_off']} off — the "
+                          f"deduction closure colored an edge wrongly)")
+        total_saved += f["tasks_off"] - f["tasks_on"]
+        total_deduced += f["deduced_edges"]
+
+    if total_saved < args.min_tasks_saved:
+        errors.append(f"aggregate tasks saved {total_saved} below floor "
+                      f"{args.min_tasks_saved}")
+    if total_deduced <= 0:
+        errors.append("no edges were deduced — the propagation layer "
+                      "never fired")
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(set(golden) & set(fresh))} workload(s) validated "
+          f"against {args.golden} (saved {total_saved:.0f} tasks, "
+          f"deduced {total_deduced} edges)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
